@@ -1,0 +1,81 @@
+"""Ablation A5 — competitive replication (Section 2.4).
+
+When the access pattern is unknown, PLUS's hardware counts remote
+references per page and interrupts the processor on overflow so software
+can create a copy once remote accesses have paid for it.  This ablation
+compares a deliberately bad static placement (all data homed on node 0)
+run three ways: left alone, fixed automatically by the competitive
+hardware, and with the oracle placement (replicated up front).
+"""
+
+import pytest
+
+from repro.machine import PlusMachine
+
+from conftest import record_table, simulate_once
+
+N_NODES = 8
+READS = 250
+
+_measured = {}
+
+
+def _run(mode):
+    machine = PlusMachine(
+        n_nodes=N_NODES,
+        enable_competitive=(mode == "competitive"),
+        competitive_threshold=32,
+        competitive_max_copies=N_NODES,
+    )
+    replicas = range(1, N_NODES) if mode == "oracle" else ()
+    seg = machine.shm.alloc(32, home=0, replicas=replicas)
+
+    def reader(ctx, node):
+        checksum = 0
+        for i in range(READS):
+            value = yield from ctx.read(seg.base + (node + i) % 32)
+            checksum += value
+            yield from ctx.compute(30)
+        return checksum
+
+    for node in range(1, N_NODES):
+        machine.spawn(node, reader, node)
+    report = machine.run()
+    remote = report.counters.remote_reads
+    local = report.counters.local_reads
+    return report.cycles, local, remote, machine
+
+
+@pytest.mark.parametrize("mode", ["static", "competitive", "oracle"])
+def test_competitive_placement(benchmark, mode):
+    cycles, local, remote, machine = simulate_once(
+        benchmark, lambda: _run(mode)
+    )
+    _measured[mode] = (cycles, local, remote)
+    benchmark.extra_info["cycles"] = cycles
+    if mode == "competitive":
+        assert machine.competitive.replications >= 1
+
+    if len(_measured) == 3:
+        rows = [
+            [m, v[0], v[1], v[2]]
+            for m, v in _measured.items()
+        ]
+        record_table(
+            "Ablation A5: competitive replication vs static placements "
+            f"({N_NODES - 1} remote readers of one hot page)",
+            ["placement", "cycles", "local reads", "remote reads"],
+            rows,
+            notes=(
+                "competitive hardware converges towards the oracle "
+                "placement after the counters overflow"
+            ),
+        )
+        static, comp, oracle = (
+            _measured["static"],
+            _measured["competitive"],
+            _measured["oracle"],
+        )
+        assert comp[0] < static[0], "competitive should beat static"
+        assert oracle[0] <= comp[0], "oracle is the lower bound"
+        assert comp[2] < static[2], "competitive removes remote reads"

@@ -1,0 +1,71 @@
+"""Ablation A3 — uncontrolled replication floods the network.
+
+Section 2.5's warning: "uncontrolled replication can result in the
+system getting flooded with update requests, slowing down useful
+computation."  This ablation takes a write-heavy kernel (every node
+repeatedly writes a shared page) and sweeps the page's replication
+degree: each extra copy multiplies update traffic while adding no value
+to the writers.
+"""
+
+import pytest
+
+from repro.machine import PlusMachine
+from repro.network.message import MsgKind
+
+from conftest import record_table, simulate_once
+
+N_NODES = 16
+COPIES = (1, 4, 8, 16)
+
+_measured = {}
+
+
+def _write_storm(copies):
+    machine = PlusMachine(n_nodes=N_NODES)
+    replicas = list(range(1, copies))
+    seg = machine.shm.alloc(64, home=0, replicas=replicas)
+
+    def writer(ctx, node):
+        for i in range(25):
+            yield from ctx.write(seg.base + (node * 7 + i) % 64, i)
+            yield from ctx.compute(40)
+        yield from ctx.fence()
+
+    for node in range(N_NODES):
+        machine.spawn(node, writer, node)
+    report = machine.run()
+    return (
+        report.cycles,
+        report.fabric.messages_by_kind[MsgKind.UPDATE],
+        report.fabric.total_messages,
+    )
+
+
+@pytest.mark.parametrize("copies", COPIES)
+def test_replication_flooding(benchmark, copies):
+    cycles, updates, total = simulate_once(
+        benchmark, lambda: _write_storm(copies)
+    )
+    _measured[copies] = (cycles, updates, total)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["update_messages"] = updates
+
+    if len(_measured) == len(COPIES):
+        rows = [
+            [c, m[0], m[1], m[2]] for c, m in sorted(_measured.items())
+        ]
+        record_table(
+            "Ablation A3: update flooding from uncontrolled replication "
+            f"(write-heavy page, {N_NODES} writers)",
+            ["copies", "cycles", "update messages", "total messages"],
+            rows,
+            notes=(
+                "each extra copy adds a copy-list hop to every write; "
+                "Section 2.5 warns exactly about this"
+            ),
+        )
+        # More copies, more update traffic, slower completion.
+        assert _measured[16][1] > 8 * _measured[1][1] if _measured[1][1] else True
+        assert _measured[16][1] > _measured[4][1] > _measured[1][1]
+        assert _measured[16][0] > _measured[1][0]

@@ -1,0 +1,103 @@
+"""Ablation A2 — "Complex is Better" (Section 3.2).
+
+The paper argues a hardware queue operation beats queues built from
+simple primitives: the fetch-and-add implementation (Gottlieb et al.)
+needs about three interlocked operations per queuing step, each paying
+the full synchronization latency.  This ablation pushes a fixed stream
+of items through both queue implementations under contention and
+compares cycles and interlocked-operation counts.
+"""
+
+import pytest
+
+from repro.baselines.gottlieb import GottliebQueue
+from repro.core.params import TOP_BIT
+from repro.machine import PlusMachine
+
+from conftest import record_table, simulate_once
+
+ITEMS_PER_PRODUCER = 25
+N_PRODUCERS = 3
+
+_measured = {}
+
+
+def _run(kind):
+    machine = PlusMachine(n_nodes=4)
+    received = []
+    if kind == "hardware":
+        queue = machine.shm.alloc_queue(home=0)
+
+        def produce(ctx, base):
+            for i in range(ITEMS_PER_PRODUCER):
+                while True:
+                    ret = yield from ctx.enqueue(queue, base + i)
+                    if not ret & TOP_BIT:
+                        break
+                    yield from ctx.spin(30)
+                yield from ctx.compute(40)
+
+        def consume(ctx, expect):
+            while len(received) < expect:
+                word = yield from ctx.dequeue(queue)
+                if word & TOP_BIT:
+                    received.append(word & 0x7FFFFFFF)
+                else:
+                    yield from ctx.spin(30)
+    else:
+        queue = GottliebQueue(machine, home=0)
+
+        def produce(ctx, base):
+            for i in range(ITEMS_PER_PRODUCER):
+                while True:
+                    ok = yield from queue.enqueue(ctx, base + i)
+                    if ok:
+                        break
+                    yield from ctx.spin(30)
+                yield from ctx.compute(40)
+
+        def consume(ctx, expect):
+            while len(received) < expect:
+                item = yield from queue.dequeue(ctx)
+                if item is not None:
+                    received.append(item)
+                else:
+                    yield from ctx.spin(30)
+
+    for p in range(N_PRODUCERS):
+        machine.spawn(p + 1, produce, (p + 1) * 1000)
+    machine.spawn(0, consume, N_PRODUCERS * ITEMS_PER_PRODUCER)
+    report = machine.run()
+    expected = sorted(
+        (p + 1) * 1000 + i
+        for p in range(N_PRODUCERS)
+        for i in range(ITEMS_PER_PRODUCER)
+    )
+    assert sorted(received) == expected, "queue lost or duplicated items"
+    return report.cycles, sum(report.counters.rmw_mix().values())
+
+
+@pytest.mark.parametrize("kind", ["hardware", "fetch-add"])
+def test_queue_primitive(benchmark, kind):
+    cycles, rmws = simulate_once(benchmark, lambda: _run(kind))
+    _measured[kind] = (cycles, rmws)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["interlocked_ops"] = rmws
+
+    if len(_measured) == 2:
+        hw = _measured["hardware"]
+        sw = _measured["fetch-add"]
+        transfers = N_PRODUCERS * ITEMS_PER_PRODUCER * 2
+        rows = [
+            ["hardware queue/dequeue", hw[0], hw[1], hw[1] / transfers],
+            ["fetch-add (Gottlieb)", sw[0], sw[1], sw[1] / transfers],
+        ]
+        record_table(
+            "Ablation A2: complex vs simple queue primitives "
+            f"({N_PRODUCERS} producers, 1 consumer)",
+            ["implementation", "cycles", "interlocked ops", "ops/transfer"],
+            rows,
+            notes="Section 3.2: one complex op replaces ~3 simple ones",
+        )
+        assert hw[0] < sw[0], "hardware queue should be faster"
+        assert hw[1] * 2 <= sw[1], "fetch-add queue should need >=2x RMWs"

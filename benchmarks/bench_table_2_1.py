@@ -1,0 +1,97 @@
+"""Table 2-1 — Effect of Replication on Messages.
+
+Paper values (SSSP, 16 processors, copies 1..5):
+
+    copies  reads L/R  writes L/R  total/update
+       1       1.25       3.40        6.18
+       2       1.70       1.18        2.91
+       3       1.64       0.70        2.24
+       4       2.14       0.45        1.89
+       5       2.32       0.36        1.68
+
+The absolute ratios depend on the authors' graph (unpublished); what the
+table demonstrates — and what this benchmark asserts — is the shape:
+replication makes reads more local, makes writes more remote (they must
+update the copies), and shifts total traffic towards updates.
+"""
+
+import pytest
+
+from repro.apps.sssp import SSSPConfig, run_sssp
+
+from conftest import record_table, simulate_once
+
+N_NODES = 16
+COPIES = (1, 2, 3, 4, 5)
+
+PAPER_ROWS = {
+    1: (1.25, 3.40, 6.18),
+    2: (1.70, 1.18, 2.91),
+    3: (1.64, 0.70, 2.24),
+    4: (2.14, 0.45, 1.89),
+    5: (2.32, 0.36, 1.68),
+}
+
+_measured = {}
+
+
+@pytest.mark.parametrize("copies", COPIES)
+def test_table_2_1_row(benchmark, sssp_workload, copies):
+    graph, reference = sssp_workload
+
+    def run():
+        # The paper replicated "the queues and vertices" (Section 2.5),
+        # so this sweep replicates both kinds of page.
+        return run_sssp(
+            N_NODES,
+            graph,
+            SSSPConfig(copies=copies, replicate_queues=True),
+        )
+
+    result = simulate_once(benchmark, run)
+    assert result.distances == reference, "SSSP diverged from Dijkstra"
+    ratios = result.report.table_2_1_row()
+    _measured[copies] = ratios
+    benchmark.extra_info.update(ratios)
+
+    if len(_measured) == len(COPIES):
+        rows = []
+        for c in COPIES:
+            m = _measured[c]
+            p = PAPER_ROWS[c]
+            rows.append(
+                [
+                    c,
+                    m["reads_local_over_remote"],
+                    p[0],
+                    m["writes_local_over_remote"],
+                    p[1],
+                    m["total_over_update"],
+                    p[2],
+                ]
+            )
+        record_table(
+            "Table 2-1: Effect of Replication on Messages "
+            f"(SSSP, {N_NODES} processors)",
+            [
+                "copies",
+                "reads L/R",
+                "(paper)",
+                "writes L/R",
+                "(paper)",
+                "total/update",
+                "(paper)",
+            ],
+            rows,
+            notes=(
+                "shape check: reads ratio rises, writes ratio falls, "
+                "update share of traffic grows with replication"
+            ),
+        )
+        # The monotone trends the paper's table demonstrates.
+        reads = [_measured[c]["reads_local_over_remote"] for c in COPIES]
+        writes = [_measured[c]["writes_local_over_remote"] for c in COPIES]
+        totals = [_measured[c]["total_over_update"] for c in COPIES]
+        assert reads[-1] > reads[0], "reads should become more local"
+        assert writes[-1] < writes[0], "writes should become more remote"
+        assert totals[-1] < totals[0], "updates should dominate traffic"

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""The paper's beam-search study (Section 3.4), as a runnable example.
+
+Run with::
+
+    python examples/beam_search.py [--nodes N] [--width W]
+
+Decodes a synthetic HMM lattice with the three synchronization styles of
+Figure 3-1 — blocking operations, delayed (split-phase) operations, and
+multiple hardware contexts with 16/40/140-cycle switches — verifies every
+run against the sequential beam-search oracle, and reports the elapsed
+simulated time of each style.
+"""
+
+import argparse
+import time
+
+from repro.apps.beam import BeamConfig, run_beam
+from repro.apps.graphs import (
+    beam_search_reference,
+    initial_costs,
+    layered_lattice,
+)
+from repro.stats.report import format_table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--width", type=int, default=96)
+    parser.add_argument("--layers", type=int, default=12)
+    parser.add_argument("--beam", type=int, default=60)
+    args = parser.parse_args()
+
+    lattice = layered_lattice(
+        n_layers=args.layers,
+        width=args.width,
+        branching=3,
+        seed=5,
+        hot_fraction=0.6,
+    )
+    initial = initial_costs(lattice, seed=1)
+    reference = beam_search_reference(lattice, beam=args.beam, initial=initial)
+    last = lattice.n_layers - 1
+    ref_best = min(
+        reference[lattice.state_id(last, i)]
+        for i in range(lattice.width)
+        if lattice.state_id(last, i) in reference
+    )
+    print(
+        f"lattice: {args.layers} layers x {args.width} states, "
+        f"beam {args.beam}; surviving states {len(reference)}, "
+        f"best final cost {ref_best}"
+    )
+
+    modes = [
+        ("blocking", BeamConfig(sync_mode="blocking", beam=args.beam)),
+        ("delayed", BeamConfig(sync_mode="delayed", beam=args.beam)),
+        (
+            "context switch @16",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=16,
+                beam=args.beam,
+            ),
+        ),
+        (
+            "context switch @40",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=40,
+                beam=args.beam,
+            ),
+        ),
+        (
+            "context switch @140",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=140,
+                beam=args.beam,
+            ),
+        ),
+    ]
+
+    rows = []
+    blocking_cycles = None
+    for label, config in modes:
+        start = time.time()
+        result = run_beam(args.nodes, lattice, config)
+        assert result.best_final_cost == ref_best, label
+        for state, cost in reference.items():
+            assert result.scores.get(state) == cost, (label, state)
+        if blocking_cycles is None:
+            blocking_cycles = result.cycles
+        rows.append(
+            [
+                label,
+                result.cycles,
+                blocking_cycles / result.cycles,
+                result.report.utilization(),
+                f"{time.time() - start:.1f}s",
+            ]
+        )
+        print(f"  {label}: verified against the sequential oracle")
+
+    print()
+    print(
+        format_table(
+            ["sync style", "cycles", "vs blocking", "utilization", "wall"],
+            rows,
+            title=f"Beam search on {args.nodes} nodes (cf. Figure 3-1)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A parallel forward-chaining production system on PLUS.
+
+Run with::
+
+    python examples/production_system.py [--nodes N] [--rules R]
+
+The paper lists a production-system application among its evaluation
+programs (Section 2.5).  This example runs one: working memory is
+replicated on every node so the match phase is local, rules are
+partitioned across nodes, conflict resolution is a machine-wide
+``min-xchng``, and the firing order is guaranteed identical to the
+sequential engine.
+"""
+
+import argparse
+import time
+
+from repro.apps.prodsys import (
+    random_production_system,
+    run_prodsys,
+    run_reference,
+)
+from repro.stats.report import format_table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--facts", type=int, default=300)
+    parser.add_argument("--rules", type=int, default=400)
+    parser.add_argument(
+        "--nodes", type=int, nargs="*", default=[1, 2, 4, 8]
+    )
+    args = parser.parse_args()
+
+    system = random_production_system(
+        n_facts=args.facts, n_rules=args.rules, seed=4
+    )
+    ref_facts, ref_order = run_reference(system)
+    print(
+        f"rule base: {args.rules} rules over {args.facts} facts; "
+        f"sequential engine fires {len(ref_order)} rules, "
+        f"derives {len(ref_facts)} facts"
+    )
+
+    rows = []
+    base_cycles = None
+    for n in args.nodes:
+        start = time.time()
+        result = run_prodsys(n, system)
+        assert result.facts == ref_facts, "derived facts diverged"
+        assert result.firing_order == ref_order, "firing order diverged"
+        if base_cycles is None:
+            base_cycles = result.cycles
+        rows.append(
+            [
+                n,
+                result.cycles,
+                base_cycles / result.cycles,
+                result.report.utilization(),
+                f"{time.time() - start:.1f}s",
+            ]
+        )
+        print(f"  {n} node(s): firing order verified")
+
+    print()
+    print(
+        format_table(
+            ["nodes", "cycles", "speedup", "utilization", "wall"],
+            rows,
+            title="Production system (exact sequential semantics)",
+        )
+    )
+    print(
+        "\nConflict resolution serialises each cycle, so speedup "
+        "saturates — the match phase parallelises, the act phase cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the PLUS machine in five small programs.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates, on a 4-node simulated PLUS machine:
+
+1. shared memory with page replication and hardware-kept coherence;
+2. why a weakly-ordered machine needs the fence (the producer/consumer
+   flag example from Section 2.1 of the paper);
+3. delayed operations: the issue/verify split that hides latency;
+4. the hardware queue operations;
+5. the Table 3-2 lock-with-queue.
+"""
+
+from repro import OpCode, PlusMachine
+from repro.runtime.sync import Mailboxes, QueueLock
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+# ----------------------------------------------------------------------
+# 1. Replicated shared memory.
+# ----------------------------------------------------------------------
+def demo_replication():
+    banner("1. Page replication with hardware coherence")
+    machine = PlusMachine(n_nodes=4)
+    # One page homed on node 0, replicated on every other node.  Reads
+    # anywhere are local; writes propagate master-first down the
+    # copy-list.
+    data = machine.shm.alloc(16, home=0, replicas=[1, 2, 3], name="data")
+
+    def writer(ctx):
+        for i in range(8):
+            yield from ctx.write(data.addr(i), 100 + i)
+        yield from ctx.fence()  # wait until every copy is updated
+
+    def reader(ctx, node):
+        yield from ctx.compute(4000)  # let the writer finish
+        total = 0
+        for i in range(8):
+            value = yield from ctx.read(data.addr(i))
+            total += value
+        return total
+
+    machine.spawn(0, writer)
+    readers = [machine.spawn(n, reader, n) for n in (1, 2, 3)]
+    report = machine.run()
+    print(f"every reader sums {[t.result for t in readers]}")
+    print(
+        f"elapsed {report.cycles} cycles; "
+        f"local reads {report.counters.local_reads}, "
+        f"remote reads {report.counters.remote_reads} "
+        "(replication made the reads local)"
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Weak ordering and the fence.
+# ----------------------------------------------------------------------
+def demo_weak_ordering():
+    banner("2. Weak ordering: the producer/consumer flag needs a fence")
+
+    def experiment(use_fence):
+        machine = PlusMachine(n_nodes=8)
+        buffer = machine.shm.alloc(1, home=0, name="buffer")
+        for node in range(1, 8):  # long copy-list: updates take a while
+            machine.os.replicate(buffer.vpages[0], node, after=node - 1)
+        flag = machine.shm.alloc(1, home=0, replicas=[7], name="flag")
+
+        def producer(ctx):
+            yield from ctx.read(buffer.base)  # warm both translations
+            yield from ctx.read(flag.base)
+            yield from ctx.compute(500)
+            yield from ctx.write(buffer.base, 42)
+            if use_fence:
+                yield from ctx.fence()
+            yield from ctx.write(flag.base, 1)
+            yield from ctx.fence()
+
+        def consumer(ctx):
+            yield from ctx.read(buffer.base)  # warm the local mapping
+            while True:
+                ready = yield from ctx.read(flag.base)
+                if ready:
+                    break
+                yield from ctx.spin(3)
+            value = yield from ctx.read(buffer.base)
+            return value
+
+        machine.spawn(0, producer)
+        thread = machine.spawn(7, consumer)
+        machine.run()
+        return thread.result
+
+    print(f"without fence the consumer read: {experiment(False)} (stale!)")
+    print(f"with the fence it read:          {experiment(True)}")
+
+
+# ----------------------------------------------------------------------
+# 3. Delayed operations.
+# ----------------------------------------------------------------------
+def demo_delayed_ops():
+    banner("3. Delayed operations hide synchronization latency")
+
+    def measure(pipelined):
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        counters = machine.shm.alloc(8, home=3, name="counters")  # 3 hops
+
+        def program(ctx):
+            yield from ctx.read(counters.base)  # warm the translation
+            start = machine.engine.now
+            if pipelined:
+                tokens = []
+                for i in range(8):
+                    token = yield from ctx.issue(
+                        OpCode.FETCH_ADD, counters.addr(i), 1
+                    )
+                    tokens.append(token)
+                for token in tokens:
+                    yield from ctx.result(token)
+            else:
+                for i in range(8):
+                    yield from ctx.fetch_add(counters.addr(i), 1)
+            return machine.engine.now - start
+
+        thread = machine.spawn(0, program)
+        machine.run()
+        return thread.result
+
+    print(f"8 blocking fetch-adds to a node 3 hops away: "
+          f"{measure(False)} cycles")
+    print(f"8 pipelined (issue all, verify later):       "
+          f"{measure(True)} cycles")
+
+
+# ----------------------------------------------------------------------
+# 4. Hardware queues.
+# ----------------------------------------------------------------------
+def demo_queues():
+    banner("4. Hardware queue / dequeue operations")
+    machine = PlusMachine(n_nodes=2)
+    queue = machine.shm.alloc_queue(home=0, name="jobs")
+
+    def producer(ctx):
+        for job in (7, 8, 9):
+            ret = yield from ctx.enqueue(queue, job)
+            assert not ret & 0x80000000, "queue full"
+
+    def consumer(ctx):
+        jobs = []
+        while len(jobs) < 3:
+            word = yield from ctx.dequeue(queue)
+            if word & 0x80000000:  # top bit = valid element
+                jobs.append(word & 0x7FFFFFFF)
+            else:
+                yield from ctx.spin(20)
+        return jobs
+
+    machine.spawn(0, producer)
+    thread = machine.spawn(1, consumer)
+    machine.run()
+    print(f"consumer drained jobs in order: {thread.result}")
+
+
+# ----------------------------------------------------------------------
+# 5. The Table 3-2 lock.
+# ----------------------------------------------------------------------
+def demo_queue_lock():
+    banner("5. Lock-with-queue (Table 3-2)")
+    machine = PlusMachine(n_nodes=4)
+    mailboxes = Mailboxes(machine, n_threads=4, replicas=range(4))
+    lock = QueueLock(machine, mailboxes, home=0)
+    shared = machine.shm.alloc(1, home=2, name="shared")
+    order = []
+
+    def worker(ctx, my_id):
+        for _ in range(3):
+            yield from lock.acquire(ctx, my_id)
+            order.append(my_id)
+            value = yield from ctx.read(shared.base)
+            yield from ctx.compute(50)
+            yield from ctx.write(shared.base, value + 1)
+            yield from lock.release(ctx)
+            yield from ctx.compute(100)
+
+    for node in range(4):
+        machine.spawn(node, worker, node)
+    machine.run()
+    print(f"12 plain read-modify-writes under the lock -> counter = "
+          f"{machine.peek(shared.base)}")
+    print(f"acquisition order: {order}")
+
+
+if __name__ == "__main__":
+    demo_replication()
+    demo_weak_ordering()
+    demo_delayed_ops()
+    demo_queues()
+    demo_queue_lock()
+    print("\nAll demos completed.")

@@ -1,0 +1,57 @@
+"""Evaluation applications: shortest path, beam search, production system."""
+
+from repro.apps.beam import BeamConfig, BeamResult, BeamSearchApp, run_beam
+from repro.apps.graphs import (
+    Graph,
+    Lattice,
+    beam_search_reference,
+    dijkstra,
+    geometric_graph,
+    initial_costs,
+    layered_lattice,
+)
+from repro.apps.prodsys import (
+    ProductionSystem,
+    ProdSysApp,
+    Rule,
+    random_production_system,
+    run_prodsys,
+    run_reference,
+)
+from repro.apps.sssp import SSSPApp, SSSPConfig, SSSPResult, run_sssp
+from repro.apps.stencil import (
+    StencilApp,
+    StencilConfig,
+    StencilResult,
+    run_stencil,
+    stencil_reference,
+)
+
+__all__ = [
+    "BeamConfig",
+    "BeamResult",
+    "BeamSearchApp",
+    "Graph",
+    "Lattice",
+    "ProdSysApp",
+    "ProductionSystem",
+    "Rule",
+    "SSSPApp",
+    "SSSPConfig",
+    "SSSPResult",
+    "StencilApp",
+    "StencilConfig",
+    "StencilResult",
+    "beam_search_reference",
+    "dijkstra",
+    "geometric_graph",
+    "initial_costs",
+    "layered_lattice",
+    "random_production_system",
+    "run_beam",
+    "run_prodsys",
+    "run_reference",
+    "run_sssp",
+    "run_stencil",
+    "stencil_reference",
+]

@@ -1,0 +1,209 @@
+"""Synthetic workload generators for the evaluation applications.
+
+The paper evaluates on a shortest-path program and a beam-search speech
+decoder whose inputs (a road-style graph, an HMM word lattice) are not
+published; these generators produce inputs with the same structural
+properties the paper's analysis depends on:
+
+* :func:`geometric_graph` — vertices with spatial locality (most edges
+  are short), so partitioning vertices contiguously across nodes gives
+  the local/remote access mix of Table 2-1.
+* :func:`layered_lattice` — a layered directed graph shaped like an HMM
+  beam-search lattice: every state has a small set of successors in the
+  next layer (spatial locality, almost no temporal locality — Section
+  3.4) and data-dependent arc costs that skew the active set, creating
+  the load imbalance the paper's queue-sharing discussion addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+Edge = Tuple[int, int]  # (neighbor, weight)
+
+
+@dataclass
+class Graph:
+    """A weighted directed graph in adjacency-list form."""
+
+    n_vertices: int
+    adjacency: List[List[Edge]] = field(default_factory=list)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(a) for a in self.adjacency)
+
+    def neighbors(self, v: int) -> List[Edge]:
+        return self.adjacency[v]
+
+
+def geometric_graph(
+    n_vertices: int,
+    degree: int = 4,
+    long_edge_fraction: float = 0.1,
+    max_weight: int = 20,
+    seed: int = 1,
+) -> Graph:
+    """A connected graph with mostly-local edges on a ring of vertices.
+
+    Vertices are conceptually placed on a ring; each vertex gets
+    ``degree`` outgoing edges, most to nearby vertices and a few long
+    ones (``long_edge_fraction``), giving the spatial locality of a road
+    network without its irregularity.  A ring backbone guarantees
+    connectivity.  Deterministic for a given seed.
+    """
+    if n_vertices < 2:
+        raise ConfigError("geometric graph needs at least 2 vertices")
+    if degree < 1:
+        raise ConfigError("degree must be at least 1")
+    rng = random.Random(seed)
+    adjacency: List[List[Edge]] = [[] for _ in range(n_vertices)]
+
+    def add(u: int, v: int) -> None:
+        if u != v and all(n != v for n, _ in adjacency[u]):
+            adjacency[u].append((v, rng.randint(1, max_weight)))
+
+    for v in range(n_vertices):
+        add(v, (v + 1) % n_vertices)  # backbone
+        while len(adjacency[v]) < degree:
+            if rng.random() < long_edge_fraction:
+                add(v, rng.randrange(n_vertices))
+            else:
+                offset = rng.randint(1, max(2, n_vertices // 16))
+                sign = -1 if rng.random() < 0.5 else 1
+                add(v, (v + sign * offset) % n_vertices)
+    return Graph(n_vertices=n_vertices, adjacency=adjacency)
+
+
+def dijkstra(graph: Graph, source: int) -> List[int]:
+    """Reference single-source shortest paths (validation oracle)."""
+    import heapq
+
+    INF = (1 << 32) - 1
+    dist = [INF] * graph.n_vertices
+    dist[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for u, w in graph.adjacency[v]:
+            nd = d + w
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Beam-search lattices.
+# ----------------------------------------------------------------------
+@dataclass
+class Lattice:
+    """A layered directed lattice (synthetic HMM search space).
+
+    State ids are ``layer * width + index``; arcs go from layer ``l`` to
+    ``l + 1`` only.
+    """
+
+    n_layers: int
+    width: int
+    #: arcs[state] = list of (successor state id, cost).
+    arcs: Dict[int, List[Edge]] = field(default_factory=dict)
+
+    @property
+    def n_states(self) -> int:
+        return self.n_layers * self.width
+
+    def state_id(self, layer: int, index: int) -> int:
+        return layer * self.width + index
+
+    def layer_of(self, state: int) -> int:
+        return state // self.width
+
+    def successors(self, state: int) -> List[Edge]:
+        return self.arcs.get(state, [])
+
+
+def layered_lattice(
+    n_layers: int = 12,
+    width: int = 32,
+    branching: int = 3,
+    max_cost: int = 50,
+    hot_fraction: float = 0.25,
+    seed: int = 1,
+) -> Lattice:
+    """A beam-search lattice with data-dependent cost skew.
+
+    Each state points at ``branching`` states of the next layer around
+    the same index (spatial locality).  A contiguous ``hot_fraction`` of
+    each layer gets much cheaper arcs, so the surviving beam drifts and
+    clusters — the data-dependent behaviour that empties some work
+    queues before others (Section 3.4).
+    """
+    if n_layers < 2 or width < branching:
+        raise ConfigError("lattice too small for the requested branching")
+    rng = random.Random(seed)
+    lattice = Lattice(n_layers=n_layers, width=width)
+    for layer in range(n_layers - 1):
+        hot_start = rng.randrange(width)
+        hot_len = max(1, int(width * hot_fraction))
+        for index in range(width):
+            state = lattice.state_id(layer, index)
+            succs: List[Edge] = []
+            for b in range(branching):
+                nxt = (index + b - branching // 2) % width
+                hot = (nxt - hot_start) % width < hot_len
+                cost = rng.randint(1, max_cost // 5 if hot else max_cost)
+                succs.append((lattice.state_id(layer + 1, nxt), cost))
+            lattice.arcs[state] = succs
+    return lattice
+
+
+def initial_costs(lattice: Lattice, seed: int = 1) -> Dict[int, int]:
+    """A full set of layer-0 hypotheses with deterministic skewed costs
+    (a decoder starts every frame-0 state with its acoustic score)."""
+    rng = random.Random(seed)
+    return {
+        lattice.state_id(0, i): rng.randint(0, 40)
+        for i in range(lattice.width)
+    }
+
+
+def beam_search_reference(
+    lattice: Lattice,
+    beam: int,
+    start_index: int = 0,
+    initial: "Dict[int, int]" = None,
+) -> Dict[int, int]:
+    """Sequential beam search oracle: state -> best cost (pruned states
+    absent).  Prunes states whose cost exceeds the layer minimum plus
+    ``beam``.  ``initial`` maps layer-0 states to starting costs; by
+    default only ``start_index`` is active at cost 0."""
+    INF = (1 << 32) - 1
+    if initial is None:
+        initial = {lattice.state_id(0, start_index): 0}
+    best0 = min(initial.values())
+    costs: Dict[int, int] = {
+        s: c for s, c in initial.items() if c <= best0 + beam
+    }
+    frontier = sorted(costs)
+    for _layer in range(lattice.n_layers - 1):
+        nxt: Dict[int, int] = {}
+        for state in frontier:
+            base = costs[state]
+            for succ, w in lattice.successors(state):
+                cost = base + w
+                if cost < nxt.get(succ, INF):
+                    nxt[succ] = cost
+        if not nxt:
+            break
+        best = min(nxt.values())
+        nxt = {s: c for s, c in nxt.items() if c <= best + beam}
+        costs.update(nxt)
+        frontier = sorted(nxt)
+    return costs

@@ -1,0 +1,257 @@
+"""A parallel forward-chaining production system.
+
+The paper lists "a production system application" among the programs used
+to evaluate the design (Section 2.5) without publishing its numbers; this
+module provides an equivalent workload as a library application and
+example.  The recognise-act cycle is parallelised the natural PLUS way:
+
+* the working memory (one word per possible fact) is replicated on every
+  node, so the match phase is pure local reads;
+* rules are partitioned across the nodes; each node matches its own rules
+  against its local working-memory copy;
+* conflict resolution is a machine-wide ``min-xchng`` on a winner cell —
+  the lowest rule id among satisfied, unfired rules wins, giving exactly
+  the sequential firing order;
+* the winning node fires the rule: it writes the asserted facts (the
+  write-update hardware propagates them to every copy) and the cycle ends
+  with a barrier so the next match phase sees a consistent memory.
+
+A rule is a pair of condition facts and a list of asserted facts; each
+rule fires at most once (refractoriness).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.runtime.sync import TreeBarrier
+from repro.stats.report import RunReport
+
+NO_WINNER = 0x7FFF_FFFF
+
+
+@dataclass(frozen=True)
+class Rule:
+    """IF both condition facts hold THEN assert the action facts."""
+
+    conditions: Tuple[int, int]
+    actions: Tuple[int, ...]
+
+
+@dataclass
+class ProductionSystem:
+    """A rule base plus the initial working memory."""
+
+    n_facts: int
+    rules: List[Rule]
+    initial_facts: Set[int] = field(default_factory=set)
+
+    def validate(self) -> None:
+        for fact in self.initial_facts:
+            if not 0 <= fact < self.n_facts:
+                raise ConfigError(f"initial fact {fact} out of range")
+        for rule in self.rules:
+            for fact in (*rule.conditions, *rule.actions):
+                if not 0 <= fact < self.n_facts:
+                    raise ConfigError(f"rule fact {fact} out of range")
+
+
+def random_production_system(
+    n_facts: int = 120,
+    n_rules: int = 80,
+    n_initial: int = 6,
+    seed: int = 1,
+) -> ProductionSystem:
+    """A random but deterministic rule base with chained derivations."""
+    if n_facts < 8 or n_rules < 1:
+        raise ConfigError("production system too small")
+    rng = random.Random(seed)
+    initial = set(rng.sample(range(n_facts // 4), n_initial))
+    # Bias conditions towards facts that can actually be derived, so the
+    # rule base forms long inference chains rather than dead rules.
+    derivable = sorted(initial)
+    rules = []
+    for _ in range(n_rules):
+        if rng.random() < 0.75:
+            a = rng.choice(derivable)
+            b = rng.choice(derivable)
+        else:
+            a = rng.randrange(n_facts)
+            b = rng.randrange(n_facts)
+        actions = tuple(
+            rng.randrange(n_facts) for _ in range(rng.randint(1, 3))
+        )
+        rules.append(Rule(conditions=(a, b), actions=actions))
+        derivable.extend(actions)
+    system = ProductionSystem(
+        n_facts=n_facts, rules=rules, initial_facts=initial
+    )
+    system.validate()
+    return system
+
+
+def run_reference(system: ProductionSystem) -> Tuple[Set[int], List[int]]:
+    """Sequential oracle: fire the lowest-id satisfied unfired rule each
+    cycle until fixpoint.  Returns (final facts, firing order)."""
+    facts = set(system.initial_facts)
+    fired: Set[int] = set()
+    order: List[int] = []
+    while True:
+        winner = None
+        for rid, rule in enumerate(system.rules):
+            if rid in fired:
+                continue
+            if rule.conditions[0] in facts and rule.conditions[1] in facts:
+                winner = rid
+                break
+        if winner is None:
+            return facts, order
+        fired.add(winner)
+        order.append(winner)
+        facts.update(system.rules[winner].actions)
+
+
+@dataclass
+class ProdSysResult:
+    facts: Set[int]
+    firing_order: List[int]
+    report: RunReport
+    cycles: int
+    match_cycles: int
+
+
+class ProdSysApp:
+    """Builds the memory image and runs the recognise-act loop."""
+
+    def __init__(self, machine: PlusMachine, system: ProductionSystem) -> None:
+        system.validate()
+        self.machine = machine
+        self.system = system
+        self.firing_order: List[int] = []
+        self._match_cycles = 0
+        self._build()
+
+    def _build(self) -> None:
+        machine = self.machine
+        n_nodes = machine.n_nodes
+        everyone = list(range(n_nodes))
+
+        # Working memory: replicated everywhere; match reads are local.
+        self.wm = machine.shm.alloc(
+            self.system.n_facts, home=0, replicas=everyone[1:], name="wm"
+        )
+        for fact in self.system.initial_facts:
+            machine.poke(self.wm.addr(fact), 1)
+
+        # Winner cell + fired flags, mastered on node 0.
+        ctl = machine.shm.alloc(
+            1 + len(self.system.rules), home=0, name="prodsys-ctl"
+        )
+        self.winner_va = ctl.base
+        self.fired_base = ctl.base + 1
+        machine.poke(self.winner_va, NO_WINNER)
+
+        # Rule table, replicated everywhere (read-only): per rule the two
+        # condition facts and the packed actions.
+        flat: List[int] = []
+        self._rule_va: List[int] = []
+        for rule in self.system.rules:
+            self._rule_va.append(len(flat))
+            flat.append(rule.conditions[0])
+            flat.append(rule.conditions[1])
+            flat.append(len(rule.actions))
+            flat.extend(rule.actions)
+        rules_seg = machine.shm.alloc(
+            max(1, len(flat)), home=0, replicas=everyone[1:], name="rules"
+        )
+        machine.shm.load(rules_seg, flat)
+        self.rules_base = rules_seg.base
+
+        self.barrier = TreeBarrier(machine, threads_per_node=1, home=0)
+
+    def my_rules(self, node: int) -> List[int]:
+        """Round-robin partition of rule ids across nodes."""
+        return list(range(node, len(self.system.rules), self.machine.n_nodes))
+
+    # ------------------------------------------------------------------
+    def _worker(self, ctx, node: int):
+        machine = self.machine
+        rules = self.my_rules(node)
+        fired_local = set()  # local cache of my partition's fired flags
+        while True:
+            # Match phase: scan my rules against the local WM copy.
+            candidate = NO_WINNER
+            for rid in rules:
+                if rid in fired_local:
+                    continue
+                base = self.rules_base + self._rule_va[rid]
+                cond_a = yield from ctx.read(base)
+                cond_b = yield from ctx.read(base + 1)
+                yield from ctx.compute(30)  # match network evaluation
+                has_a = yield from ctx.read(self.wm.addr(cond_a))
+                if not has_a:
+                    continue
+                has_b = yield from ctx.read(self.wm.addr(cond_b))
+                if has_b:
+                    candidate = min(candidate, rid)
+            self._match_cycles += 1
+            # Conflict resolution: lowest satisfied rule id wins.
+            if candidate != NO_WINNER:
+                yield from ctx.min_xchng(self.winner_va, candidate)
+            yield from self.barrier.wait(ctx)
+
+            winner = yield from ctx.read(self.winner_va)
+            if winner == NO_WINNER:
+                return  # fixpoint: every node reads the same stable cell
+            # Make sure everyone has read the winner before it is reset.
+            yield from self.barrier.wait(ctx)
+            if winner % machine.n_nodes == node:
+                # Act phase: I own the winning rule; fire it.
+                self.firing_order.append(winner)
+                fired_local.add(winner)
+                yield from ctx.write(self.fired_base + winner, 1)
+                base = self.rules_base + self._rule_va[winner]
+                n_actions = yield from ctx.read(base + 2)
+                for i in range(n_actions):
+                    fact = yield from ctx.read(base + 3 + i)
+                    yield from ctx.write(self.wm.addr(fact), 1)
+                yield from ctx.write(self.winner_va, NO_WINNER)
+                # Publish the new facts and the reset before releasing
+                # everyone into the next match phase.
+                yield from ctx.fence()
+            yield from self.barrier.wait(ctx)
+
+    # ------------------------------------------------------------------
+    def spawn_workers(self) -> None:
+        for node in range(self.machine.n_nodes):
+            self.machine.spawn(node, self._worker, node, name=f"prod{node}")
+
+    def facts(self) -> Set[int]:
+        return {
+            f
+            for f in range(self.system.n_facts)
+            if self.machine.peek(self.wm.addr(f))
+        }
+
+
+def run_prodsys(
+    n_nodes: int,
+    system: ProductionSystem,
+    max_cycles: Optional[int] = None,
+) -> ProdSysResult:
+    """Build a machine, run the production system to fixpoint."""
+    machine = PlusMachine(n_nodes=n_nodes)
+    app = ProdSysApp(machine, system)
+    app.spawn_workers()
+    report = machine.run(max_cycles=max_cycles)
+    return ProdSysResult(
+        facts=app.facts(),
+        firing_order=app.firing_order,
+        report=report,
+        cycles=report.cycles,
+        match_cycles=app._match_cycles,
+    )

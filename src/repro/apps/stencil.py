@@ -1,0 +1,178 @@
+"""A 1-D Jacobi stencil: the classic DSM halo-exchange workload.
+
+Each node owns a contiguous block of cells; every iteration computes
+
+    next[i] = (prev[i-1] + prev[i] + prev[i+1]) // 3
+
+with fixed boundary cells, then the machine barriers and the buffers
+swap roles.  The only cross-node traffic is the *halo*: reading the two
+cells adjacent to the block boundaries.
+
+PLUS placement makes the halo free — but only with the right page
+layout.  Replication is page granular, so replicating a whole block
+would make every interior write pay copy-update traffic; instead each
+node's two *boundary* cells live in a separate small halo page that is
+replicated on the ring neighbours.  Boundary reads are then local, and
+the write-update hardware carries just the two new boundary values per
+iteration to the nodes that read them.  The ``replicate_halo=False``
+configuration shows the alternative — every halo read is a remote round
+trip.
+
+Integer arithmetic keeps the parallel result bit-identical to the
+sequential reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.runtime.sync import TreeBarrier
+from repro.stats.report import RunReport
+
+
+def stencil_reference(cells: List[int], iterations: int) -> List[int]:
+    """Sequential oracle."""
+    prev = list(cells)
+    for _ in range(iterations):
+        nxt = list(prev)
+        for i in range(1, len(prev) - 1):
+            nxt[i] = (prev[i - 1] + prev[i] + prev[i + 1]) // 3
+        prev = nxt
+    return prev
+
+
+@dataclass
+class StencilConfig:
+    iterations: int = 8
+    #: Replicate each block's pages on the ring neighbours (the PLUS
+    #: placement); off = every halo read is remote.
+    replicate_halo: bool = True
+    #: Modelled instruction time per cell update.
+    cell_compute_cycles: int = 12
+
+
+@dataclass
+class StencilResult:
+    cells: List[int]
+    report: RunReport
+    cycles: int
+
+
+class StencilApp:
+    """Builds the double-buffered memory image and runs the iterations."""
+
+    def __init__(
+        self,
+        machine: PlusMachine,
+        cells: List[int],
+        config: Optional[StencilConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or StencilConfig()
+        n_nodes = machine.n_nodes
+        if len(cells) < 3 * n_nodes:
+            raise ConfigError(
+                f"need at least 3 cells per node "
+                f"({len(cells)} cells for {n_nodes} nodes)"
+            )
+        self.n_cells = len(cells)
+        self._build(cells)
+
+    def _block(self, node: int) -> range:
+        n = self.machine.n_nodes
+        lo = node * self.n_cells // n
+        hi = (node + 1) * self.n_cells // n
+        return range(lo, hi)
+
+    def owner_of(self, cell: int) -> int:
+        return cell * self.machine.n_nodes // self.n_cells
+
+    def _build(self, cells: List[int]) -> None:
+        machine = self.machine
+        n_nodes = machine.n_nodes
+        self._va = [[0] * self.n_cells for _ in (0, 1)]
+        for buf in (0, 1):
+            for node in range(n_nodes):
+                block = self._block(node)
+                boundary = {block[0], block[-1]}
+                interior = [c for c in block if c not in boundary]
+                neighbors = [
+                    n for n in (node - 1, node + 1) if 0 <= n < n_nodes
+                ]
+                # Interior cells: a private, unreplicated page — writes
+                # stay local.
+                if interior:
+                    seg = machine.shm.alloc(
+                        len(interior),
+                        home=node,
+                        name=f"stencil{buf}.{node}.interior",
+                    )
+                    for i, cell in enumerate(interior):
+                        self._va[buf][cell] = seg.addr(i)
+                # Boundary cells: their own small page, replicated on the
+                # neighbours that read them (when replicate_halo is on).
+                halo = machine.shm.alloc(
+                    len(boundary),
+                    home=node,
+                    replicas=neighbors if self.config.replicate_halo else [],
+                    name=f"stencil{buf}.{node}.halo",
+                )
+                for i, cell in enumerate(sorted(boundary)):
+                    self._va[buf][cell] = halo.addr(i)
+                for cell in block:
+                    machine.poke(
+                        self._va[buf][cell], cells[cell] if buf == 0 else 0
+                    )
+        self.barrier = TreeBarrier(machine, threads_per_node=1, home=0)
+
+    # ------------------------------------------------------------------
+    def _worker(self, ctx, node: int):
+        cfg = self.config
+        block = self._block(node)
+        for it in range(cfg.iterations):
+            prev, nxt = it % 2, 1 - it % 2
+            for cell in block:
+                if cell == 0 or cell == self.n_cells - 1:
+                    # Fixed boundary: copy through.
+                    value = yield from ctx.read(self._va[prev][cell])
+                    yield from ctx.write(self._va[nxt][cell], value)
+                    continue
+                left = yield from ctx.read(self._va[prev][cell - 1])
+                mid = yield from ctx.read(self._va[prev][cell])
+                right = yield from ctx.read(self._va[prev][cell + 1])
+                yield from ctx.compute(cfg.cell_compute_cycles)
+                yield from ctx.write(
+                    self._va[nxt][cell], (left + mid + right) // 3
+                )
+            # The barrier's fence publishes this node's halo updates
+            # before any neighbour starts the next iteration.
+            yield from self.barrier.wait(ctx)
+
+    def spawn_workers(self) -> None:
+        for node in range(self.machine.n_nodes):
+            self.machine.spawn(node, self._worker, node, name=f"sten{node}")
+
+    def cells(self) -> List[int]:
+        final = self.config.iterations % 2
+        return [
+            self.machine.peek(self._va[final][c]) for c in range(self.n_cells)
+        ]
+
+
+def run_stencil(
+    n_nodes: int,
+    cells: List[int],
+    config: Optional[StencilConfig] = None,
+    max_cycles: Optional[int] = None,
+) -> StencilResult:
+    """Build a machine, run the stencil, return the final cells."""
+    machine = PlusMachine(n_nodes=n_nodes)
+    app = StencilApp(machine, cells, config)
+    app.spawn_workers()
+    report = machine.run(max_cycles=max_cycles)
+    return StencilResult(
+        cells=app.cells(), report=report, cycles=report.cycles
+    )

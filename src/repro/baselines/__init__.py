@@ -1,0 +1,5 @@
+"""Baselines the paper argues against, for the comparison benchmarks."""
+
+from repro.baselines.gottlieb import GottliebQueue
+
+__all__ = ["GottliebQueue"]

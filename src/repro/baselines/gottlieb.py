@@ -1,0 +1,95 @@
+"""A software queue built from fetch-and-add, after Gottlieb et al.
+
+Section 3.2 of the paper ("Complex is Better") argues that building a
+queue from simple primitives costs several interlocked operations per
+queuing step — the NYU Ultracomputer queue needs roughly three
+fetch-and-adds — whereas PLUS's ``queue``/``dequeue`` operations do the
+whole thing in one.  This module implements the fetch-and-add version so
+the benchmark harness can measure the difference on the same machine.
+
+Layout (one page): word 0 = ticket counter for enqueuers, word 1 =
+ticket counter for dequeuers, word 2 = element count, ring of slots from
+the configured ring base.  A slot's top bit marks it full.  Operations:
+
+* ``enqueue``: fetch-add the element count (abort by adding it back if
+  the queue was full), fetch-add an enqueue ticket to claim a slot, spin
+  until the slot is empty, write the item — 3 interlocked operations
+  plus a write on the success path.
+* ``dequeue``: the mirror image with the dequeue ticket.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import TOP_BIT, VALUE_MASK_31
+from repro.errors import ConfigError
+from repro.runtime.sync import DEFAULT_BACKOFF, as_signed32
+from repro.runtime.thread import ThreadCtx
+
+
+class GottliebQueue:
+    """Fetch-and-add ring buffer (the simple-primitives baseline)."""
+
+    RING_BASE_OFFSET = 8
+
+    def __init__(self, machine, home: int = 0, capacity: int = 0) -> None:
+        params = machine.params
+        max_capacity = params.page_words - self.RING_BASE_OFFSET
+        if capacity == 0:
+            capacity = max_capacity
+        if not 1 <= capacity <= max_capacity:
+            raise ConfigError(
+                f"capacity {capacity} outside 1..{max_capacity}"
+            )
+        self.capacity = capacity
+        seg = machine.shm.alloc(
+            params.page_words, home=home, name="gottlieb-queue"
+        )
+        self.base = seg.base
+        self.enq_ticket_va = seg.base
+        self.deq_ticket_va = seg.base + 1
+        self.count_va = seg.base + 2
+        self.ring_va = seg.base + self.RING_BASE_OFFSET
+
+    def _slot(self, ticket: int) -> int:
+        return self.ring_va + ticket % self.capacity
+
+    # ------------------------------------------------------------------
+    def enqueue(self, ctx: ThreadCtx, item: int, backoff: int = DEFAULT_BACKOFF):
+        """Insert ``item``; returns False when the queue was full.
+
+        Success path: 3 interlocked operations (count, ticket, and the
+        count rollback being skipped) plus the slot write.
+        """
+        if item > VALUE_MASK_31:
+            raise ConfigError(f"item {item} exceeds 31 bits")
+        count = yield from ctx.fetch_add(self.count_va, 1)
+        if as_signed32(count) >= self.capacity:
+            yield from ctx.fetch_add(self.count_va, 0xFFFFFFFF)  # back out
+            return False
+        ticket = yield from ctx.fetch_add(self.enq_ticket_va, 1)
+        slot_va = self._slot(ticket)
+        while True:
+            word = yield from ctx.read(slot_va)
+            if not word & TOP_BIT:  # slot drained by its dequeuer
+                break
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+        yield from ctx.write(slot_va, item | TOP_BIT)
+        return True
+
+    def dequeue(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        """Remove the oldest item, or None when the queue is empty."""
+        count = yield from ctx.fetch_add(self.count_va, 0xFFFFFFFF)
+        if as_signed32(count) <= 0:
+            yield from ctx.fetch_add(self.count_va, 1)  # back out
+            return None
+        ticket = yield from ctx.fetch_add(self.deq_ticket_va, 1)
+        slot_va = self._slot(ticket)
+        while True:
+            word = yield from ctx.read(slot_va)
+            if word & TOP_BIT:  # the producer's write has landed
+                break
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+        yield from ctx.write(slot_va, 0)
+        return word & VALUE_MASK_31

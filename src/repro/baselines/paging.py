@@ -1,0 +1,199 @@
+"""An IVY-style demand-paged software DSM (the Section 4 comparison).
+
+The paper's related-work section: operating-system shared memory across
+distributed machines works by paging, and "regardless of network and
+processor speed, they result in large software overhead because the
+basic mechanism is paging ... the software overhead (a few milliseconds
+on one-VAX-MIP machines) will remain."
+
+This baseline is a cost model of such a system running over the same
+mesh parameters: single-writer / multiple-reader pages, a static
+per-page manager, whole-page transfers, and a per-fault software
+overhead.  Directory transitions are applied atomically at fault time
+(the model is sequentially consistent); the *time* of each fault —
+fault-handler software on both ends plus the whole-page transfer at link
+bandwidth — is charged to the faulting thread.  Network contention
+between transfers is not modelled; that favours the baseline, which
+still loses badly on fine-grained sharing.
+
+The paper quotes a few *milliseconds* of software overhead on the
+machines of the day (tens of thousands of cycles); the default here is a
+deliberately generous 2 000 cycles so that the comparison shows the
+structural problem (page granularity + software path), not just a slow
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Set
+
+from repro.errors import ConfigError
+from repro.runtime.thread import ThreadCtx
+
+
+class PageState(Enum):
+    """Single-writer / multiple-reader page modes at one node."""
+
+    INVALID = "invalid"
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class _PageDirectory:
+    """Manager-side record for one DSM page."""
+
+    owner: int
+    copyset: Set[int] = field(default_factory=set)
+
+
+class PagingDSM:
+    """Demand-paging DSM layered over the simulated mesh's cost model."""
+
+    def __init__(
+        self,
+        machine,
+        n_pages: int,
+        words_per_page: int = 1024,
+        fault_software_cycles: int = 2_000,
+    ) -> None:
+        if n_pages < 1:
+            raise ConfigError("need at least one DSM page")
+        self.machine = machine
+        self.n_pages = n_pages
+        self.words_per_page = words_per_page
+        self.fault_software_cycles = fault_software_cycles
+        #: Authoritative page contents (the model is the oracle).
+        self._data: List[List[int]] = [
+            [0] * words_per_page for _ in range(n_pages)
+        ]
+        n_nodes = machine.n_nodes
+        self._dir: List[_PageDirectory] = [
+            _PageDirectory(owner=p % n_nodes, copyset={p % n_nodes})
+            for p in range(n_pages)
+        ]
+        self._state: List[Dict[int, PageState]] = [
+            {
+                node: (
+                    PageState.WRITE
+                    if node == self._dir[p].owner
+                    else PageState.INVALID
+                )
+                for node in range(n_nodes)
+            }
+            for p in range(n_pages)
+        ]
+        # Statistics.
+        self.read_faults = 0
+        self.write_faults = 0
+        self.pages_transferred = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _split(self, va: int):
+        page, offset = divmod(va, self.words_per_page)
+        if not 0 <= page < self.n_pages:
+            raise ConfigError(f"DSM address {va} out of range")
+        return page, offset
+
+    def _transfer_cycles(self, src: int, dst: int) -> int:
+        """Whole-page move: per-hop latency + serialisation at link rate."""
+        params = self.machine.params
+        hops = self.machine.mesh.hops(src, dst)
+        bytes_ = self.words_per_page * 4
+        return params.one_way_latency(hops) + params.link_occupancy_cycles(
+            bytes_
+        )
+
+    def home_of(self, va: int) -> int:
+        """Initial owner of the page holding ``va`` (placement hint)."""
+        return self._dir[self._split(va)[0]].owner
+
+    def place(self, page: int, node: int) -> None:
+        """Set a page's initial owner before the run."""
+        self._dir[page] = _PageDirectory(owner=node, copyset={node})
+        for n in range(self.machine.n_nodes):
+            self._state[page][n] = (
+                PageState.WRITE if n == node else PageState.INVALID
+            )
+
+    def poke(self, va: int, value: int) -> None:
+        page, offset = self._split(va)
+        self._data[page][offset] = value & 0xFFFFFFFF
+
+    def peek(self, va: int) -> int:
+        page, offset = self._split(va)
+        return self._data[page][offset]
+
+    # ------------------------------------------------------------------
+    # Faults: directory transitions are instantaneous (atomic between
+    # generator yields), the time is charged afterwards.
+    # ------------------------------------------------------------------
+    def _read_fault(self, page: int, node: int) -> int:
+        directory = self._dir[page]
+        self.read_faults += 1
+        self.pages_transferred += 1
+        owner = directory.owner
+        # Owner drops to read mode (single-writer); reader joins copyset.
+        self._state[page][owner] = PageState.READ
+        self._state[page][node] = PageState.READ
+        directory.copyset.add(node)
+        return (
+            2 * self.fault_software_cycles  # faulting side + serving side
+            + self._transfer_cycles(owner, node)
+        )
+
+    def _write_fault(self, page: int, node: int) -> int:
+        directory = self._dir[page]
+        self.write_faults += 1
+        cycles = 2 * self.fault_software_cycles
+        # Invalidate every other copy (one round trip each, pipelined:
+        # charge the farthest).
+        others = [n for n in directory.copyset if n != node]
+        worst = 0
+        for other in others:
+            self._state[page][other] = PageState.INVALID
+            self.invalidations += 1
+            worst = max(
+                worst,
+                2 * self.machine.params.one_way_latency(
+                    self.machine.mesh.hops(node, other)
+                ),
+            )
+        cycles += worst
+        if self._state[page][node] is PageState.INVALID:
+            self.pages_transferred += 1
+            cycles += self._transfer_cycles(directory.owner, node)
+        directory.owner = node
+        directory.copyset = {node}
+        self._state[page][node] = PageState.WRITE
+        return cycles
+
+    # ------------------------------------------------------------------
+    # The thread-facing operations.
+    # ------------------------------------------------------------------
+    def read(self, ctx: ThreadCtx, va: int):
+        """DSM read: fault the page to READ state if needed."""
+        page, offset = self._split(va)
+        node = ctx.node_id
+        if self._state[page][node] is PageState.INVALID:
+            cycles = self._read_fault(page, node)
+            yield from ctx.compute(self.fault_software_cycles)
+            yield from ctx.spin(cycles - self.fault_software_cycles)
+        else:
+            yield from ctx.compute(1)  # in-core access
+        return self._data[page][offset]
+
+    def write(self, ctx: ThreadCtx, va: int, value: int):
+        """DSM write: fault the page to WRITE state if needed."""
+        page, offset = self._split(va)
+        node = ctx.node_id
+        if self._state[page][node] is not PageState.WRITE:
+            cycles = self._write_fault(page, node)
+            yield from ctx.compute(self.fault_software_cycles)
+            yield from ctx.spin(max(0, cycles - self.fault_software_cycles))
+        else:
+            yield from ctx.compute(1)
+        self._data[page][offset] = value & 0xFFFFFFFF

@@ -1,0 +1,320 @@
+"""Command-line interface: run the paper's experiments directly.
+
+Usage::
+
+    python -m repro list
+    python -m repro table-2-1 [--nodes 16] [--vertices 800]
+    python -m repro fig-2-1   [--max-nodes 32]
+    python -m repro table-3-1
+    python -m repro fig-3-1   [--nodes 8]
+    python -m repro costs
+
+Each command builds the workload, runs the simulation(s), verifies the
+results against the sequential oracle, and prints the paper-style table.
+The pytest benchmark harness (``pytest benchmarks/ --benchmark-only``)
+runs the same experiments with assertions and wall-clock measurement;
+this CLI is the quick interactive path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.params import PAPER_PARAMS, OpCode
+from repro.machine import PlusMachine
+from repro.stats.report import format_table
+
+
+def _cmd_table_2_1(args) -> int:
+    from repro.apps.graphs import dijkstra, geometric_graph
+    from repro.apps.sssp import SSSPConfig, run_sssp
+
+    graph = geometric_graph(
+        args.vertices, degree=5, long_edge_fraction=0.08, seed=7
+    )
+    reference = dijkstra(graph, 0)
+    rows = []
+    for copies in range(1, min(5, args.nodes) + 1):
+        result = run_sssp(
+            args.nodes,
+            graph,
+            SSSPConfig(copies=copies, replicate_queues=True),
+        )
+        assert result.distances == reference, "SSSP diverged"
+        r = result.report.table_2_1_row()
+        rows.append(
+            [
+                copies,
+                r["reads_local_over_remote"],
+                r["writes_local_over_remote"],
+                r["total_over_update"],
+            ]
+        )
+        print(f"  copies={copies}: verified ({result.cycles:,} cycles)")
+    print()
+    print(
+        format_table(
+            ["copies", "reads L/R", "writes L/R", "total/update"],
+            rows,
+            title=f"Table 2-1 (SSSP, {args.nodes} processors)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig_2_1(args) -> int:
+    from repro.apps.graphs import dijkstra, geometric_graph
+    from repro.apps.sssp import SSSPConfig, run_sssp
+
+    graph = geometric_graph(
+        args.vertices, degree=5, long_edge_fraction=0.08, seed=7
+    )
+    reference = dijkstra(graph, 0)
+    sweep = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= args.max_nodes]
+    rows: List[List[object]] = []
+    base = None
+    for n in sweep:
+        none = run_sssp(n, graph, SSSPConfig(copies=1, steal=False))
+        repl = run_sssp(n, graph, SSSPConfig(copies=min(4, n), steal=True))
+        assert none.distances == reference and repl.distances == reference
+        if base is None:
+            base = none.cycles
+        rows.append(
+            [
+                n,
+                base / (n * none.cycles),
+                none.report.utilization(),
+                base / (n * repl.cycles),
+                repl.report.utilization(),
+            ]
+        )
+        print(f"  {n} node(s): verified")
+    print()
+    print(
+        format_table(
+            ["nodes", "eff none", "util none", "eff repl", "util repl"],
+            rows,
+            title="Figure 2-1 (efficiency): SSSP vs processors",
+        )
+    )
+    return 0
+
+
+def _cmd_table_3_1(args) -> int:
+    del args
+    cases = [
+        (OpCode.XCHNG, 5),
+        (OpCode.COND_XCHNG, 5),
+        (OpCode.FETCH_ADD, 1),
+        (OpCode.FETCH_SET, 0),
+        (OpCode.QUEUE, 1),
+        (OpCode.DEQUEUE, 0),
+        (OpCode.MIN_XCHNG, 3),
+        (OpCode.DELAYED_READ, 0),
+    ]
+    rows = []
+    for op, operand in cases:
+        machine = PlusMachine(n_nodes=2)
+        if op in (OpCode.QUEUE, OpCode.DEQUEUE):
+            queue = machine.shm.alloc_queue(home=1)
+            va = queue.tail_va if op is OpCode.QUEUE else queue.head_va
+        else:
+            va = machine.shm.alloc(1, home=1).base
+
+        def worker(ctx, va=va, op=op, operand=operand):
+            yield from ctx.delayed_read(va)
+            start = machine.engine.now
+            token = yield from ctx.issue(op, va, operand)
+            yield from ctx.result(token)
+            return machine.engine.now - start
+
+        thread = machine.spawn(0, worker)
+        machine.run()
+        fixed = (
+            PAPER_PARAMS.issue_delayed_cycles
+            + PAPER_PARAMS.read_result_cycles
+            + 2 * PAPER_PARAMS.one_way_latency(1)
+            + PAPER_PARAMS.cm_forward_cycles
+        )
+        rows.append(
+            [
+                op.value,
+                thread.result,
+                thread.result - fixed,
+                PAPER_PARAMS.op_cycles[op],
+            ]
+        )
+    print(
+        format_table(
+            ["operation", "end-to-end", "CM execution", "paper"],
+            rows,
+            title="Table 3-1: delayed operations (adjacent node)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig_3_1(args) -> int:
+    from repro.apps.beam import BeamConfig, run_beam
+    from repro.apps.graphs import (
+        beam_search_reference,
+        initial_costs,
+        layered_lattice,
+    )
+
+    lattice = layered_lattice(
+        n_layers=12, width=128, branching=3, seed=5, hot_fraction=0.6
+    )
+    beam = 60
+    initial = initial_costs(lattice, seed=1)
+    reference = beam_search_reference(lattice, beam=beam, initial=initial)
+    modes = [
+        ("blocking", BeamConfig(beam=beam)),
+        ("delayed", BeamConfig(sync_mode="delayed", beam=beam)),
+        (
+            "ctx16",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=16,
+                beam=beam,
+            ),
+        ),
+        (
+            "ctx40",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=40,
+                beam=beam,
+            ),
+        ),
+        (
+            "ctx140",
+            BeamConfig(
+                sync_mode="context",
+                threads_per_node=2,
+                context_switch_cycles=140,
+                beam=beam,
+            ),
+        ),
+    ]
+    base = run_beam(1, lattice, BeamConfig(beam=beam)).cycles
+    rows = []
+    for label, config in modes:
+        result = run_beam(args.nodes, lattice, config)
+        for state, cost in reference.items():
+            assert result.scores.get(state) == cost, label
+        rows.append(
+            [
+                label,
+                result.cycles,
+                base / (args.nodes * result.cycles),
+                result.report.utilization(),
+            ]
+        )
+        print(f"  {label}: verified")
+    print()
+    print(
+        format_table(
+            ["sync style", "cycles", "efficiency", "utilization"],
+            rows,
+            title=f"Figure 3-1: beam search on {args.nodes} nodes",
+        )
+    )
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    del args
+    machine = PlusMachine(n_nodes=4, width=4, height=1)
+    seg = machine.shm.alloc(2, home=1)
+
+    def reader(ctx):
+        yield from ctx.read(seg.base)
+        start = machine.engine.now
+        yield from ctx.read(seg.base)
+        return machine.engine.now - start
+
+    thread = machine.spawn(0, reader)
+    machine.run()
+    rows = [
+        ["remote read, adjacent", thread.result, "32 + 24 round trip"],
+        [
+            "adjacent round trip",
+            2 * PAPER_PARAMS.one_way_latency(1),
+            "24 (measured on the router)",
+        ],
+        [
+            "extra hop",
+            PAPER_PARAMS.net_hop_cycles,
+            "4 cycles each way",
+        ],
+        [
+            "delayed-op issue",
+            PAPER_PARAMS.issue_delayed_cycles,
+            "~25 cycles",
+        ],
+        [
+            "result read",
+            PAPER_PARAMS.read_result_cycles,
+            "~10 cycles",
+        ],
+    ]
+    print(
+        format_table(
+            ["quantity", "cycles", "paper"],
+            rows,
+            title="Section 3.1 cost model",
+        )
+    )
+    return 0
+
+
+COMMANDS = {
+    "table-2-1": (_cmd_table_2_1, "Table 2-1: replication vs messages"),
+    "fig-2-1": (_cmd_fig_2_1, "Figure 2-1: SSSP efficiency/utilization"),
+    "table-3-1": (_cmd_table_3_1, "Table 3-1: delayed-operation costs"),
+    "fig-3-1": (_cmd_fig_3_1, "Figure 3-1: beam-search sync styles"),
+    "costs": (_cmd_costs, "Section 3.1 latency budget"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the PLUS paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_)
+        if name == "table-2-1":
+            p.add_argument("--nodes", type=int, default=16)
+            p.add_argument("--vertices", type=int, default=800)
+        elif name == "fig-2-1":
+            p.add_argument("--max-nodes", type=int, default=32)
+            p.add_argument("--vertices", type=int, default=800)
+        elif name == "fig-3-1":
+            p.add_argument("--nodes", type=int, default=8)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name, (_fn, help_) in COMMANDS.items():
+            print(f"  {name:<12} {help_}")
+        return 0
+    fn, _help = COMMANDS[args.command]
+    return fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: coherence protocol + delayed ops."""
+
+from repro.core.coherence import CoherenceManager
+from repro.core.copylist import CMTables, CopyList
+from repro.core.delayed import DelayedOpsCache, Token
+from repro.core.ops import OpOutcome, execute_op
+from repro.core.params import PAPER_PARAMS, OpCode, TimingParams
+from repro.core.pending import PendingWrites
+
+__all__ = [
+    "CMTables",
+    "CoherenceManager",
+    "CopyList",
+    "DelayedOpsCache",
+    "OpCode",
+    "OpOutcome",
+    "PAPER_PARAMS",
+    "PendingWrites",
+    "TimingParams",
+    "Token",
+    "execute_op",
+]

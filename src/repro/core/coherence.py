@@ -1,0 +1,750 @@
+"""The PLUS coherence manager (Section 2.3 and 3.1).
+
+One coherence manager (CM) per node implements the non-demand,
+write-update coherence protocol over replicated pages and executes the
+delayed read-modify-write operations:
+
+* **Reads** of remote addresses are forwarded to the owning node's CM,
+  which replies with the word (any copy serves reads).
+* **Writes** are always performed first on the master copy and then
+  propagated down the ordered copy-list as UPDATE messages; the last copy
+  acknowledges the originator.  The issuing processor does not stall: the
+  CM tracks in-flight writes in the pending-writes cache.
+* **Delayed operations** are routed to the master copy, executed there
+  atomically, their old value returned to the issuer's delayed-operations
+  cache, and any memory mutations propagated down the copy-list exactly
+  like writes.
+* **Fences** stall the issuer until its pending-writes cache is empty and
+  all update chains of its delayed operations have completed.
+
+The CM is modelled as a single server: protocol actions queue and are
+serviced one at a time with per-action cycle costs (Table 3-1 for the
+delayed operations).  That serialisation is what makes a heavily-shared
+queue page a bandwidth bottleneck, a behaviour both evaluation
+applications of the paper are built around.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.copylist import CMTables
+from repro.core.delayed import DelayedOpsCache, Token
+from repro.core.ops import execute_op
+from repro.core.params import OpCode, TimingParams
+from repro.core.pending import PendingWrites
+from repro.errors import ProtocolError
+from repro.memory.address import PhysAddr
+from repro.memory.physical import LocalMemory
+from repro.network.fabric import Fabric
+from repro.network.message import Message, MsgKind
+from repro.sim.engine import Engine
+from repro.sim.process import WaitQueue
+from repro.stats.counters import NodeCounters
+
+ValueCallback = Callable[[int], None]
+Callback = Callable[[], None]
+SnoopHook = Callable[[int, int, int], None]
+
+
+class CoherenceManager:
+    """Protocol engine of one PLUS node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        engine: Engine,
+        fabric: Fabric,
+        memory: LocalMemory,
+        params: TimingParams,
+        counters: NodeCounters,
+    ) -> None:
+        self.node_id = node_id
+        self.engine = engine
+        self.fabric = fabric
+        self.memory = memory
+        self.params = params
+        self.counters = counters
+
+        self.tables = CMTables(node_id)
+        self.pending = PendingWrites(params.pending_writes_capacity)
+        self.delayed = DelayedOpsCache(node_id, params.delayed_slots)
+
+        #: Called for every word the CM writes into local memory, so the
+        #: processor cache can snoop (write-through + bus snooping keeps
+        #: the cache coherent with CM traffic, Section 2.3).
+        self.snoop: SnoopHook = lambda page, offset, value: None
+        #: Called when a TLB-shootdown interrupt arrives for a virtual
+        #: page (set by the node: drops the mapping and flushes the TLB).
+        self.shootdown_hook: Callable[[int], None] = lambda vpage: None
+
+        self._busy_until = 0
+        self._xids = count()
+        self._read_waiters: Dict[int, ValueCallback] = {}
+        self._rmw_tokens: Dict[int, Token] = {}
+        self._rmw_chains = 0
+        self._chain_waiters = WaitQueue("rmw-chains")
+
+        # Word-granularity invalidation state for the "invalidate"
+        # protocol variant: offsets of locally-held words whose contents
+        # are stale (the master has newer data).  Master copies are never
+        # invalidated, so a page is always fully valid at its master.
+        self._invalid_words: Dict[int, Set[int]] = {}
+
+        # Background page-copy support: per-target-page set of offsets
+        # dirtied by updates while the copy is streaming (those words must
+        # not be overwritten by stale copy data), plus per-transfer data
+        # handlers registered by the replication manager.
+        self._copy_filters: Dict[int, Set[int]] = {}
+        self._copy_handlers: Dict[int, Callable[[Message], None]] = {}
+
+        fabric.attach(node_id, self.receive)
+
+    # ------------------------------------------------------------------
+    # CM service queue: one protocol action at a time.
+    # ------------------------------------------------------------------
+    def _work(self, cycles: int, fn: Callback) -> None:
+        start = max(self.engine.now, self._busy_until)
+        self._busy_until = start + cycles
+        self.engine.at(self._busy_until, fn)
+
+    def _send(
+        self,
+        kind: MsgKind,
+        dst: int,
+        *,
+        addr: Optional[PhysAddr] = None,
+        value: int = 0,
+        op: Optional[OpCode] = None,
+        operand: int = 0,
+        origin: int = -1,
+        xid: int = -1,
+        writes: Optional[List[Tuple[int, int]]] = None,
+        words: Optional[List[int]] = None,
+        chain_done: bool = False,
+    ) -> None:
+        self.fabric.send(
+            Message(
+                kind=kind,
+                src=self.node_id,
+                dst=dst,
+                addr=addr,
+                value=value,
+                op=op,
+                operand=operand,
+                origin=origin,
+                xid=xid,
+                writes=writes or [],
+                words=words or [],
+                chain_done=chain_done,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Processor-facing API (called by the node after address translation).
+    # ------------------------------------------------------------------
+    def when_safe_to_read(self, addr: PhysAddr, fn: Callback) -> None:
+        """Run ``fn`` once no local write to ``addr`` is still pending.
+
+        Reading a location currently being written blocks until the write
+        completes, which preserves strong ordering within one processor.
+        """
+        self.pending.when_clear(addr, fn)
+
+    def cpu_read_remote(self, addr: PhysAddr, on_value: ValueCallback) -> None:
+        """Blocking read of a word on another node.
+
+        ``on_value`` fires when the response arrives; the fixed overhead
+        (request formation + remote service) is the paper's ~32 cycles on
+        top of the network round trip.
+        """
+        if addr.node == self.node_id:
+            raise ProtocolError(f"cpu_read_remote on local address {addr}")
+        self.counters.remote_reads += 1
+        xid = next(self._xids)
+        self._read_waiters[xid] = on_value
+        self._work(
+            self.params.cm_request_cycles,
+            lambda: self._send(
+                MsgKind.READ_REQ,
+                addr.node,
+                addr=addr,
+                origin=self.node_id,
+                xid=xid,
+            ),
+        )
+
+    def cpu_write(
+        self, addr: PhysAddr, value: int, on_accepted: Callback
+    ) -> None:
+        """Issue a write; ``on_accepted`` fires once it is buffered.
+
+        The processor continues as soon as the write occupies a
+        pending-writes entry; completion is tracked by the CM.  With the
+        cache full the processor stalls until an entry frees.
+        """
+
+        def admit() -> None:
+            if self.pending.is_full:
+                self.pending.when_room(admit)
+                return
+            xid = self.pending.add(addr)
+            on_accepted()
+            self._work(
+                self.params.cm_forward_cycles,
+                lambda: self._route_write(addr, value, xid),
+            )
+
+        self.pending.when_room(admit)
+
+    def cpu_issue(
+        self,
+        op: OpCode,
+        addr: PhysAddr,
+        operand: int,
+        on_token: Callable[[Token], None],
+    ) -> None:
+        """Issue a delayed operation; ``on_token`` receives its identifier.
+
+        Stalls while all delayed-operation slots are in flight, and —
+        because a delayed operation reads (and usually writes) its target
+        — while the issuer itself has a pending write to ``addr``.
+        """
+
+        def alloc() -> None:
+            if not self.delayed.has_free_slot:
+                self.delayed.when_slot_free(alloc)
+                return
+            token = self.delayed.allocate(op)
+            self.counters.count_rmw(op)
+            xid = next(self._xids)
+            self._rmw_tokens[xid] = token
+            self._rmw_chains += 1
+            on_token(token)
+            self._work(
+                self.params.cm_forward_cycles,
+                lambda: self._route_rmw(op, addr, operand, xid),
+            )
+
+        self.pending.when_clear(addr, lambda: self.delayed.when_slot_free(alloc))
+
+    def cpu_result(self, token: Token, on_value: ValueCallback) -> None:
+        """Retrieve a delayed result, blocking until it is available.
+
+        Reading the result deallocates the slot.
+        """
+
+        def deliver() -> None:
+            on_value(self.delayed.take(token))
+
+        self.delayed.when_ready(token, deliver)
+
+    def cpu_poll(self, token: Token) -> Optional[int]:
+        """Non-blocking status check; the slot stays allocated."""
+        return self.delayed.poll(token)
+
+    def cpu_fence(self, on_done: Callback) -> None:
+        """Fence: ``on_done`` fires once every earlier write and every
+        delayed-operation update chain of this processor has completed."""
+        self.counters.fences += 1
+
+        def check() -> None:
+            if not self.pending.is_empty:
+                self.pending.when_empty(check)
+            elif self._rmw_chains:
+                self._chain_waiters.park(check)
+            else:
+                on_done()
+
+        check()
+
+    # ------------------------------------------------------------------
+    # Write path.
+    # ------------------------------------------------------------------
+    def _route_write(self, addr: PhysAddr, value: int, xid: int) -> None:
+        if addr.node != self.node_id:
+            self.counters.remote_writes += 1
+            self._send(
+                MsgKind.WRITE_REQ,
+                addr.node,
+                addr=addr,
+                value=value,
+                origin=self.node_id,
+                xid=xid,
+            )
+            return
+        master = self.tables.master_of(addr.page)
+        if master.node == self.node_id:
+            if self.tables.next_of(master.page) is None:
+                self.counters.local_writes += 1
+            else:
+                self.counters.remote_writes += 1
+            self._apply_at_master(
+                master.page,
+                [(addr.offset, value)],
+                origin=self.node_id,
+                xid=xid,
+                op=None,
+            )
+        else:
+            self.counters.remote_writes += 1
+            self.counters.writes_forwarded += 1
+            self._send(
+                MsgKind.WRITE_REQ,
+                master.node,
+                addr=master.word(addr.offset),
+                value=value,
+                origin=self.node_id,
+                xid=xid,
+            )
+
+    def _apply_at_master(
+        self,
+        page: int,
+        writes: List[Tuple[int, int]],
+        origin: int,
+        xid: int,
+        op: Optional[OpCode],
+    ) -> None:
+        """Apply word writes at the local master copy and propagate."""
+        for offset, value in writes:
+            self._write_word(page, offset, value)
+        self.counters.masters_written += 1
+        nxt = self.tables.next_of(page)
+        if nxt is None:
+            self._complete_chain(origin, xid, op)
+        else:
+            self._send(
+                self._propagation_kind(),
+                nxt.node,
+                addr=nxt.word(writes[0][0]),
+                writes=writes,
+                origin=origin,
+                xid=xid,
+                op=op,
+            )
+
+    def _propagation_kind(self) -> MsgKind:
+        if self.params.coherence_protocol == "invalidate":
+            return MsgKind.INVALIDATE
+        return MsgKind.UPDATE
+
+    def _write_word(self, page: int, offset: int, value: int) -> None:
+        self.memory.write(page, offset, value)
+        invalid = self._invalid_words.get(page)
+        if invalid is not None:
+            invalid.discard(offset)
+        dirty = self._copy_filters.get(page)
+        if dirty is not None:
+            dirty.add(offset)
+        self.snoop(page, offset, value)
+
+    # ------------------------------------------------------------------
+    # Word validity (invalidate-protocol variant).
+    # ------------------------------------------------------------------
+    def word_valid(self, addr: PhysAddr) -> bool:
+        """False when the local word is stale under the invalidate
+        protocol (the next local read must re-fetch from the master)."""
+        invalid = self._invalid_words.get(addr.page)
+        return invalid is None or addr.offset not in invalid
+
+    def _apply_invalidate(self, msg: Message) -> None:
+        assert msg.addr is not None
+        page = msg.addr.page
+        invalid = self._invalid_words.setdefault(page, set())
+        for offset, _value in msg.writes:
+            invalid.add(offset)
+            self.snoop(page, offset, 0)  # drop/refresh the cached line
+        self.counters.invalidations_applied += 1
+        nxt = self.tables.next_of(page)
+        if nxt is None:
+            self._complete_chain(msg.origin, msg.xid, msg.op)
+        else:
+            self._send(
+                MsgKind.INVALIDATE,
+                nxt.node,
+                addr=nxt.word(msg.addr.offset),
+                writes=msg.writes,
+                origin=msg.origin,
+                xid=msg.xid,
+                op=msg.op,
+            )
+
+    def cpu_refetch(self, addr: PhysAddr, on_value: ValueCallback) -> None:
+        """Re-fetch a locally-invalid word from its master copy, then
+        revalidate the local copy with the returned value."""
+        master = self.tables.master_of(addr.page)
+        if master.node == self.node_id:
+            raise ProtocolError(
+                f"master copy of page {addr.page} cannot be invalid"
+            )
+
+        def revalidate(value: int) -> None:
+            self._write_word(addr.page, addr.offset, value)
+            on_value(value)
+
+        self.cpu_read_remote(master.word(addr.offset), revalidate)
+
+    def _complete_chain(
+        self, origin: int, xid: int, op: Optional[OpCode]
+    ) -> None:
+        """The write/update chain for transaction ``xid`` has ended here."""
+        if origin == self.node_id:
+            self._ack_local(xid, op)
+        else:
+            self._send(MsgKind.WRITE_ACK, origin, xid=xid, op=op)
+
+    def _ack_local(self, xid: int, op: Optional[OpCode]) -> None:
+        if op is None:
+            self.pending.complete(xid)
+        else:
+            self._retire_chain()
+
+    def _retire_chain(self) -> None:
+        if self._rmw_chains <= 0:
+            raise ProtocolError("RMW chain underflow")
+        self._rmw_chains -= 1
+        if self._rmw_chains == 0:
+            self._chain_waiters.wake_all()
+
+    # ------------------------------------------------------------------
+    # Delayed-operation path.
+    # ------------------------------------------------------------------
+    def _route_rmw(
+        self, op: OpCode, addr: PhysAddr, operand: int, xid: int
+    ) -> None:
+        if addr.node != self.node_id:
+            self.counters.rmw_remote += 1
+            self._send(
+                MsgKind.RMW_REQ,
+                addr.node,
+                addr=addr,
+                op=op,
+                operand=operand,
+                origin=self.node_id,
+                xid=xid,
+            )
+            return
+        master = self.tables.master_of(addr.page)
+        if master.node == self.node_id:
+            if self.tables.next_of(master.page) is None:
+                self.counters.rmw_local += 1
+            else:
+                self.counters.rmw_remote += 1
+            self._work(
+                self.params.op_cycles[op],
+                lambda: self._execute_rmw(
+                    op, master.word(addr.offset), operand, self.node_id, xid
+                ),
+            )
+        else:
+            self.counters.rmw_remote += 1
+            self._send(
+                MsgKind.RMW_REQ,
+                master.node,
+                addr=master.word(addr.offset),
+                op=op,
+                operand=operand,
+                origin=self.node_id,
+                xid=xid,
+            )
+
+    def _execute_rmw(
+        self, op: OpCode, addr: PhysAddr, operand: int, origin: int, xid: int
+    ) -> None:
+        """Run one delayed operation atomically at the local master copy."""
+        page = addr.page
+        if not self.tables.is_master(page):
+            raise ProtocolError(
+                f"node {self.node_id} executing RMW on non-master page {page}"
+            )
+        outcome = execute_op(
+            op,
+            addr.offset,
+            operand,
+            read=lambda off: self.memory.read(page, off),
+            page_words=self.params.page_words,
+            ring_base=self.params.queue_ring_base,
+        )
+        chain_done = True
+        if outcome.writes:
+            for offset, value in outcome.writes:
+                self._write_word(page, offset, value)
+            self.counters.masters_written += 1
+            nxt = self.tables.next_of(page)
+            if nxt is not None:
+                chain_done = False
+                self._send(
+                    self._propagation_kind(),
+                    nxt.node,
+                    addr=nxt.word(outcome.writes[0][0]),
+                    writes=outcome.writes,
+                    origin=origin,
+                    xid=xid,
+                    op=op,
+                )
+        if origin == self.node_id:
+            self._deliver_rmw_result(xid, outcome.returned, chain_done)
+        else:
+            self._send(
+                MsgKind.RMW_RESP,
+                origin,
+                value=outcome.returned,
+                op=op,
+                xid=xid,
+                chain_done=chain_done,
+            )
+
+    def _deliver_rmw_result(
+        self, xid: int, value: int, chain_done: bool
+    ) -> None:
+        token = self._rmw_tokens.pop(xid, None)
+        if token is None:
+            raise ProtocolError(f"RMW response for unknown xid {xid}")
+        self.delayed.fill(token, value)
+        if chain_done:
+            self._retire_chain()
+
+    # ------------------------------------------------------------------
+    # Background page-copy support (replication, Section 2.4).
+    # ------------------------------------------------------------------
+    def start_page_copy(self, local_page: int) -> None:
+        """Begin filtering updates into ``local_page`` during a live copy."""
+        self._copy_filters[local_page] = set()
+
+    def finish_page_copy(self, local_page: int) -> Set[int]:
+        """End the live-copy filter; returns the dirtied offsets."""
+        return self._copy_filters.pop(local_page, set())
+
+    def register_copy_handler(
+        self, xid: int, handler: Callable[[Message], None]
+    ) -> None:
+        """Route PAGE_COPY_DATA messages for transfer ``xid`` to ``handler``."""
+        self._copy_handlers[xid] = handler
+
+    def unregister_copy_handler(self, xid: int) -> None:
+        self._copy_handlers.pop(xid, None)
+
+    def apply_copy_words(
+        self, page: int, start: int, words: List[int], stale=()
+    ) -> None:
+        """Install streamed page-copy words, skipping update-dirtied ones.
+
+        ``stale`` lists offsets that were invalid at the source copy;
+        they are marked invalid here too (unless an update or invalidate
+        already touched them during the transfer).
+        """
+        dirty = self._copy_filters.get(page, set())
+        for i, value in enumerate(words):
+            offset = start + i
+            if offset not in dirty:
+                self.memory.write(page, offset, value)
+                self.snoop(page, offset, value)
+        if stale:
+            invalid = self._invalid_words.setdefault(page, set())
+            for offset, _zero in stale:
+                if offset not in dirty:
+                    invalid.add(offset)
+
+    # ------------------------------------------------------------------
+    # Network receive path.
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        """Entry point for every message delivered by the fabric."""
+        kind = msg.kind
+        if kind is MsgKind.READ_REQ:
+            self._work(
+                self.params.cm_service_cycles, lambda: self._serve_read(msg)
+            )
+        elif kind is MsgKind.READ_RESP:
+            waiter = self._read_waiters.pop(msg.xid, None)
+            if waiter is None:
+                raise ProtocolError(f"read response for unknown xid {msg.xid}")
+            waiter(msg.value)
+        elif kind is MsgKind.WRITE_REQ:
+            self._receive_write_req(msg)
+        elif kind is MsgKind.UPDATE:
+            self._work(
+                self.params.cm_write_cycles, lambda: self._apply_update(msg)
+            )
+        elif kind is MsgKind.INVALIDATE:
+            self._work(
+                self.params.cm_write_cycles,
+                lambda: self._apply_invalidate(msg),
+            )
+        elif kind is MsgKind.WRITE_ACK:
+            self._ack_local(msg.xid, msg.op)
+        elif kind is MsgKind.RMW_REQ:
+            self._receive_rmw_req(msg)
+        elif kind is MsgKind.RMW_RESP:
+            self._deliver_rmw_result(msg.xid, msg.value, msg.chain_done)
+        elif kind is MsgKind.PAGE_COPY_REQ:
+            self._work(
+                self.params.cm_service_cycles, lambda: self._serve_page_copy(msg)
+            )
+        elif kind is MsgKind.PAGE_COPY_DATA:
+            handler = self._copy_handlers.get(msg.xid)
+            if handler is None:
+                raise ProtocolError(
+                    f"page-copy data for unknown transfer {msg.xid}"
+                )
+            handler(msg)
+        elif kind is MsgKind.TLB_SHOOTDOWN:
+            self._work(
+                self.params.tlb_shootdown_cycles,
+                lambda: self._serve_shootdown(msg),
+            )
+        elif kind is MsgKind.TLB_SHOOTDOWN_ACK:
+            handler = self._copy_handlers.get(msg.xid)
+            if handler is None:
+                raise ProtocolError(
+                    f"shootdown ack for unknown transaction {msg.xid}"
+                )
+            handler(msg)
+        else:  # pragma: no cover - exhaustive over MsgKind
+            raise ProtocolError(f"unhandled message kind {kind}")
+
+    def _serve_read(self, msg: Message) -> None:
+        assert msg.addr is not None
+        if not self.word_valid(msg.addr):
+            # Invalidate-protocol variant: this copy's word is stale, so
+            # the request is forwarded to the master (always valid).
+            master = self.tables.master_of(msg.addr.page)
+            self._send(
+                MsgKind.READ_REQ,
+                master.node,
+                addr=master.word(msg.addr.offset),
+                origin=msg.origin,
+                xid=msg.xid,
+            )
+            return
+        value = self.memory.read(msg.addr.page, msg.addr.offset)
+        self._send(MsgKind.READ_RESP, msg.origin, value=value, xid=msg.xid)
+
+    def _receive_write_req(self, msg: Message) -> None:
+        assert msg.addr is not None
+        master = self.tables.master_of(msg.addr.page)
+        if master.node == self.node_id:
+            self._work(
+                self.params.cm_write_cycles,
+                lambda: self._apply_at_master(
+                    master.page,
+                    [(msg.addr.offset, msg.value)],
+                    origin=msg.origin,
+                    xid=msg.xid,
+                    op=None,
+                ),
+            )
+        else:
+            self.counters.writes_forwarded += 1
+            self._work(
+                self.params.cm_forward_cycles,
+                lambda: self._send(
+                    MsgKind.WRITE_REQ,
+                    master.node,
+                    addr=master.word(msg.addr.offset),
+                    value=msg.value,
+                    origin=msg.origin,
+                    xid=msg.xid,
+                ),
+            )
+
+    def _receive_rmw_req(self, msg: Message) -> None:
+        assert msg.addr is not None and msg.op is not None
+        master = self.tables.master_of(msg.addr.page)
+        if master.node == self.node_id:
+            self._work(
+                self.params.op_cycles[msg.op],
+                lambda: self._execute_rmw(
+                    msg.op,
+                    master.word(msg.addr.offset),
+                    msg.operand,
+                    msg.origin,
+                    msg.xid,
+                ),
+            )
+        else:
+            self._work(
+                self.params.cm_forward_cycles,
+                lambda: self._send(
+                    MsgKind.RMW_REQ,
+                    master.node,
+                    addr=master.word(msg.addr.offset),
+                    op=msg.op,
+                    operand=msg.operand,
+                    origin=msg.origin,
+                    xid=msg.xid,
+                ),
+            )
+
+    def _apply_update(self, msg: Message) -> None:
+        assert msg.addr is not None
+        page = msg.addr.page
+        for offset, value in msg.writes:
+            self._write_word(page, offset, value)
+        self.counters.updates_applied += 1
+        nxt = self.tables.next_of(page)
+        if nxt is None:
+            self._complete_chain(msg.origin, msg.xid, msg.op)
+        else:
+            self._send(
+                MsgKind.UPDATE,
+                nxt.node,
+                addr=nxt.word(msg.addr.offset),
+                writes=msg.writes,
+                origin=msg.origin,
+                xid=msg.xid,
+                op=msg.op,
+            )
+
+    def _serve_shootdown(self, msg: Message) -> None:
+        """OS interrupt: drop the mapping of virtual page ``msg.value``,
+        flush the TLB entry, and acknowledge the initiator."""
+        self.shootdown_hook(msg.value)
+        self._send(
+            MsgKind.TLB_SHOOTDOWN_ACK, msg.origin, value=msg.value, xid=msg.xid
+        )
+
+    def _serve_page_copy(self, msg: Message) -> None:
+        """Stream one chunk of a page back to a replicating node.
+
+        Under the invalidate protocol some of this copy's words may be
+        stale; their offsets ride along so the new copy marks them
+        invalid too instead of serving the stale data as fresh.
+        """
+        assert msg.addr is not None
+        start = msg.value
+        length = msg.operand
+        frame = self.memory.snapshot_page(msg.addr.page)
+        chunk = frame[start : start + length]
+        invalid = self._invalid_words.get(msg.addr.page, set())
+        stale = [
+            (offset, 0)
+            for offset in range(start, start + len(chunk))
+            if offset in invalid
+        ]
+        self._send(
+            MsgKind.PAGE_COPY_DATA,
+            msg.origin,
+            addr=msg.addr,
+            value=start,
+            words=chunk,
+            writes=stale,
+            xid=msg.xid,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_chains(self) -> int:
+        """In-flight delayed-operation update chains (diagnostics)."""
+        return self._rmw_chains
+
+    def idle(self) -> bool:
+        """True when this CM has no in-flight protocol state."""
+        return (
+            self.pending.is_empty
+            and self._rmw_chains == 0
+            and not self._read_waiters
+            and not self._rmw_tokens
+        )

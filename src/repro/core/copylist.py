@@ -1,0 +1,164 @@
+"""Copy-lists and the per-node master / next-copy tables.
+
+A virtual page corresponds to an ordered list of physical pages replicated
+on different nodes; the first item is the *master copy* (Section 2.3).
+The operating system keeps the authoritative :class:`CopyList` per virtual
+page and projects it into each node's coherence-manager hardware tables
+(:class:`CMTables`): for every locally-held physical page, the *master
+table* gives the global address of the master copy and the *next-copy
+table* gives the successor along the copy-list, if any.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ReplicationError
+from repro.memory.address import PhysPage
+
+
+class CopyList:
+    """The ordered replication chain of one virtual page."""
+
+    def __init__(self, vpage: int, master: PhysPage) -> None:
+        self.vpage = vpage
+        self._copies: List[PhysPage] = [master]
+
+    # ------------------------------------------------------------------
+    @property
+    def master(self) -> PhysPage:
+        """The master copy (head of the list)."""
+        return self._copies[0]
+
+    @property
+    def copies(self) -> List[PhysPage]:
+        """All copies in propagation order (master first)."""
+        return list(self._copies)
+
+    @property
+    def nodes(self) -> List[int]:
+        """Node ids holding a copy, in propagation order."""
+        return [c.node for c in self._copies]
+
+    def __len__(self) -> int:
+        return len(self._copies)
+
+    def __contains__(self, node: int) -> bool:
+        return any(c.node == node for c in self._copies)
+
+    # ------------------------------------------------------------------
+    def copy_on(self, node: int) -> Optional[PhysPage]:
+        """The physical copy held by ``node``, or None."""
+        for copy in self._copies:
+            if copy.node == node:
+                return copy
+        return None
+
+    def successor(self, copy: PhysPage) -> Optional[PhysPage]:
+        """The copy after ``copy`` along the list, or None for the tail."""
+        idx = self._index(copy)
+        if idx + 1 < len(self._copies):
+            return self._copies[idx + 1]
+        return None
+
+    def predecessor(self, copy: PhysPage) -> Optional[PhysPage]:
+        """The copy before ``copy`` along the list, or None for the master."""
+        idx = self._index(copy)
+        if idx > 0:
+            return self._copies[idx - 1]
+        return None
+
+    def _index(self, copy: PhysPage) -> int:
+        try:
+            return self._copies.index(copy)
+        except ValueError:
+            raise ReplicationError(
+                f"{copy} is not a copy of virtual page {self.vpage}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def insert_after(self, predecessor: PhysPage, copy: PhysPage) -> None:
+        """Splice ``copy`` into the list right after ``predecessor``."""
+        if copy.node in self:
+            raise ReplicationError(
+                f"node {copy.node} already holds a copy of vpage {self.vpage}"
+            )
+        idx = self._index(predecessor)
+        self._copies.insert(idx + 1, copy)
+
+    def remove(self, copy: PhysPage) -> None:
+        """Drop a non-master copy from the list."""
+        idx = self._index(copy)
+        if idx == 0 and len(self._copies) > 1:
+            raise ReplicationError(
+                f"cannot remove master {copy} of vpage {self.vpage} while "
+                "other copies exist; promote another copy first"
+            )
+        if idx == 0:
+            raise ReplicationError(
+                f"cannot remove the only copy {copy} of vpage {self.vpage}; "
+                "delete the page instead"
+            )
+        self._copies.pop(idx)
+
+    def promote(self, copy: PhysPage) -> None:
+        """Make ``copy`` the new master (used by page migration)."""
+        idx = self._index(copy)
+        self._copies.pop(idx)
+        self._copies.insert(0, copy)
+
+
+class CMTables:
+    """One node's hardware-visible view of the replication structure.
+
+    Maintained by the operating system (:mod:`repro.memory.replication`);
+    consulted by the coherence manager on every write and delayed
+    operation.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._master: Dict[int, PhysPage] = {}
+        self._next: Dict[int, Optional[PhysPage]] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self, ppage: int, master: PhysPage, nxt: Optional[PhysPage]
+    ) -> None:
+        """Install or refresh the entries for local physical page ``ppage``."""
+        self._master[ppage] = master
+        self._next[ppage] = nxt
+
+    def unregister(self, ppage: int) -> None:
+        """Remove the entries for a local page being deleted."""
+        self._master.pop(ppage, None)
+        self._next.pop(ppage, None)
+
+    def knows(self, ppage: int) -> bool:
+        return ppage in self._master
+
+    # ------------------------------------------------------------------
+    def master_of(self, ppage: int) -> PhysPage:
+        """Global address of the master copy for local page ``ppage``."""
+        try:
+            return self._master[ppage]
+        except KeyError:
+            raise ReplicationError(
+                f"node {self.node_id}: no master-table entry for "
+                f"physical page {ppage}"
+            ) from None
+
+    def next_of(self, ppage: int) -> Optional[PhysPage]:
+        """Successor of the local copy ``ppage`` along its copy-list."""
+        try:
+            return self._next[ppage]
+        except KeyError:
+            raise ReplicationError(
+                f"node {self.node_id}: no next-copy-table entry for "
+                f"physical page {ppage}"
+            ) from None
+
+    def is_master(self, ppage: int) -> bool:
+        """True when the local page ``ppage`` is its page's master copy."""
+        master = self.master_of(ppage)
+        return master.node == self.node_id and master.page == ppage

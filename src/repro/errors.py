@@ -1,0 +1,51 @@
+"""Exception hierarchy for the PLUS reproduction.
+
+Every error raised by the library derives from :class:`PlusError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class PlusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(PlusError):
+    """A machine or application configuration is invalid."""
+
+
+class AddressError(PlusError):
+    """A virtual or physical address is malformed or out of range."""
+
+
+class MappingError(PlusError):
+    """A virtual page has no legal mapping (central-table miss)."""
+
+
+class ReplicationError(PlusError):
+    """An illegal copy-list manipulation was requested."""
+
+
+class ProtocolError(PlusError):
+    """The coherence protocol reached a state that should be impossible.
+
+    Raising this indicates a bug in the simulator, not in user code.
+    """
+
+
+class SimulationError(PlusError):
+    """The discrete-event simulation failed (e.g. ran past its horizon)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated threads were still blocked.
+
+    The message includes a per-thread diagnostic of what each blocked
+    thread was waiting for, which is usually enough to spot the missing
+    wake-up or the application-level deadlock.
+    """
+
+
+class ThreadError(PlusError):
+    """A simulated thread misused the runtime API."""

@@ -1,0 +1,176 @@
+"""The PLUS machine: nodes on a mesh, ready to run a parallel program.
+
+:class:`PlusMachine` assembles the whole system — discrete-event engine,
+mesh fabric, nodes (processor, cache, memory, coherence manager), the
+replication manager ("the OS"), and optionally the competitive
+replication hardware — and runs simulated threads to completion.
+
+Typical use::
+
+    machine = PlusMachine(n_nodes=16)
+    shm = machine.shm
+    counter = shm.alloc(1, home=0)
+    machine.spawn(3, worker, counter)      # worker(ctx, counter) generator
+    report = machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.params import PAPER_PARAMS, TimingParams
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.memory.competitive import CompetitiveReplicator
+from repro.memory.profiling import AccessProfiler
+from repro.memory.replication import ReplicationManager
+from repro.network.fabric import Fabric
+from repro.network.topology import Mesh
+from repro.node.cpu import SimThread
+from repro.node.node import Node
+from repro.sim.engine import Engine
+from repro.stats.counters import MachineCounters
+from repro.stats.report import RunReport
+
+
+class PlusMachine:
+    """A simulated PLUS multiprocessor."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        params: TimingParams = PAPER_PARAMS,
+        width: int = 0,
+        height: int = 0,
+        snoop_policy: str = "update",
+        competitive: Optional[CompetitiveReplicator] = None,
+        enable_competitive: bool = False,
+        competitive_threshold: int = 64,
+        competitive_max_copies: int = 4,
+        enable_profiling: bool = False,
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigError("a machine needs at least one node")
+        self.params = params
+        self.snoop_policy = snoop_policy
+        self.engine = Engine()
+        self.mesh = Mesh(n_nodes, width, height)
+        self.fabric = Fabric(self.engine, self.mesh, params)
+        self.os = ReplicationManager(self)
+        self.nodes: List[Node] = [Node(i, self) for i in range(n_nodes)]
+        if competitive is not None:
+            self.competitive: Optional[CompetitiveReplicator] = competitive
+        elif enable_competitive:
+            self.competitive = CompetitiveReplicator(
+                self,
+                threshold=competitive_threshold,
+                max_copies=competitive_max_copies,
+            )
+        else:
+            self.competitive = None
+        #: Optional per-(node, page) access profiler (Section 2.4's
+        #: measure-one-run-then-place strategy).
+        self.profiler: Optional[AccessProfiler] = (
+            AccessProfiler() if enable_profiling else None
+        )
+        # Imported here to avoid a module-level cycle (shm uses machine).
+        from repro.runtime.shm import SharedMemory
+
+        self.shm = SharedMemory(self)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Program loading.
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        node_id: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> SimThread:
+        """Create a thread on ``node_id`` running ``fn(ctx, *args)``.
+
+        ``fn`` must be a generator function taking a
+        :class:`~repro.runtime.thread.ThreadCtx` as its first argument.
+        """
+        from repro.runtime.thread import ThreadCtx
+
+        node = self.nodes[node_id]
+        ctx = ThreadCtx(self, node_id)
+        gen = fn(ctx, *args)
+        thread = node.cpu.spawn(gen, name or getattr(fn, "__name__", "thread"))
+        ctx.thread = thread
+        return thread
+
+    # ------------------------------------------------------------------
+    # Direct memory access for set-up and inspection (no simulated time).
+    # ------------------------------------------------------------------
+    def poke(self, vaddr: int, value: int) -> None:
+        """Write ``value`` into every copy of ``vaddr`` instantly."""
+        vpage, offset = divmod(vaddr, self.params.page_words)
+        for copy in self.os.copylist(vpage).copies:
+            node = self.nodes[copy.node]
+            node.memory.write(copy.page, offset, value)
+            node.cache.snoop(copy.page, offset, value)
+
+    def peek(self, vaddr: int) -> int:
+        """Read ``vaddr`` from its master copy instantly."""
+        vpage, offset = divmod(vaddr, self.params.page_words)
+        master = self.os.copylist(vpage).master
+        return self.nodes[master.node].memory.read(master.page, offset)
+
+    def peek_copy(self, vaddr: int, node_id: int) -> int:
+        """Read ``vaddr`` from the copy held by ``node_id`` (testing aid)."""
+        vpage, offset = divmod(vaddr, self.params.page_words)
+        copy = self.os.copylist(vpage).copy_on(node_id)
+        if copy is None:
+            raise ConfigError(f"node {node_id} holds no copy of page {vpage}")
+        return self.nodes[node_id].memory.read(copy.page, offset)
+
+    # ------------------------------------------------------------------
+    # Running.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        max_events: int = 500_000_000,
+    ) -> RunReport:
+        """Run until every spawned thread finishes; returns the report.
+
+        Raises :class:`DeadlockError` if the event queue drains first and
+        :class:`SimulationError` if ``max_cycles`` elapses first.
+        """
+        self._ran = True
+        self.engine.run(until=max_cycles, max_events=max_events)
+        unfinished = [line for n in self.nodes for line in n.cpu.blocked_report()]
+        if unfinished:
+            detail = "\n  ".join(unfinished)
+            if max_cycles is not None and self.engine.now >= max_cycles:
+                raise SimulationError(
+                    f"hit max_cycles={max_cycles} with threads unfinished:\n"
+                    f"  {detail}"
+                )
+            raise DeadlockError(
+                "event queue drained with threads still blocked:\n"
+                f"  {detail}"
+            )
+        return self.report()
+
+    def report(self) -> RunReport:
+        """Snapshot of all measurements at the current simulation time."""
+        elapsed = self.engine.now
+        for node in self.nodes:
+            node.finalize_counters(elapsed)
+        counters = MachineCounters(nodes=[n.counters for n in self.nodes])
+        return RunReport(
+            n_nodes=self.n_nodes,
+            cycles=elapsed,
+            params=self.params,
+            counters=counters,
+            fabric=self.fabric.stats,
+        )

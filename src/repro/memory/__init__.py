@@ -1,0 +1,20 @@
+"""Memory substrates: physical frames, mapping, replication.
+
+Import :class:`ReplicationManager` / :class:`CompetitiveReplicator` from
+their modules (``repro.memory.replication`` / ``.competitive``); they sit
+above the coherence core and are not re-exported here to keep the import
+graph acyclic.
+"""
+
+from repro.memory.address import PhysAddr, PhysPage
+from repro.memory.mapping import TLB, PageTable
+from repro.memory.physical import LocalMemory, PageFrame
+
+__all__ = [
+    "LocalMemory",
+    "PageFrame",
+    "PageTable",
+    "PhysAddr",
+    "PhysPage",
+    "TLB",
+]

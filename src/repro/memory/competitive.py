@@ -1,0 +1,129 @@
+"""Competitive page replication (Section 2.4, third placement strategy).
+
+When the access pattern is unknown, PLUS supports competitive algorithms
+in hardware: each node counts references from its processor to each page
+and interrupts the node processor when a counter overflows.  The policy
+here implements the classic rule — once the cumulative cost of remote
+references to a page exceeds the cost of creating a local copy, create
+the copy — using the background live-copy engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.errors import ReplicationError
+
+
+class CompetitiveReplicator:
+    """Reference counters + replicate-on-overflow policy for one machine."""
+
+    def __init__(
+        self,
+        machine,
+        threshold: int = 64,
+        max_copies: int = 4,
+        enabled: bool = True,
+        migrate_unshared: bool = False,
+        migrate_dominance: float = 4.0,
+    ) -> None:
+        """``threshold`` is the counter overflow point: the number of
+        remote references after which a local copy pays for itself (the
+        page-copy cost divided by the per-reference remote penalty).
+        ``max_copies`` caps replication so runaway sharing cannot flood
+        the network with updates (the Section 2.5 failure mode).
+
+        With ``migrate_unshared`` on, an unreplicated page whose remote
+        traffic is dominated by one node (at least ``migrate_dominance``
+        times every other node's count) is *migrated* to that node —
+        "page migration is achieved simply by creating a copy and then
+        deleting the old one" (Section 2.4) — instead of replicated."""
+        self._machine = machine
+        self.threshold = threshold
+        self.max_copies = max_copies
+        self.enabled = enabled
+        self.migrate_unshared = migrate_unshared
+        self.migrate_dominance = migrate_dominance
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._in_progress: Set[Tuple[int, int]] = set()
+        self.interrupts = 0
+        self.replications = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    def count(self, node_id: int, vpage: int) -> int:
+        """Current remote-reference count for (node, page)."""
+        return self._counts.get((node_id, vpage), 0)
+
+    def note_remote_ref(self, node_id: int, vpage: int) -> None:
+        """Record one remote reference; maybe trigger replication.
+
+        Called by the node on every remote read.  Overflow simulates the
+        hardware interrupt; the handler starts a background page copy if
+        the policy allows one.
+        """
+        if not self.enabled:
+            return
+        key = (node_id, vpage)
+        n = self._counts.get(key, 0) + 1
+        self._counts[key] = n
+        if n < self.threshold or key in self._in_progress:
+            return
+        self.interrupts += 1
+        self._counts[key] = 0
+        self._maybe_replicate(node_id, vpage)
+
+    def _dominates(self, node_id: int, vpage: int) -> bool:
+        """Does ``node_id`` dwarf every other node's remote traffic?"""
+        mine = self._counts.get((node_id, vpage), 0) + self.threshold
+        others = [
+            count
+            for (node, page), count in self._counts.items()
+            if page == vpage and node != node_id
+        ]
+        return all(mine >= self.migrate_dominance * c for c in others)
+
+    def _maybe_replicate(self, node_id: int, vpage: int) -> None:
+        os = self._machine.os
+        clist = os.copylist(vpage)
+        if node_id in clist or len(clist) >= self.max_copies:
+            return
+        key = (node_id, vpage)
+        self._in_progress.add(key)
+
+        if (
+            self.migrate_unshared
+            and len(clist) == 1
+            and self._dominates(node_id, vpage)
+        ):
+            self._migrate(node_id, vpage, key)
+            return
+
+        def done() -> None:
+            self._in_progress.discard(key)
+            self.replications += 1
+
+        try:
+            os.replicate_live(vpage, node_id, on_done=done)
+        except ReplicationError:
+            self._in_progress.discard(key)
+
+    def _migrate(self, node_id: int, vpage: int, key) -> None:
+        """Copy, promote, then live-delete the old home (Section 2.4)."""
+        os = self._machine.os
+        old_home = os.copylist(vpage).master.node
+
+        def deleted() -> None:
+            self._in_progress.discard(key)
+            self.migrations += 1
+
+        def copied() -> None:
+            os.promote_master(vpage, node_id)
+            os.delete_copy_live(
+                vpage, old_home, via_node=node_id, on_done=deleted
+            )
+
+        try:
+            os.replicate_live(vpage, node_id, on_done=copied)
+        except ReplicationError:
+            self._in_progress.discard(key)

@@ -1,0 +1,107 @@
+"""Per-node physical memory: word-addressed page frames.
+
+Each PLUS node carries 8 or 32 Mbytes of local DRAM (Section 5).  The
+simulator only materialises frames that are actually allocated, so the
+frame pool is a dictionary rather than a flat array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import AddressError
+from repro.core.params import WORD_MASK
+
+
+class PageFrame:
+    """One physical page of 32-bit words."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, page_words: int) -> None:
+        self.words: List[int] = [0] * page_words
+
+    def read(self, offset: int) -> int:
+        return self.words[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        self.words[offset] = value & WORD_MASK
+
+    def load(self, values: List[int]) -> None:
+        """Bulk-initialise the frame (page-copy hardware path)."""
+        if len(values) != len(self.words):
+            raise AddressError(
+                f"page copy of {len(values)} words into "
+                f"{len(self.words)}-word frame"
+            )
+        self.words[:] = [v & WORD_MASK for v in values]
+
+    def snapshot(self) -> List[int]:
+        """An independent copy of the frame contents."""
+        return list(self.words)
+
+
+class LocalMemory:
+    """The physical memory of one node: a pool of numbered page frames."""
+
+    def __init__(self, node_id: int, page_words: int, max_frames: int = 1 << 20) -> None:
+        self.node_id = node_id
+        self.page_words = page_words
+        self.max_frames = max_frames
+        self._frames: Dict[int, PageFrame] = {}
+        self._next_page = 0
+        self._free: List[int] = []
+
+    # ------------------------------------------------------------------
+    def allocate_frame(self) -> int:
+        """Allocate a zeroed frame; returns its local page id."""
+        if self._free:
+            page = self._free.pop()
+        else:
+            if self._next_page >= self.max_frames:
+                raise AddressError(
+                    f"node {self.node_id} out of physical frames "
+                    f"({self.max_frames})"
+                )
+            page = self._next_page
+            self._next_page += 1
+        self._frames[page] = PageFrame(self.page_words)
+        return page
+
+    def free_frame(self, page: int) -> None:
+        """Release a frame back to the pool."""
+        self._frame(page)  # validates
+        del self._frames[page]
+        self._free.append(page)
+
+    def has_frame(self, page: int) -> bool:
+        return page in self._frames
+
+    def frames(self) -> Iterator[int]:
+        """Iterate over allocated local page ids."""
+        return iter(self._frames)
+
+    # ------------------------------------------------------------------
+    def _frame(self, page: int) -> PageFrame:
+        try:
+            return self._frames[page]
+        except KeyError:
+            raise AddressError(
+                f"node {self.node_id} has no physical page {page}"
+            ) from None
+
+    def read(self, page: int, offset: int) -> int:
+        """Read one word from frame ``page`` at ``offset``."""
+        return self._frame(page).read(offset)
+
+    def write(self, page: int, offset: int, value: int) -> None:
+        """Write one word to frame ``page`` at ``offset``."""
+        self._frame(page).write(offset, value)
+
+    def load_page(self, page: int, values: List[int]) -> None:
+        """Overwrite an entire frame (used by the page-copy engine)."""
+        self._frame(page).load(values)
+
+    def snapshot_page(self, page: int) -> List[int]:
+        """Copy out an entire frame (used by the page-copy engine)."""
+        return self._frame(page).snapshot()

@@ -1,0 +1,76 @@
+"""Profile-guided page placement (Section 2.4, second strategy).
+
+"If the access pattern is not data dependent, it can be measured during
+one run of the application and the results of the measurement used to
+optimally allocate memory in subsequent runs."  The profiler counts
+every page access per node during a run; afterwards it recommends a home
+(the heaviest accessor) and a replica set (other nodes with a meaningful
+share of the traffic) for each page, which the next run's allocation can
+apply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+
+class AccessProfiler:
+    """Per-(node, virtual page) access counting for one run."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, Dict[int, int]] = {}
+
+    def note(self, node_id: int, vpage: int) -> None:
+        """Record one access by ``node_id`` to ``vpage``."""
+        per_node = self._counts.setdefault(vpage, {})
+        per_node[node_id] = per_node.get(node_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    def accesses(self, vpage: int) -> Dict[int, int]:
+        """Per-node access counts for one page."""
+        return dict(self._counts.get(vpage, {}))
+
+    def total(self, vpage: int) -> int:
+        return sum(self._counts.get(vpage, {}).values())
+
+    def pages(self) -> List[int]:
+        return sorted(self._counts)
+
+    # ------------------------------------------------------------------
+    def recommended_home(self, vpage: int) -> int:
+        """The node that touched the page most (ties: lowest id)."""
+        per_node = self._counts.get(vpage)
+        if not per_node:
+            raise ConfigError(f"no accesses recorded for vpage {vpage}")
+        return min(per_node, key=lambda n: (-per_node[n], n))
+
+    def recommended_replicas(
+        self, vpage: int, max_copies: int = 4, min_share: float = 0.10
+    ) -> List[int]:
+        """Nodes (beyond the home) worth giving a copy: each must account
+        for at least ``min_share`` of the page's traffic."""
+        per_node = self._counts.get(vpage)
+        if not per_node:
+            return []
+        home = self.recommended_home(vpage)
+        total = self.total(vpage)
+        candidates = sorted(
+            (
+                (count, node)
+                for node, count in per_node.items()
+                if node != home and count >= total * min_share
+            ),
+            reverse=True,
+        )
+        return [node for _count, node in candidates[: max_copies - 1]]
+
+    def recommended_placement(
+        self, vpage: int, max_copies: int = 4, min_share: float = 0.10
+    ) -> Tuple[int, List[int]]:
+        """(home, replicas) for one page."""
+        return (
+            self.recommended_home(vpage),
+            self.recommended_replicas(vpage, max_copies, min_share),
+        )

@@ -1,0 +1,394 @@
+"""The replication layer: PLUS's operating-system view of memory.
+
+Software is responsible for page placement and replication policies; the
+hardware keeps copies coherent and performs the background page copy
+(Section 2.4).  This module is that software: it owns the centralized
+virtual-to-physical table (one :class:`~repro.core.copylist.CopyList` per
+virtual page), orders copy-lists to keep the network path through the
+copies short, projects the lists into every node's coherence-manager
+tables, and drives page replication, deletion and migration.
+
+Two replication paths exist:
+
+* :meth:`ReplicationManager.replicate` — instantaneous, for machine
+  set-up before the simulation runs (the paper's "memory layout requested
+  by the programmer").
+* :meth:`ReplicationManager.replicate_live` — the background hardware
+  copy, streamed in chunks through the mesh and overlapped with ongoing
+  writes to the same page; update-dirtied words are protected from being
+  overwritten by stale copy data, preserving page integrity exactly as
+  the paper claims.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.copylist import CopyList
+from repro.errors import MappingError, ReplicationError
+from repro.memory.address import PhysPage
+from repro.network.message import Message, MsgKind
+
+Callback = Callable[[], None]
+
+
+class ReplicationManager:
+    """Central page directory plus replication/migration machinery."""
+
+    def __init__(self, machine) -> None:
+        # ``machine`` is the PlusMachine; typed loosely to avoid an import
+        # cycle.  Uses: .nodes (list of Node), .mesh, .fabric, .engine,
+        # .params.
+        self._machine = machine
+        self._copylists: Dict[int, CopyList] = {}
+        self._next_vpage = count()
+        self._copy_xids = count()
+        self.live_copies_started = 0
+        self.live_copies_finished = 0
+
+    # ------------------------------------------------------------------
+    # Page directory.
+    # ------------------------------------------------------------------
+    def alloc_vpage(self) -> int:
+        """Reserve a fresh virtual page number."""
+        return next(self._next_vpage)
+
+    def copylist(self, vpage: int) -> CopyList:
+        """The copy-list of ``vpage`` (raises MappingError if unknown)."""
+        try:
+            return self._copylists[vpage]
+        except KeyError:
+            raise MappingError(f"virtual page {vpage} does not exist") from None
+
+    def known_vpages(self) -> Iterable[int]:
+        return self._copylists.keys()
+
+    def resolve(self, node_id: int, vpage: int) -> PhysPage:
+        """Central-table lookup: the copy closest to ``node_id``.
+
+        This is the resolver page tables call on a local-table miss.
+        """
+        clist = self.copylist(vpage)
+        own = clist.copy_on(node_id)
+        if own is not None:
+            return own
+        nearest_node = self._machine.mesh.nearest_to(node_id, clist.nodes)
+        copy = clist.copy_on(nearest_node)
+        assert copy is not None
+        return copy
+
+    # ------------------------------------------------------------------
+    # Page creation.
+    # ------------------------------------------------------------------
+    def create_page(self, home: int, vpage: Optional[int] = None) -> int:
+        """Create an unreplicated page mastered on node ``home``."""
+        if vpage is None:
+            vpage = self.alloc_vpage()
+        elif vpage in self._copylists:
+            raise ReplicationError(f"virtual page {vpage} already exists")
+        node = self._machine.nodes[home]
+        ppage = node.memory.allocate_frame()
+        master = PhysPage(home, ppage)
+        self._copylists[vpage] = CopyList(vpage, master)
+        node.cm.tables.register(ppage, master, None)
+        return vpage
+
+    # ------------------------------------------------------------------
+    # Replication.
+    # ------------------------------------------------------------------
+    def _insertion_predecessor(self, clist: CopyList, node_id: int) -> PhysPage:
+        """Pick the existing copy to splice the new one after.
+
+        The kernel orders the copy-list to minimise the network path
+        through all the copies; this greedy rule picks the position that
+        adds the least path length (the master cannot be displaced).
+        """
+        mesh = self._machine.mesh
+        copies = clist.copies
+        best = copies[0]
+        best_delta = None
+        for i, pred in enumerate(copies):
+            succ = copies[i + 1] if i + 1 < len(copies) else None
+            if succ is None:
+                delta = mesh.hops(pred.node, node_id)
+            else:
+                delta = (
+                    mesh.hops(pred.node, node_id)
+                    + mesh.hops(node_id, succ.node)
+                    - mesh.hops(pred.node, succ.node)
+                )
+            if best_delta is None or delta < best_delta:
+                best, best_delta = pred, delta
+        return best
+
+    def _rebuild_tables(self, vpage: int) -> None:
+        """Re-project a copy-list into every holder's CM tables."""
+        clist = self.copylist(vpage)
+        copies = clist.copies
+        master = copies[0]
+        for i, copy in enumerate(copies):
+            nxt = copies[i + 1] if i + 1 < len(copies) else None
+            self._machine.nodes[copy.node].cm.tables.register(
+                copy.page, master, nxt
+            )
+
+    def _predecessor_copy(
+        self, clist: CopyList, node_id: int, after: Optional[int]
+    ) -> PhysPage:
+        if after is None:
+            return self._insertion_predecessor(clist, node_id)
+        pred = clist.copy_on(after)
+        if pred is None:
+            raise ReplicationError(
+                f"cannot insert after node {after}: it holds no copy of "
+                f"vpage {clist.vpage}"
+            )
+        return pred
+
+    def replicate(
+        self, vpage: int, node_id: int, after: Optional[int] = None
+    ) -> PhysPage:
+        """Instantly create a copy of ``vpage`` on ``node_id``.
+
+        Intended for machine set-up before the simulation starts: the
+        data is copied without simulated time passing.  During a run use
+        :meth:`replicate_live` instead.  ``after`` pins the insertion
+        point (the node id of the desired predecessor); by default the
+        kernel's path-minimising heuristic chooses it.
+        """
+        clist = self.copylist(vpage)
+        if node_id in clist:
+            raise ReplicationError(
+                f"node {node_id} already holds a copy of vpage {vpage}"
+            )
+        pred = self._predecessor_copy(clist, node_id, after)
+        node = self._machine.nodes[node_id]
+        ppage = node.memory.allocate_frame()
+        copy = PhysPage(node_id, ppage)
+        clist.insert_after(pred, copy)
+        source = self._machine.nodes[pred.node].memory.snapshot_page(pred.page)
+        node.memory.load_page(ppage, source)
+        self._rebuild_tables(vpage)
+        node.page_table.install(vpage, copy)
+        return copy
+
+    def replicate_live(
+        self,
+        vpage: int,
+        node_id: int,
+        on_done: Optional[Callback] = None,
+        after: Optional[int] = None,
+    ) -> PhysPage:
+        """Start a background hardware page copy onto ``node_id``.
+
+        The new copy is first spliced into the copy-list (so it receives
+        updates immediately), then the contents stream from the previous
+        copy in chunks.  Words dirtied by updates during the transfer are
+        never overwritten by stale chunk data.  ``on_done`` fires, and the
+        node's mapping switches to the local copy, once the whole page has
+        been written.
+        """
+        clist = self.copylist(vpage)
+        if node_id in clist:
+            raise ReplicationError(
+                f"node {node_id} already holds a copy of vpage {vpage}"
+            )
+        machine = self._machine
+        pred = self._predecessor_copy(clist, node_id, after)
+        node = machine.nodes[node_id]
+        ppage = node.memory.allocate_frame()
+        copy = PhysPage(node_id, ppage)
+        clist.insert_after(pred, copy)
+        self._rebuild_tables(vpage)
+
+        cm = node.cm
+        cm.start_page_copy(ppage)
+        xid = next(self._copy_xids)
+        chunk = machine.params.page_copy_chunk_words
+        page_words = machine.params.page_words
+        self.live_copies_started += 1
+
+        def request(start: int) -> None:
+            machine.fabric.send(
+                Message(
+                    kind=MsgKind.PAGE_COPY_REQ,
+                    src=node_id,
+                    dst=pred.node,
+                    addr=pred.word(0),
+                    value=start,
+                    operand=min(chunk, page_words - start),
+                    origin=node_id,
+                    xid=xid,
+                )
+            )
+
+        def on_data(msg: Message) -> None:
+            cm.apply_copy_words(ppage, msg.value, msg.words, stale=msg.writes)
+            nxt = msg.value + len(msg.words)
+            if nxt < page_words:
+                request(nxt)
+            else:
+                cm.finish_page_copy(ppage)
+                cm.unregister_copy_handler(xid)
+                node.page_table.install(vpage, copy)
+                self.live_copies_finished += 1
+                if on_done is not None:
+                    on_done()
+
+        cm.register_copy_handler(xid, on_data)
+        request(0)
+        return copy
+
+    # ------------------------------------------------------------------
+    # Deletion, promotion, migration.
+    # ------------------------------------------------------------------
+    def delete_copy(self, vpage: int, node_id: int) -> None:
+        """Delete the copy held by ``node_id``.
+
+        Like removing a page in a paging OS: every node mapping this copy
+        invalidates its translation and will lazily re-map to another
+        copy.  The caller must ensure no writes are in flight to the page
+        (the paper's kernel quiesces the page the same way).
+        """
+        clist = self.copylist(vpage)
+        copy = clist.copy_on(node_id)
+        if copy is None:
+            raise ReplicationError(
+                f"node {node_id} holds no copy of vpage {vpage}"
+            )
+        clist.remove(copy)  # refuses to drop the master while copies exist
+        machine = self._machine
+        machine.nodes[node_id].cm.tables.unregister(copy.page)
+        machine.nodes[node_id].memory.free_frame(copy.page)
+        self._rebuild_tables(vpage)
+        for node in machine.nodes:
+            if node.page_table.mapping_of(vpage) == copy:
+                node.page_table.invalidate(vpage)
+
+    def delete_copy_live(
+        self,
+        vpage: int,
+        node_id: int,
+        via_node: int = 0,
+        on_done: Optional[Callback] = None,
+    ) -> None:
+        """Delete a copy *during* a run, with TLB shootdown and timing.
+
+        The paper: "Deleting a copy is akin to removing a page in a
+        paging operating system, since all the nodes that have a copy of
+        the page must update their address translation tables and flush
+        their TLBs."  Sequence, driven from ``via_node``:
+
+        1. The copy-list is rewired around the dying copy, so new writes
+           skip it (updates already in flight still traverse it).
+        2. A shootdown interrupt goes to every node whose page table maps
+           this copy; each drops the mapping, flushes its TLB and acks.
+        3. After every ack plus a drain window (for updates that were
+           already crossing the mesh), the frame and its CM table entries
+           are reclaimed and ``on_done`` fires.
+        """
+        from repro.network.message import Message, MsgKind
+
+        machine = self._machine
+        clist = self.copylist(vpage)
+        copy = clist.copy_on(node_id)
+        if copy is None:
+            raise ReplicationError(
+                f"node {node_id} holds no copy of vpage {vpage}"
+            )
+        if copy == clist.master and len(clist) > 1:
+            raise ReplicationError(
+                f"cannot live-delete master {copy}; promote another copy "
+                "first"
+            )
+        if len(clist) == 1:
+            raise ReplicationError(
+                f"cannot delete the only copy of vpage {vpage}"
+            )
+        # 1. Rewire the chain; the dying copy keeps its own tables so
+        # straggler updates still forward correctly.
+        dying_next = machine.nodes[node_id].cm.tables.next_of(copy.page)
+        dying_master = machine.nodes[node_id].cm.tables.master_of(copy.page)
+        clist.remove(copy)
+        self._rebuild_tables(vpage)
+        machine.nodes[node_id].cm.tables.register(
+            copy.page, dying_master, dying_next
+        )
+
+        # 2. Shoot down every mapping of the dying copy.
+        mapped = [
+            node.node_id
+            for node in machine.nodes
+            if node.page_table.mapping_of(vpage) == copy
+        ]
+        xid = next(self._copy_xids)
+        pending = {"count": 0}
+
+        def finalize() -> None:
+            machine.nodes[node_id].cm.tables.unregister(copy.page)
+            machine.nodes[node_id].memory.free_frame(copy.page)
+            machine.nodes[via_node].cm.unregister_copy_handler(xid)
+            if on_done is not None:
+                on_done()
+
+        def all_acked() -> None:
+            machine.engine.after(
+                machine.params.shootdown_drain_cycles, finalize
+            )
+
+        def on_ack(_msg) -> None:
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                all_acked()
+
+        machine.nodes[via_node].cm.register_copy_handler(xid, on_ack)
+        for target in mapped:
+            if target == via_node:
+                # Local shootdown: no interrupt message needed.
+                machine.nodes[target].page_table.invalidate(vpage)
+                continue
+            pending["count"] += 1
+            machine.fabric.send(
+                Message(
+                    kind=MsgKind.TLB_SHOOTDOWN,
+                    src=via_node,
+                    dst=target,
+                    value=vpage,
+                    origin=via_node,
+                    xid=xid,
+                )
+            )
+        if pending["count"] == 0:
+            all_acked()
+
+    def promote_master(self, vpage: int, node_id: int) -> None:
+        """Make ``node_id``'s copy the master (page-migration support)."""
+        clist = self.copylist(vpage)
+        copy = clist.copy_on(node_id)
+        if copy is None:
+            raise ReplicationError(
+                f"node {node_id} holds no copy of vpage {vpage}"
+            )
+        clist.promote(copy)
+        self._rebuild_tables(vpage)
+
+    def migrate(self, vpage: int, to_node: int) -> PhysPage:
+        """Move an unreplicated page to ``to_node`` (copy then delete).
+
+        Page migration is achieved simply by creating a copy and then
+        deleting the old one (Section 2.4).
+        """
+        clist = self.copylist(vpage)
+        if len(clist) != 1:
+            raise ReplicationError(
+                f"migrate expects an unreplicated page; vpage {vpage} has "
+                f"{len(clist)} copies"
+            )
+        old = clist.master
+        if old.node == to_node:
+            return old
+        new = self.replicate(vpage, to_node)
+        self.promote_master(vpage, to_node)
+        self.delete_copy(vpage, old.node)
+        return new

@@ -1,0 +1,7 @@
+"""Mesh interconnect: topology, link timing, and message delivery."""
+
+from repro.network.fabric import Fabric, FabricStats
+from repro.network.message import Message, MsgKind
+from repro.network.topology import Mesh
+
+__all__ = ["Fabric", "FabricStats", "Message", "MsgKind", "Mesh"]

@@ -1,0 +1,119 @@
+"""Message taxonomy for coherence-manager traffic.
+
+Every network transaction of the PLUS protocol (Section 2.3 / 3.1) is one
+of these message kinds:
+
+* ``READ_REQ`` / ``READ_RESP`` — remote blocking read of one word.
+* ``WRITE_REQ`` — a write travelling towards the master copy.  A node
+  that receives one for a page whose master is elsewhere forwards it.
+* ``UPDATE`` — a write propagating down the copy-list, master first.
+* ``INVALIDATE`` — the ablation variant: instead of carrying the new
+  data, mark the addressed words invalid at each copy (Section 2.2's
+  write-invalidate comparison point).
+* ``WRITE_ACK`` — sent by the last copy in the list to the originator,
+  completing the write (frees a pending-writes entry).
+* ``RMW_REQ`` / ``RMW_RESP`` — a delayed operation travelling to the
+  master and its old-value result returning to the issuer.  Memory
+  mutations made by the operation propagate as ordinary ``UPDATE``
+  messages.
+* ``PAGE_COPY_REQ`` / ``PAGE_COPY_DATA`` — the background page-copy
+  hardware used during replication (Section 2.4).
+* ``TLB_SHOOTDOWN`` / ``TLB_SHOOTDOWN_ACK`` — the OS interrupt that makes
+  every node drop its mapping of a page copy being deleted (Section
+  2.4: "all the nodes that have a copy of the page must update their
+  address translation tables and flush their TLBs").
+
+Sizes are bytes on the wire and drive the link-occupancy (contention)
+model; they assume a small routing header plus the fields listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import List, Optional
+
+from repro.core.params import OpCode
+from repro.memory.address import PhysAddr
+
+
+class MsgKind(Enum):
+    """The message vocabulary of the coherence protocol (see above)."""
+
+    READ_REQ = "read-req"
+    READ_RESP = "read-resp"
+    WRITE_REQ = "write-req"
+    UPDATE = "update"
+    INVALIDATE = "invalidate"
+    WRITE_ACK = "write-ack"
+    RMW_REQ = "rmw-req"
+    RMW_RESP = "rmw-resp"
+    PAGE_COPY_REQ = "page-copy-req"
+    PAGE_COPY_DATA = "page-copy-data"
+    TLB_SHOOTDOWN = "tlb-shootdown"
+    TLB_SHOOTDOWN_ACK = "tlb-shootdown-ack"
+
+
+#: Wire size in bytes per message kind (header + payload fields).
+MESSAGE_BYTES = {
+    MsgKind.READ_REQ: 12,
+    MsgKind.READ_RESP: 12,
+    MsgKind.WRITE_REQ: 16,
+    MsgKind.UPDATE: 16,
+    MsgKind.INVALIDATE: 12,
+    MsgKind.WRITE_ACK: 12,
+    MsgKind.RMW_REQ: 20,
+    MsgKind.RMW_RESP: 16,
+    MsgKind.PAGE_COPY_REQ: 16,
+    MsgKind.PAGE_COPY_DATA: 16,  # + 4 bytes per carried word, see size_bytes
+    MsgKind.TLB_SHOOTDOWN: 12,
+    MsgKind.TLB_SHOOTDOWN_ACK: 12,
+}
+
+_msg_ids = count()
+
+
+@dataclass
+class Message:
+    """One coherence-manager-to-coherence-manager network message."""
+
+    kind: MsgKind
+    src: int
+    dst: int
+    addr: Optional[PhysAddr] = None
+    value: int = 0
+    op: Optional[OpCode] = None
+    operand: int = 0
+    #: Node that started the transaction (receives the ack / response).
+    origin: int = -1
+    #: Originator-local transaction id (pending-write entry or delayed slot).
+    xid: int = -1
+    #: Bulk payload for page-copy data messages.
+    words: List[int] = field(default_factory=list)
+    #: Word writes (page offset, value) carried by UPDATE messages.  A
+    #: plain write carries one pair; a queue/dequeue operation carries
+    #: two (the ring slot and the head/tail offset word).
+    writes: List[tuple] = field(default_factory=list)
+    #: On RMW_RESP: True when no copy-list updates were generated, so the
+    #: operation is already complete (saves a separate ack message).
+    chain_done: bool = False
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this message occupies on each link it crosses."""
+        base = MESSAGE_BYTES[self.kind]
+        if self.kind is MsgKind.PAGE_COPY_DATA:
+            return base + 4 * len(self.words)
+        if self.kind is MsgKind.UPDATE and len(self.writes) > 1:
+            return base + 8 * (len(self.writes) - 1)
+        if self.kind is MsgKind.INVALIDATE and len(self.writes) > 1:
+            return base + 4 * (len(self.writes) - 1)
+        return base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kind.value}#{self.msg_id} {self.src}->{self.dst} "
+            f"addr={self.addr} val={self.value} origin={self.origin} xid={self.xid}"
+        )

@@ -1,0 +1,78 @@
+"""Link-level timing model for the mesh fabric.
+
+Each directed mesh link is modelled as a serially-reusable resource: a
+message holds the link for its serialisation time (bytes divided by the
+20 Mbyte/s link bandwidth) and adds one router-hop latency.  Wormhole
+pipelining is approximated by charging the hop latency per link but the
+serialisation only against link availability, which reproduces both the
+uncontended numbers of Section 3.1 (24-cycle adjacent round trip, 4 cycles
+per extra hop) and the congestion collapse the paper warns about when
+uncontrolled replication floods the network with updates (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.params import TimingParams
+from repro.network.topology import Link
+
+
+class LinkState:
+    """Occupancy bookkeeping for one directed link."""
+
+    __slots__ = ("next_free", "busy_cycles", "messages")
+
+    def __init__(self) -> None:
+        self.next_free = 0
+        self.busy_cycles = 0
+        self.messages = 0
+
+
+class LinkModel:
+    """Computes message delivery times across a sequence of links."""
+
+    def __init__(self, params: TimingParams) -> None:
+        self.params = params
+        self._links: Dict[Link, LinkState] = {}
+
+    def _state(self, link: Link) -> LinkState:
+        state = self._links.get(link)
+        if state is None:
+            state = self._links[link] = LinkState()
+        return state
+
+    def traverse(self, path: List[Link], depart: int, size_bytes: int) -> int:
+        """Arrival time of a message leaving at ``depart`` along ``path``.
+
+        The head of the message advances one hop per ``net_hop_cycles``
+        but may stall waiting for a link that is still draining an
+        earlier message; the tail then occupies each link for the
+        serialisation time.
+        """
+        params = self.params
+        occupancy = params.link_occupancy_cycles(size_bytes)
+        t = depart + params.net_fixed_cycles
+        for link in path:
+            state = self._state(link)
+            start = max(t, state.next_free)
+            waited = start - t
+            t = start + params.net_hop_cycles
+            state.next_free = start + occupancy
+            state.busy_cycles += occupancy + waited
+            state.messages += 1
+        return t
+
+    # -- instrumentation -------------------------------------------------
+    def total_link_messages(self) -> int:
+        return sum(s.messages for s in self._links.values())
+
+    def total_busy_cycles(self) -> int:
+        return sum(s.busy_cycles for s in self._links.values())
+
+    def hottest_links(self, top: int = 5) -> List[tuple]:
+        """The ``top`` busiest links as (link, busy_cycles, messages)."""
+        ranked = sorted(
+            self._links.items(), key=lambda kv: kv[1].busy_cycles, reverse=True
+        )
+        return [(link, s.busy_cycles, s.messages) for link, s in ranked[:top]]

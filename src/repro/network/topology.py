@@ -1,0 +1,113 @@
+"""2-D mesh topology and dimension-order routing.
+
+The current PLUS implementation connects nodes with the Caltech mesh
+router (Section 5): five port pairs per router — one to the local node and
+one per mesh neighbour.  Routing is deterministic dimension-order (X then
+Y), which together with FIFO links preserves point-to-point message order;
+the coherence protocol relies on that to keep copy-list updates ordered.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+
+Coord = Tuple[int, int]
+#: A directed link between adjacent routers, as (from_node, to_node).
+Link = Tuple[int, int]
+
+
+class Mesh:
+    """A ``width x height`` mesh of nodes numbered row-major from 0."""
+
+    def __init__(self, n_nodes: int, width: int = 0, height: int = 0) -> None:
+        if n_nodes < 1:
+            raise ConfigError("a mesh needs at least one node")
+        if width and height:
+            if width * height < n_nodes:
+                raise ConfigError(
+                    f"{width}x{height} mesh cannot hold {n_nodes} nodes"
+                )
+        else:
+            width = math.ceil(math.sqrt(n_nodes))
+            height = math.ceil(n_nodes / width)
+        self.n_nodes = n_nodes
+        self.width = width
+        self.height = height
+
+    # ------------------------------------------------------------------
+    # The router grid spans the full width x height rectangle; when
+    # n_nodes < width * height the trailing positions hold routers with
+    # no node attached (an incomplete machine on a complete fabric), so
+    # dimension-order routes may legitimately pass through them.
+    @property
+    def n_positions(self) -> int:
+        return self.width * self.height
+
+    def coord(self, position: int) -> Coord:
+        """(x, y) of a router position (nodes occupy the first ones)."""
+        self._check_position(position)
+        return position % self.width, position // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at mesh position (x, y)."""
+        node = y * self.width + x
+        self._check(node)
+        return node
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigError(f"node {node} outside mesh of {self.n_nodes}")
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self.n_positions:
+            raise ConfigError(
+                f"position {position} outside {self.width}x{self.height} grid"
+            )
+
+    # ------------------------------------------------------------------
+    def hops(self, a: int, b: int) -> int:
+        """Manhattan distance between nodes ``a`` and ``b``."""
+        ax, ay = self.coord(a)
+        bx, by = self.coord(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Dimension-order (X then Y) path as a list of directed links."""
+        self._check(src)
+        self._check(dst)
+        links: List[Link] = []
+        x, y = self.coord(src)
+        dx, dy = self.coord(dst)
+        here = src
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            nxt = y * self.width + x
+            links.append((here, nxt))
+            here = nxt
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            nxt = y * self.width + x
+            links.append((here, nxt))
+            here = nxt
+        return links
+
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Mesh neighbours of ``node`` (2 to 4 of them)."""
+        x, y = self.coord(node)
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                neighbor = ny * self.width + nx
+                if neighbor < self.n_nodes:
+                    yield neighbor
+
+    def nearest_to(self, target: int, candidates: List[int]) -> int:
+        """The candidate node closest to ``target`` (ties: lowest id)."""
+        if not candidates:
+            raise ConfigError("nearest_to needs at least one candidate")
+        return min(candidates, key=lambda n: (self.hops(target, n), n))

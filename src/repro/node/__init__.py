@@ -1,0 +1,7 @@
+"""Node model: processor, cache, and their wiring."""
+
+from repro.node.cache import DirectMappedCache
+from repro.node.cpu import CPU, SimThread, ThreadStatus
+from repro.node.node import Node
+
+__all__ = ["CPU", "DirectMappedCache", "Node", "SimThread", "ThreadStatus"]

@@ -1,0 +1,355 @@
+"""The processor model: runs simulated threads and charges time.
+
+Application code is a Python generator yielding
+:mod:`repro.runtime.requests` objects; the CPU charges the corresponding
+cycles, drives the node's MMU / cache / coherence manager, and resumes
+the generator with the result.
+
+Scheduling follows the paper's context-switching discussion (Section
+3.3): a processor may hold several thread contexts; whenever the running
+thread blocks (a remote read, an unavailable delayed result, a fence, a
+full pending-writes cache) the CPU switches to another ready context,
+paying ``context_switch_cycles`` each time a *different* context is
+installed.  With one thread per processor and a zero switch cost this
+degenerates to the plain blocking processor used for the "blocking
+synchronization" and "delayed operations" curves of Figure 3-1; with
+several threads and a 16/40/140-cycle cost it reproduces the
+context-switch curves.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import ThreadError
+from repro.runtime.requests import (
+    AwaitResult,
+    Compute,
+    Fence,
+    Issue,
+    PollResult,
+    Read,
+    Write,
+    Yield,
+)
+
+Callback = Callable[..., None]
+ThreadGen = Generator[Any, Any, Any]
+
+_tids = count()
+
+
+class ThreadStatus(Enum):
+    """Scheduler state of one thread context."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SimThread:
+    """One simulated thread context."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "status",
+        "continuation",
+        "stall_kind",
+        "stall_start",
+        "result",
+    )
+
+    def __init__(self, gen: ThreadGen, name: str) -> None:
+        self.tid = next(_tids)
+        self.name = name
+        self.gen = gen
+        self.status = ThreadStatus.READY
+        self.continuation: Optional[Callable[[], None]] = None
+        self.stall_kind = ""
+        self.stall_start = 0
+        self.result: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<thread {self.name}#{self.tid} {self.status.value}>"
+
+
+class CPU:
+    """The processor of one node."""
+
+    def __init__(self, node) -> None:
+        # ``node`` is the owning Node (typed loosely: import cycle).
+        self.node = node
+        self.engine = node.engine
+        self.params = node.params
+        self.counters = node.counters
+        self.threads: List[SimThread] = []
+        self._current: Optional[SimThread] = None
+        self._last: Optional[SimThread] = None
+        self._rr = 0  # round-robin scan position
+
+    # ------------------------------------------------------------------
+    # Thread management.
+    # ------------------------------------------------------------------
+    def spawn(self, gen: ThreadGen, name: str = "") -> SimThread:
+        """Add a thread context; it becomes runnable immediately."""
+        thread = SimThread(gen, name or f"t{len(self.threads)}")
+        thread.continuation = lambda: self._step(thread, None)
+        self.threads.append(thread)
+        self.engine.after(0, self._try_dispatch)
+        return thread
+
+    @property
+    def all_done(self) -> bool:
+        return all(t.status is ThreadStatus.DONE for t in self.threads)
+
+    def blocked_report(self) -> List[str]:
+        """Human-readable description of non-finished threads."""
+        lines = []
+        for t in self.threads:
+            if t.status is ThreadStatus.DONE:
+                continue
+            detail = f" on {t.stall_kind!r} since cycle {t.stall_start}" if (
+                t.status is ThreadStatus.BLOCKED
+            ) else ""
+            lines.append(
+                f"node {self.node.node_id} thread {t.name}#{t.tid}: "
+                f"{t.status.value}{detail}"
+            )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+    # ------------------------------------------------------------------
+    def _pick_ready(self) -> Optional[SimThread]:
+        n = len(self.threads)
+        for i in range(n):
+            t = self.threads[(self._rr + i) % n]
+            if t.status is ThreadStatus.READY:
+                self._rr = (self._rr + i + 1) % n
+                return t
+        return None
+
+    def _try_dispatch(self) -> None:
+        if self._current is not None:
+            return
+        thread = self._pick_ready()
+        if thread is None:
+            return
+        self._current = thread
+        thread.status = ThreadStatus.RUNNING
+        cont = thread.continuation
+        thread.continuation = None
+        assert cont is not None
+        switching = (
+            self._last is not None
+            and self._last is not thread
+            and self.params.context_switch_cycles > 0
+        )
+        self._last = thread
+        if switching:
+            self.counters.context_switches += 1
+            self._busy(self.params.context_switch_cycles, cont)
+        else:
+            cont()
+
+    def _block(self, thread: SimThread, kind: str) -> None:
+        assert self._current is thread
+        thread.status = ThreadStatus.BLOCKED
+        thread.stall_kind = kind
+        thread.stall_start = self.engine.now
+        self._current = None
+        self._try_dispatch()
+
+    def _unblock(self, thread: SimThread, cont: Callable[[], None]) -> None:
+        stall = self.engine.now - thread.stall_start
+        field = f"{thread.stall_kind}_stall_cycles"
+        setattr(self.counters, field, getattr(self.counters, field) + stall)
+        thread.status = ThreadStatus.READY
+        thread.continuation = cont
+        self._try_dispatch()
+
+    def _busy(self, cycles: int, then: Callback) -> None:
+        """Charge ``cycles`` of processor-busy time, then continue."""
+        self.counters.busy_cycles += cycles
+        self.engine.after(cycles, then)
+
+    def _await(
+        self,
+        thread: SimThread,
+        kind: str,
+        subscribe: Callable[[Callback], None],
+        finish: Callback,
+    ) -> None:
+        """Run an operation that may or may not complete synchronously.
+
+        ``subscribe(cb)`` starts the operation; the component calls
+        ``cb(*args)`` on completion (immediately if it can).  ``finish``
+        receives the same args once the thread is current again.
+        """
+        state: dict = {"phase": "starting"}
+
+        def cb(*args: Any) -> None:
+            if state["phase"] == "starting":
+                state["phase"] = ("done", args)
+            else:
+                self._unblock(thread, lambda: finish(*args))
+
+        subscribe(cb)
+        phase = state["phase"]
+        if phase == "starting":
+            state["phase"] = "blocked"
+            self._block(thread, kind)
+        else:
+            finish(*phase[1])
+
+    # ------------------------------------------------------------------
+    # Request execution.
+    # ------------------------------------------------------------------
+    def _step(self, thread: SimThread, send_value: Any) -> None:
+        assert self._current is thread
+        try:
+            request = thread.gen.send(send_value)
+        except StopIteration as stop:
+            thread.status = ThreadStatus.DONE
+            thread.result = stop.value
+            self.counters.threads_finished += 1
+            self._current = None
+            self._try_dispatch()
+            return
+
+        if isinstance(request, Compute):
+            if request.cycles < 0:
+                raise ThreadError(f"negative compute time {request.cycles}")
+            if request.useful:
+                self.counters.compute_cycles += request.cycles
+            else:
+                self.counters.spin_cycles += request.cycles
+            self._busy(request.cycles, lambda: self._step(thread, None))
+        elif isinstance(request, Read):
+            self._do_read(thread, request.vaddr)
+        elif isinstance(request, Write):
+            self._do_write(thread, request.vaddr, request.value)
+        elif isinstance(request, Issue):
+            self._do_issue(thread, request)
+        elif isinstance(request, AwaitResult):
+            self._do_await_result(thread, request.token)
+        elif isinstance(request, PollResult):
+            value = self.node.cm.cpu_poll(request.token)
+            self._busy(
+                self.params.read_result_cycles,
+                lambda: self._step(thread, value),
+            )
+        elif isinstance(request, Fence):
+            self._do_fence(thread)
+        elif isinstance(request, Yield):
+            thread.status = ThreadStatus.READY
+            thread.continuation = lambda: self._step(thread, None)
+            self._current = None
+            self._try_dispatch()
+        else:
+            raise ThreadError(
+                f"thread {thread.name} yielded {request!r}, which is not a "
+                "simulation request (use the ThreadCtx helpers)"
+            )
+
+    # -- reads -----------------------------------------------------------
+    def _do_read(self, thread: SimThread, vaddr: int) -> None:
+        paddr, mmu_cycles = self.node.translate(vaddr)
+        cm = self.node.cm
+
+        def proceed() -> None:
+            if paddr.node == self.node.node_id:
+                if not cm.word_valid(paddr):
+                    # Invalidate-protocol miss: the local copy is stale;
+                    # fetch from the master and revalidate (a remote read).
+                    self._await(
+                        thread,
+                        "read",
+                        lambda cb: cm.cpu_refetch(paddr, cb),
+                        lambda value: self._step(thread, value),
+                    )
+                    return
+                cycles = self.node.cache.read_cycles(paddr.page, paddr.offset)
+                value = self.node.memory.read(paddr.page, paddr.offset)
+                self.counters.local_reads += 1
+                self._busy(cycles, lambda: self._step(thread, value))
+            else:
+                self.node.note_remote_ref(vaddr)
+                self._await(
+                    thread,
+                    "read",
+                    lambda cb: cm.cpu_read_remote(paddr, cb),
+                    lambda value: self._step(thread, value),
+                )
+
+        def after_mmu() -> None:
+            if cm.pending.pending_at(paddr):
+                self._await(
+                    thread,
+                    "read",
+                    lambda cb: cm.when_safe_to_read(paddr, cb),
+                    proceed,
+                )
+            else:
+                proceed()
+
+        self._busy(mmu_cycles, after_mmu)
+
+    # -- writes ------------------------------------------------------------
+    def _do_write(self, thread: SimThread, vaddr: int, value: int) -> None:
+        paddr, mmu_cycles = self.node.translate(vaddr)
+
+        def issue() -> None:
+            self.node.cache.note_write(paddr.page, paddr.offset)
+            self._await(
+                thread,
+                "write",
+                lambda cb: self.node.cm.cpu_write(paddr, value, cb),
+                lambda: self._step(thread, None),
+            )
+
+        self._busy(mmu_cycles + self.params.write_issue_cycles, issue)
+
+    # -- delayed operations ---------------------------------------------------
+    def _do_issue(self, thread: SimThread, request: Issue) -> None:
+        paddr, mmu_cycles = self.node.translate(request.vaddr)
+
+        def issue() -> None:
+            self._await(
+                thread,
+                "sync",
+                lambda cb: self.node.cm.cpu_issue(
+                    request.op, paddr, request.operand, cb
+                ),
+                lambda token: self._step(thread, token),
+            )
+
+        self._busy(mmu_cycles + self.params.issue_delayed_cycles, issue)
+
+    def _do_await_result(self, thread: SimThread, token) -> None:
+        def finish(value: int) -> None:
+            self._busy(
+                self.params.read_result_cycles,
+                lambda: self._step(thread, value),
+            )
+
+        self._await(
+            thread,
+            "sync",
+            lambda cb: self.node.cm.cpu_result(token, cb),
+            finish,
+        )
+
+    # -- fence ---------------------------------------------------------------
+    def _do_fence(self, thread: SimThread) -> None:
+        self._await(
+            thread,
+            "fence",
+            lambda cb: self.node.cm.cpu_fence(cb),
+            lambda: self._step(thread, None),
+        )

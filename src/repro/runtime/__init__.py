@@ -1,0 +1,48 @@
+"""Programming model: thread contexts, shared memory, synchronization."""
+
+from repro.runtime.requests import (
+    AwaitResult,
+    Compute,
+    Fence,
+    Issue,
+    PollResult,
+    Read,
+    Write,
+)
+from repro.runtime.collections import WorkPool
+from repro.runtime.prefetch import EagerDequeuer, ReadPipeline
+from repro.runtime.shm import QueueHandle, Segment, SharedMemory
+from repro.runtime.sync import (
+    Barrier,
+    Mailboxes,
+    QueueLock,
+    ReadWriteLock,
+    Semaphore,
+    SpinLock,
+    TreeBarrier,
+)
+from repro.runtime.thread import ThreadCtx
+
+__all__ = [
+    "AwaitResult",
+    "Barrier",
+    "EagerDequeuer",
+    "Mailboxes",
+    "QueueLock",
+    "ReadPipeline",
+    "ReadWriteLock",
+    "Semaphore",
+    "SpinLock",
+    "TreeBarrier",
+    "WorkPool",
+    "Compute",
+    "Fence",
+    "Issue",
+    "PollResult",
+    "QueueHandle",
+    "Read",
+    "Segment",
+    "SharedMemory",
+    "ThreadCtx",
+    "Write",
+]

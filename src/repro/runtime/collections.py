@@ -1,0 +1,212 @@
+"""Distributed work-queue collections.
+
+Both evaluation applications of the paper split a central work queue into
+per-node queues to avoid the bandwidth bottleneck at a single coherence
+manager, and steal from other queues when the local one runs dry
+(Sections 2.5 and 3.4).  :class:`WorkPool` packages that pattern: a set
+of hardware queues, local-first pop with optional stealing, and a
+``fetch-and-add``-based termination detector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.params import TOP_BIT, VALUE_MASK_31
+from repro.errors import ConfigError
+from repro.runtime.shm import QueueHandle
+from repro.runtime.sync import DEFAULT_BACKOFF
+from repro.runtime.thread import ThreadCtx
+
+
+class WorkPool:
+    """A set of hardware queues with stealing and termination detection.
+
+    Items are 31-bit unsigned integers (the hardware queue word minus its
+    occupancy bit).  The outstanding-work counter counts items that have
+    been pushed but whose processing has not been declared finished; a
+    worker that drops it to zero raises the replicated done flag.
+    """
+
+    def __init__(
+        self,
+        machine,
+        n_queues: int,
+        queue_homes: Optional[Sequence[int]] = None,
+        queue_replicas: Optional[Sequence[Sequence[int]]] = None,
+        flag_replicas: Sequence[int] = (),
+        counter_home: int = 0,
+    ) -> None:
+        if n_queues < 1:
+            raise ConfigError("work pool needs at least one queue")
+        if queue_homes is None:
+            queue_homes = [i % machine.n_nodes for i in range(n_queues)]
+        self.queues: List[QueueHandle] = []
+        for i, home in enumerate(queue_homes):
+            replicas = queue_replicas[i] if queue_replicas else ()
+            self.queues.append(
+                machine.shm.alloc_queue(
+                    home=home, replicas=replicas, name=f"workq{i}"
+                )
+            )
+        seg = machine.shm.alloc(
+            1, home=counter_home, name="work-counter"
+        )
+        self.counter_va = seg.base
+        flag_seg = machine.shm.alloc(
+            1, home=counter_home, replicas=flag_replicas, name="work-done-flag"
+        )
+        self.flag_va = flag_seg.base
+
+    # ------------------------------------------------------------------
+    @property
+    def n_queues(self) -> int:
+        return len(self.queues)
+
+    def preload(self, machine, qi: int, items: Sequence[int]) -> None:
+        """Fill queue ``qi`` before the run (no simulated time)."""
+        queue = self.queues[qi]
+        params = machine.params
+        tail = machine.peek(queue.tail_va)
+        base = queue.base
+        for item in items:
+            if item > VALUE_MASK_31:
+                raise ConfigError(f"queue item {item} exceeds 31 bits")
+            machine.poke(base + tail, item | TOP_BIT)
+            tail += 1
+            if tail >= params.page_words:
+                tail = params.queue_ring_base
+        machine.poke(queue.tail_va, tail)
+        count = machine.peek(self.counter_va) + len(items)
+        machine.poke(self.counter_va, count)
+
+    # ------------------------------------------------------------------
+    # Simulated-thread operations.
+    # ------------------------------------------------------------------
+    def adjust(self, ctx: ThreadCtx, delta: int):
+        """Move the outstanding-work counter by ``delta`` atomically.
+
+        Raises the done flag when the counter reaches zero.  Batching
+        several pushes and one retirement into a single ``adjust`` keeps
+        the counter page from becoming an interlocked-operation hotspot;
+        callers must apply a positive part of the delta *before* the
+        corresponding items become poppable.
+        """
+        if delta == 0:
+            return
+        old = yield from ctx.fetch_add(self.counter_va, delta & 0xFFFFFFFF)
+        if delta < 0 and old == -delta:
+            yield from ctx.write(self.flag_va, 1)
+
+    def push_raw(
+        self, ctx: ThreadCtx, qi: int, item: int, backoff: int = DEFAULT_BACKOFF
+    ):
+        """Enqueue without touching the work counter (see :meth:`adjust`)."""
+        while True:
+            ret = yield from ctx.enqueue(self.queues[qi], item)
+            if not ret & TOP_BIT:
+                return
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)  # queue full: rare
+
+    def push(
+        self, ctx: ThreadCtx, qi: int, item: int, backoff: int = DEFAULT_BACKOFF
+    ):
+        """Add one work item (counts it as outstanding first)."""
+        yield from self.adjust(ctx, 1)
+        yield from self.push_raw(ctx, qi, item, backoff)
+
+    def try_pop(self, ctx: ThreadCtx, qi: int):
+        """Pop from queue ``qi``; returns the item or None if empty."""
+        word = yield from ctx.dequeue(self.queues[qi])
+        if word & TOP_BIT:
+            return word & VALUE_MASK_31
+        return None
+
+    def pop_any(self, ctx: ThreadCtx, start_qi: int, steal: bool = True):
+        """Pop locally, then (optionally) sweep the other queues once.
+
+        Returns the item, or None if every probed queue was empty.
+        """
+        item = yield from self.try_pop(ctx, start_qi)
+        if item is not None or not steal:
+            return item
+        n = self.n_queues
+        for step in range(1, n):
+            qi = (start_qi + step) % n
+            item = yield from self.try_pop(ctx, qi)
+            if item is not None:
+                return item
+        return None
+
+    def task_done(self, ctx: ThreadCtx):
+        """Declare one item finished; raises the flag at zero outstanding."""
+        yield from self.adjust(ctx, -1)
+
+    def finished(self, ctx: ThreadCtx):
+        """Non-destructive check of the (replicated) done flag."""
+        flag = yield from ctx.read(self.flag_va)
+        return bool(flag)
+
+    def run_worker(
+        self,
+        ctx: ThreadCtx,
+        qi: int,
+        handle_item,
+        steal: bool = True,
+        idle_backoff: int = DEFAULT_BACKOFF * 2,
+    ):
+        """Standard worker loop: pop, handle, repeat until global done.
+
+        ``handle_item(ctx, item)`` is a generator; it must arrange for
+        :meth:`task_done` to be called once per popped item (directly or
+        after pushing follow-on work).
+        """
+        while True:
+            item = yield from self.pop_any(ctx, qi, steal=steal)
+            if item is not None:
+                yield from handle_item(ctx, item)
+                continue
+            done = yield from self.finished(ctx)
+            if done:
+                return
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(idle_backoff)
+
+
+class Accumulator:
+    """A distributed reduction cell: combine locally, publish once.
+
+    A single interlocked counter serialises at one coherence manager, so
+    machine-wide sums are built the PLUS way: each node accumulates into
+    a private word (local writes), then adds its partial into the global
+    cell with one ``fetch-and-add`` at the end.  ``total`` may be read
+    after every contributor has called :meth:`publish`.
+    """
+
+    def __init__(self, machine, home: int = 0) -> None:
+        # One private page per node: partial sums never leave the node.
+        self._local = [
+            machine.shm.alloc(1, home=node, name=f"acc-local{node}")
+            for node in range(machine.n_nodes)
+        ]
+        seg = machine.shm.alloc(1, home=home, name="accumulator-total")
+        self.total_va = seg.base
+
+    def add(self, ctx: ThreadCtx, value: int):
+        """Accumulate locally (a cheap local read + write)."""
+        va = self._local[ctx.node_id].base
+        current = yield from ctx.read(va)
+        yield from ctx.write(va, (current + value) & 0xFFFFFFFF)
+
+    def publish(self, ctx: ThreadCtx):
+        """Fold this node's partial into the global total (one RMW)."""
+        va = self._local[ctx.node_id].base
+        partial = yield from ctx.read(va)
+        yield from ctx.write(va, 0)
+        yield from ctx.fence()
+        yield from ctx.fetch_add(self.total_va, partial)
+
+    def total(self, ctx: ThreadCtx):
+        """Read the global total (valid once contributors published)."""
+        return (yield from ctx.read(self.total_va))

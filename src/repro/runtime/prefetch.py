@@ -1,0 +1,120 @@
+"""Software pipelining helpers built on delayed operations.
+
+Section 3.2: "the delayed-read operation is like an ordinary read,
+except that it proceeds asynchronously and the result can be retrieved
+later.  Since several such operations can be in progress simultaneously,
+this is useful for hiding the latency of remote read operations.
+However, it needs careful, handcrafted code or a clever optimizing
+compiler."  Section 3.3 adds the eager-queue pattern: "we programmed a
+primitive that returns a pointer to a free element in a queue with very
+little latency, because it eagerly asks for a new element every time the
+user consumes the previous element."
+
+These classes are that handcrafted code, packaged:
+
+* :class:`ReadPipeline` — stream reads over a sequence of addresses with
+  a configurable number of delayed-reads in flight.
+* :class:`EagerDequeuer` — the Section 3.3 primitive: always keeps one
+  dequeue issued ahead, so consuming an element costs only the result
+  read when the queue is busy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.params import TOP_BIT, VALUE_MASK_31
+from repro.errors import ConfigError
+from repro.runtime.shm import QueueHandle
+from repro.runtime.thread import ThreadCtx
+
+
+class ReadPipeline:
+    """Fetch a stream of addresses with overlapping delayed-reads.
+
+    ``depth`` delayed-read operations are kept in flight (bounded by the
+    8-slot delayed-operations cache); results come back in issue order.
+    """
+
+    def __init__(self, depth: int = 4) -> None:
+        if not 1 <= depth <= 8:
+            raise ConfigError("pipeline depth must be within 1..8")
+        self.depth = depth
+
+    def gather(self, ctx: ThreadCtx, addresses: Sequence[int]):
+        """Read every address; returns the list of values in order."""
+        values: List[int] = []
+        in_flight: deque = deque()
+        for vaddr in addresses:
+            if len(in_flight) >= self.depth:
+                token = in_flight.popleft()
+                values.append((yield from ctx.result(token)))
+            token = yield from ctx.issue_delayed_read(vaddr)
+            in_flight.append(token)
+        while in_flight:
+            token = in_flight.popleft()
+            values.append((yield from ctx.result(token)))
+        return values
+
+    def stream(self, ctx: ThreadCtx, addresses: Iterable[int], consume):
+        """Pipe each value through ``consume(ctx, value)`` (a generator),
+        overlapping its work with the next fetches."""
+        in_flight: deque = deque()
+        iterator = iter(addresses)
+        exhausted = False
+        while True:
+            while not exhausted and len(in_flight) < self.depth:
+                try:
+                    vaddr = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                token = yield from ctx.issue_delayed_read(vaddr)
+                in_flight.append(token)
+            if not in_flight:
+                return
+            token = in_flight.popleft()
+            value = yield from ctx.result(token)
+            yield from consume(ctx, value)
+
+
+class EagerDequeuer:
+    """Keep a hardware dequeue always in flight (Section 3.3).
+
+    The first :meth:`next` issues two dequeues (retrieving two elements'
+    worth of latency at once); every later call consumes the in-flight
+    result and immediately re-issues, so the queue latency overlaps the
+    caller's processing of the previous element.
+    """
+
+    def __init__(self, queue: QueueHandle) -> None:
+        self.queue = queue
+        self._token = None
+
+    def next(self, ctx: ThreadCtx) -> Optional[int]:
+        """The next element, or None if the queue was empty at probe time.
+
+        An empty probe does not stop the pipeline: the next call re-probes.
+        """
+        if self._token is None:
+            self._token = yield from ctx.issue_dequeue(self.queue)
+        word = yield from ctx.result(self._token)
+        self._token = yield from ctx.issue_dequeue(self.queue)
+        if word & TOP_BIT:
+            return word & VALUE_MASK_31
+        return None
+
+    def drain(self, ctx: ThreadCtx):
+        """Consume and discard the in-flight dequeue (call before exit).
+
+        Returns the element it happened to pop, or None — callers that
+        tracked outstanding work must account for a non-None result.
+        """
+        if self._token is None:
+            return None
+        word = yield from ctx.result(self._token)
+        self._token = None
+        if word & TOP_BIT:
+            return word & VALUE_MASK_31
+        return None

@@ -1,0 +1,93 @@
+"""Requests a simulated thread can yield to its processor.
+
+Application code running on the simulated machine is written as Python
+generators.  Each ``yield`` hands one of these request objects to the CPU
+model, which charges the appropriate time, drives the memory system, and
+resumes the generator with the result (if any).  Most programs use the
+:class:`~repro.runtime.thread.ThreadCtx` helpers instead of yielding
+these directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.delayed import Token
+from repro.core.params import OpCode
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute ``cycles`` of local computation (no memory traffic).
+
+    ``useful=False`` marks spin/backoff loops: the processor is busy but
+    doing no useful work.  The distinction feeds the utilization metric
+    of the paper's figures ("ratio of average useful processor time to
+    elapsed time").
+    """
+
+    cycles: int
+    useful: bool = True
+
+
+@dataclass(frozen=True)
+class Read:
+    """Blocking read of the word at virtual address ``vaddr``."""
+
+    vaddr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``value`` to virtual address ``vaddr``.
+
+    Non-blocking: the thread resumes as soon as the write is buffered in
+    the pending-writes cache (it stalls only when the cache is full).
+    """
+
+    vaddr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Issue:
+    """Issue delayed operation ``op`` on ``vaddr``; yields a Token."""
+
+    op: OpCode
+    vaddr: int
+    operand: int = 0
+
+
+@dataclass(frozen=True)
+class AwaitResult:
+    """Retrieve the result of a delayed operation (blocks until ready).
+
+    Reading the result deallocates the delayed-operations cache slot.
+    """
+
+    token: Token
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Non-blocking result check; yields the value or None (slot kept)."""
+
+    token: Token
+
+
+@dataclass(frozen=True)
+class Fence:
+    """Block until all earlier writes and update chains have completed."""
+
+
+@dataclass(frozen=True)
+class Yield:
+    """Voluntarily release the processor to another ready context.
+
+    The yielding thread goes to the back of the round-robin order; the
+    context-switch cost is charged only if a different context is
+    actually installed.
+    """
+
+
+Request = (Compute, Read, Write, Issue, AwaitResult, PollResult, Fence, Yield)

@@ -1,0 +1,349 @@
+"""Synchronization constructs built from PLUS delayed operations.
+
+The paper argues hardware synchronization primitives should be
+encapsulated in higher-level constructs (Section 3.2); this module is
+that layer:
+
+* :class:`SpinLock` — test-and-set (``fetch-and-set``) with backoff.
+* :class:`QueueLock` — the lock-with-queue of Table 3-2: ``fetch-and-add``
+  on the lock word, contenders park themselves in a hardware queue and
+  sleep; the releaser pops the next waiter and wakes it.
+* :class:`Barrier` — sense-reversing barrier on ``fetch-and-add``.
+* :class:`Semaphore` — counting P/V with the same sleep/wake machinery.
+
+Sleeping is implemented with per-thread mailbox words in shared memory:
+``wait`` spins locally on the mailbox (replicate the mailbox page to make
+the spin local!), ``wake_up`` writes it.  Note the explicit fences: on a
+weakly-ordered machine the releaser must fence before making the release
+visible, and a woken thread must fence after clearing its mailbox so the
+clear cannot be overtaken by the next wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.params import TOP_BIT, VALUE_MASK_31
+from repro.errors import ConfigError
+from repro.runtime.thread import ThreadCtx
+
+#: Cycles of local computation between spin probes.
+DEFAULT_BACKOFF = 40
+
+
+def as_signed32(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & TOP_BIT else value
+
+
+class SpinLock:
+    """A test-and-set lock: correct, simple, contention-unfriendly."""
+
+    def __init__(
+        self, machine, home: int = 0, replicas: Sequence[int] = ()
+    ) -> None:
+        self._seg = machine.shm.alloc(1, home=home, replicas=replicas, name="spinlock")
+        self.va = self._seg.base
+
+    def acquire(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        """Spin (with backoff) until the lock is taken."""
+        while True:
+            old = yield from ctx.fetch_set(self.va)
+            if not old & TOP_BIT:
+                return
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+
+    def release(self, ctx: ThreadCtx):
+        """Fence (publish the critical section), then free the lock."""
+        yield from ctx.fence()
+        yield from ctx.write(self.va, 0)
+
+
+class Mailboxes:
+    """Per-thread sleep/wake words shared by the blocking constructs."""
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int,
+        home: int = 0,
+        replicas: Sequence[int] = (),
+    ) -> None:
+        if n_threads < 1:
+            raise ConfigError("need at least one mailbox")
+        self.n_threads = n_threads
+        self._seg = machine.shm.alloc(
+            n_threads, home=home, replicas=replicas, name="mailboxes"
+        )
+
+    def wait(self, ctx: ThreadCtx, my_id: int, backoff: int = DEFAULT_BACKOFF):
+        """Sleep until woken: spin on my mailbox, clear it, fence.
+
+        The fence guarantees the clearing write has reached every copy
+        before this thread can possibly be queued for another wake-up;
+        without it the clear could overtake the *next* wake and lose it.
+        """
+        va = self._seg.addr(my_id)
+        while True:
+            value = yield from ctx.read(va)
+            if value:
+                break
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+        yield from ctx.write(va, 0)
+        yield from ctx.fence()
+
+    def wake_up(self, ctx: ThreadCtx, target_id: int):
+        """Wake the thread sleeping on mailbox ``target_id``."""
+        yield from ctx.write(self._seg.addr(target_id), 1)
+
+
+class QueueLock:
+    """The lock-with-queue of Table 3-2.
+
+    LOCK: ``fetch-and-add(lock, +1)``; if the lock was held, append my id
+    to the hardware queue (spinning in the unlikely full case) and sleep.
+    UNLOCK: ``fetch-and-add(lock, -1)``; if others are waiting, pop the
+    next id (looping in the brief window where the waiter has not yet
+    enqueued itself) and wake it — ownership passes directly.
+    """
+
+    def __init__(
+        self,
+        machine,
+        mailboxes: Mailboxes,
+        home: int = 0,
+        replicas: Sequence[int] = (),
+    ) -> None:
+        self._seg = machine.shm.alloc(1, home=home, replicas=replicas, name="qlock")
+        self.lock_va = self._seg.base
+        self.queue = machine.shm.alloc_queue(home=home, name="qlock-queue")
+        self.mailboxes = mailboxes
+
+    def acquire(self, ctx: ThreadCtx, my_id: int, backoff: int = DEFAULT_BACKOFF):
+        old = yield from ctx.fetch_add(self.lock_va, 1)
+        if old != 0:
+            # Lock unavailable: queue myself, then sleep until the holder
+            # hands the lock over.
+            while True:
+                ret = yield from ctx.enqueue(self.queue, my_id)
+                if not ret & TOP_BIT:
+                    break
+                yield from ctx.yield_cpu()
+                yield from ctx.spin(backoff)  # queue full: unlikely
+            yield from self.mailboxes.wait(ctx, my_id, backoff)
+
+    def release(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        # Publish the critical section before releasing.
+        yield from ctx.fence()
+        old = yield from ctx.fetch_add(self.lock_va, 0xFFFFFFFF)  # -1
+        if as_signed32(old) > 1:
+            # Someone is (or is about to be) queued: pop and wake it.
+            while True:
+                word = yield from ctx.dequeue(self.queue)
+                if word & TOP_BIT:
+                    break
+                yield from ctx.yield_cpu()
+                yield from ctx.spin(backoff)  # waiter not queued yet
+            yield from self.mailboxes.wake_up(ctx, word & VALUE_MASK_31)
+
+
+class Barrier:
+    """Sense-reversing barrier for a fixed set of ``n`` threads.
+
+    Replicate the barrier page on the spinning nodes to make the sense
+    spin local (the natural PLUS usage).
+    """
+
+    def __init__(
+        self,
+        machine,
+        n: int,
+        home: int = 0,
+        replicas: Sequence[int] = (),
+    ) -> None:
+        if n < 1:
+            raise ConfigError("barrier needs at least one participant")
+        self.n = n
+        self._seg = machine.shm.alloc(2, home=home, replicas=replicas, name="barrier")
+        self.count_va = self._seg.base
+        self.sense_va = self._seg.base + 1
+        self._sense: Dict[int, int] = {}
+
+    def wait(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        tid = ctx.thread.tid if ctx.thread is not None else id(ctx)
+        sense = 1 - self._sense.get(tid, 0)
+        self._sense[tid] = sense
+        # Publish everything done before the barrier.
+        yield from ctx.fence()
+        old = yield from ctx.fetch_add(self.count_va, 1)
+        if old == self.n - 1:
+            # Last arriver: reset the count, then flip the sense.  Both
+            # writes travel the same copy-list in order, so a thread that
+            # observes the new sense is guaranteed to see the reset too.
+            yield from ctx.write(self.count_va, 0)
+            yield from ctx.write(self.sense_va, sense)
+        else:
+            while True:
+                current = yield from ctx.read(self.sense_va)
+                if current == sense:
+                    break
+                yield from ctx.yield_cpu()
+                yield from ctx.spin(backoff)
+
+
+class Semaphore:
+    """Counting semaphore with sleeping P and waking V.
+
+    Per the paper there is usually no need to fence before a P
+    operation; V fences so the protected data is visible to the woken
+    consumer.
+    """
+
+    def __init__(
+        self,
+        machine,
+        mailboxes: Mailboxes,
+        initial: int = 0,
+        home: int = 0,
+        replicas: Sequence[int] = (),
+    ) -> None:
+        self._seg = machine.shm.alloc(1, home=home, replicas=replicas, name="semaphore")
+        self.va = self._seg.base
+        self.queue = machine.shm.alloc_queue(home=home, name="sem-queue")
+        self.mailboxes = mailboxes
+        machine.poke(self.va, initial & 0xFFFFFFFF)
+
+    def p(self, ctx: ThreadCtx, my_id: int, backoff: int = DEFAULT_BACKOFF):
+        old = yield from ctx.fetch_add(self.va, 0xFFFFFFFF)  # -1
+        if as_signed32(old) <= 0:
+            while True:
+                ret = yield from ctx.enqueue(self.queue, my_id)
+                if not ret & TOP_BIT:
+                    break
+                yield from ctx.yield_cpu()
+                yield from ctx.spin(backoff)
+            yield from self.mailboxes.wait(ctx, my_id, backoff)
+
+    def v(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        yield from ctx.fence()
+        old = yield from ctx.fetch_add(self.va, 1)
+        if as_signed32(old) < 0:
+            while True:
+                word = yield from ctx.dequeue(self.queue)
+                if word & TOP_BIT:
+                    break
+                yield from ctx.yield_cpu()
+                yield from ctx.spin(backoff)
+            yield from self.mailboxes.wake_up(ctx, word & VALUE_MASK_31)
+
+
+class TreeBarrier:
+    """Two-level sense-reversing barrier for machine-wide phases.
+
+    A flat barrier funnels every participant through one interlocked
+    counter, serialising at a single coherence manager.  Here threads
+    first combine on a *node-local* counter (a local interlocked add),
+    the last arriver of each node crosses to the global counter, and the
+    last node flips a sense word replicated on every node — so each
+    phase costs one remote operation per node rather than per thread,
+    and the spin is always on a local copy.
+    """
+
+    def __init__(self, machine, threads_per_node: int, home: int = 0) -> None:
+        if threads_per_node < 1:
+            raise ConfigError("threads_per_node must be >= 1")
+        self.machine = machine
+        self.threads_per_node = threads_per_node
+        self.n_nodes = machine.n_nodes
+        everyone = list(range(self.n_nodes))
+        self._local_va = []
+        for node in everyone:
+            seg = machine.shm.alloc(1, home=node, name=f"treebar-local{node}")
+            self._local_va.append(seg.base)
+        seg = machine.shm.alloc(1, home=home, name="treebar-global")
+        self.global_va = seg.base
+        sense = machine.shm.alloc(
+            1, home=home, replicas=[n for n in everyone if n != home],
+            name="treebar-sense",
+        )
+        self.sense_va = sense.base
+        self._sense: Dict[int, int] = {}
+
+    def wait(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        """Block until every participant has arrived."""
+        node = ctx.node_id
+        tid = ctx.thread.tid if ctx.thread is not None else id(ctx)
+        sense = 1 - self._sense.get(tid, 0)
+        self._sense[tid] = sense
+        # Publish this phase's writes before anyone can pass the barrier.
+        yield from ctx.fence()
+        if self.threads_per_node > 1:
+            old = yield from ctx.fetch_add(self._local_va[node], 1)
+            last_on_node = old == self.threads_per_node - 1
+            if last_on_node:
+                yield from ctx.write(self._local_va[node], 0)
+        else:
+            last_on_node = True
+        if last_on_node:
+            old = yield from ctx.fetch_add(self.global_va, 1)
+            if old == self.n_nodes - 1:
+                yield from ctx.write(self.global_va, 0)
+                yield from ctx.write(self.sense_va, sense)
+        while True:
+            current = yield from ctx.read(self.sense_va)
+            if current == sense:
+                return
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+
+
+class ReadWriteLock:
+    """A readers-writer spin lock on a single ``fetch-and-add`` word.
+
+    The state word holds the reader count; a writer adds a large bias so
+    any non-zero state excludes it.  Both sides back out and retry with
+    backoff on conflict — simple, correct, and writer-starvation-prone
+    under heavy read load (like the classic centralized algorithm).
+    """
+
+    WRITER_BIAS = 1 << 16
+
+    def __init__(
+        self, machine, home: int = 0, replicas: Sequence[int] = ()
+    ) -> None:
+        self._seg = machine.shm.alloc(1, home=home, replicas=replicas, name="rwlock")
+        self.va = self._seg.base
+
+    def acquire_read(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        """Enter as a reader (shared with other readers)."""
+        while True:
+            old = yield from ctx.fetch_add(self.va, 1)
+            if old < self.WRITER_BIAS:
+                return
+            # A writer holds or is acquiring the lock: back out.
+            yield from ctx.fetch_add(self.va, 0xFFFFFFFF)  # -1
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+
+    def release_read(self, ctx: ThreadCtx):
+        yield from ctx.fence()
+        yield from ctx.fetch_add(self.va, 0xFFFFFFFF)  # -1
+
+    def acquire_write(self, ctx: ThreadCtx, backoff: int = DEFAULT_BACKOFF):
+        """Enter exclusively."""
+        while True:
+            old = yield from ctx.fetch_add(self.va, self.WRITER_BIAS)
+            if old == 0:
+                return
+            bias = (-self.WRITER_BIAS) & 0xFFFFFFFF
+            yield from ctx.fetch_add(self.va, bias)
+            yield from ctx.yield_cpu()
+            yield from ctx.spin(backoff)
+
+    def release_write(self, ctx: ThreadCtx):
+        yield from ctx.fence()
+        bias = (-self.WRITER_BIAS) & 0xFFFFFFFF
+        yield from ctx.fetch_add(self.va, bias)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel underlying the PLUS machine model."""
+
+from repro.sim.engine import Engine
+from repro.sim.process import WaitQueue
+
+__all__ = ["Engine", "WaitQueue"]

@@ -1,0 +1,14 @@
+"""Instrumentation: counters and run reports."""
+
+from repro.stats.counters import MachineCounters, NodeCounters
+from repro.stats.report import RunReport, format_table
+from repro.stats.trace import ProtocolTrace, TraceEntry
+
+__all__ = [
+    "MachineCounters",
+    "NodeCounters",
+    "ProtocolTrace",
+    "RunReport",
+    "TraceEntry",
+    "format_table",
+]

@@ -1,0 +1,104 @@
+"""Run reports: the measurements the paper's tables and figures use."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.params import TimingParams
+from repro.network.fabric import FabricStats
+from repro.network.message import MsgKind
+from repro.stats.counters import MachineCounters, NodeCounters
+
+
+@dataclass
+class RunReport:
+    """Everything measured during one simulated run."""
+
+    n_nodes: int
+    cycles: int
+    params: TimingParams
+    counters: MachineCounters
+    fabric: FabricStats
+
+    # ------------------------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock time."""
+        return self.cycles * self.params.cycle_ns * 1e-9
+
+    @property
+    def node_counters(self) -> List[NodeCounters]:
+        return self.counters.nodes
+
+    # -- utilization (Figure 2-1) -------------------------------------------
+    def utilization(self) -> float:
+        """Average ratio of useful processor time to elapsed time.
+
+        Spin/backoff loops count as busy-but-not-useful, matching the
+        paper's definition.
+        """
+        if not self.cycles or not self.n_nodes:
+            return 0.0
+        return self.counters.useful_cycles / (self.cycles * self.n_nodes)
+
+    def busy_fraction(self) -> float:
+        """Busy (including spinning) time over elapsed time."""
+        if not self.cycles or not self.n_nodes:
+            return 0.0
+        return self.counters.busy_cycles / (self.cycles * self.n_nodes)
+
+    def per_node_utilization(self) -> List[float]:
+        if not self.cycles:
+            return [0.0] * self.n_nodes
+        return [n.useful_cycles / self.cycles for n in self.counters.nodes]
+
+    # -- the Table 2-1 ratios --------------------------------------------------
+    def update_messages(self) -> int:
+        """Mutation-carrying traffic: write and RMW requests travelling
+        towards a master plus the updates propagating down copy-lists."""
+        return self.fabric.count(
+            MsgKind.WRITE_REQ, MsgKind.UPDATE, MsgKind.RMW_REQ
+        )
+
+    def total_over_update(self) -> float:
+        """"Ratio Total/Update" column of Table 2-1."""
+        updates = self.update_messages()
+        if not updates:
+            return float("inf")
+        return self.fabric.total_messages / updates
+
+    def reads_local_over_remote(self) -> float:
+        return self.counters.reads_local_over_remote()
+
+    def writes_local_over_remote(self) -> float:
+        return self.counters.writes_local_over_remote()
+
+    def table_2_1_row(self) -> Dict[str, float]:
+        """The three ratio columns of Table 2-1 for this run."""
+        return {
+            "reads_local_over_remote": self.reads_local_over_remote(),
+            "writes_local_over_remote": self.writes_local_over_remote(),
+            "total_over_update": self.total_over_update(),
+        }
+
+
+def format_table(
+    headers: List[str], rows: List[List[object]], title: str = ""
+) -> str:
+    """Fixed-width text table, in the style of the paper's tables."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the PLUS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import TimingParams
+from repro.machine import PlusMachine
+
+#: A small-page parameter set that keeps unit tests fast while exercising
+#: the same code paths (ring wrap-around, page boundaries) much sooner.
+SMALL_PAGES = TimingParams(page_words=64, queue_ring_base=8, tlb_entries=8)
+
+
+@pytest.fixture
+def machine4():
+    """A 2x2 machine with paper parameters."""
+    return PlusMachine(n_nodes=4)
+
+
+@pytest.fixture
+def machine4_small():
+    """A 2x2 machine with 64-word pages (fast ring wrap tests)."""
+    return PlusMachine(n_nodes=4, params=SMALL_PAGES)
+
+
+@pytest.fixture
+def machine1():
+    """A single-node machine."""
+    return PlusMachine(n_nodes=1)
+
+

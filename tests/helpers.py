@@ -1,0 +1,12 @@
+"""Non-fixture helpers shared across test modules."""
+
+from __future__ import annotations
+
+from repro.machine import PlusMachine
+
+
+def run_threads(machine: PlusMachine, *specs, max_cycles=None):
+    """Spawn (node_id, fn, *args) specs, run, return (report, threads)."""
+    threads = [machine.spawn(spec[0], spec[1], *spec[2:]) for spec in specs]
+    report = machine.run(max_cycles=max_cycles)
+    return report, threads

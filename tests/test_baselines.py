@@ -1,0 +1,137 @@
+"""Tests for the baseline implementations."""
+
+import pytest
+
+from repro.baselines.gottlieb import GottliebQueue
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+
+from tests.helpers import run_threads
+
+
+class TestGottliebQueue:
+    def test_fifo_single_thread(self):
+        machine = PlusMachine(n_nodes=2)
+        queue = GottliebQueue(machine, home=0)
+
+        def worker(ctx):
+            for i in (5, 6, 7):
+                ok = yield from queue.enqueue(ctx, i)
+                assert ok
+            out = []
+            for _ in range(3):
+                out.append((yield from queue.dequeue(ctx)))
+            return out
+
+        _, threads = run_threads(machine, (1, worker))
+        assert threads[0].result == [5, 6, 7]
+
+    def test_empty_returns_none(self):
+        machine = PlusMachine(n_nodes=1)
+        queue = GottliebQueue(machine)
+
+        def worker(ctx):
+            return (yield from queue.dequeue(ctx))
+
+        _, threads = run_threads(machine, (0, worker))
+        assert threads[0].result is None
+
+    def test_full_returns_false_and_rolls_back(self):
+        machine = PlusMachine(n_nodes=1)
+        queue = GottliebQueue(machine, capacity=2)
+
+        def worker(ctx):
+            results = []
+            for i in range(3):
+                results.append((yield from queue.enqueue(ctx, i)))
+            drained = []
+            while True:
+                item = yield from queue.dequeue(ctx)
+                if item is None:
+                    break
+                drained.append(item)
+            return results, drained
+
+        _, threads = run_threads(machine, (0, worker))
+        results, drained = threads[0].result
+        assert results == [True, True, False]
+        assert drained == [0, 1]
+
+    def test_concurrent_producers_consumers_lose_nothing(self):
+        machine = PlusMachine(n_nodes=4)
+        queue = GottliebQueue(machine, home=0)
+        received = []
+
+        def producer(ctx, base):
+            for i in range(20):
+                while True:
+                    ok = yield from queue.enqueue(ctx, base + i)
+                    if ok:
+                        break
+                    yield from ctx.spin(25)
+
+        def consumer(ctx, expect):
+            got = 0
+            while got < expect:
+                item = yield from queue.dequeue(ctx)
+                if item is None:
+                    yield from ctx.spin(25)
+                    continue
+                received.append(item)
+                got += 1
+
+        run_threads(
+            machine,
+            (1, producer, 1000),
+            (2, producer, 2000),
+            (3, consumer, 40),
+        )
+        assert sorted(received) == sorted(
+            [1000 + i for i in range(20)] + [2000 + i for i in range(20)]
+        )
+
+    def test_costs_more_rmws_than_hardware_queue(self):
+        """The Section 3.2 claim, measured: the fetch-add queue needs ~3
+        interlocked operations per transfer, the hardware queue 1."""
+
+        def measure(use_hardware):
+            machine = PlusMachine(n_nodes=2)
+            if use_hardware:
+                handle = machine.shm.alloc_queue(home=0)
+
+                def worker(ctx):
+                    for i in range(10):
+                        yield from ctx.enqueue(handle, i)
+                        yield from ctx.dequeue(handle)
+            else:
+                queue = GottliebQueue(machine, home=0)
+
+                def worker(ctx):
+                    for i in range(10):
+                        yield from queue.enqueue(ctx, i)
+                        yield from queue.dequeue(ctx)
+
+            report, _ = run_threads(machine, (1, worker))
+            return sum(report.counters.rmw_mix().values()), report.cycles
+
+        hw_rmws, hw_cycles = measure(True)
+        sw_rmws, sw_cycles = measure(False)
+        assert hw_rmws == 20
+        assert sw_rmws >= 40  # tickets + counts
+        assert hw_cycles < sw_cycles
+
+    def test_capacity_validated(self):
+        machine = PlusMachine(n_nodes=1)
+        with pytest.raises(ConfigError):
+            GottliebQueue(machine, capacity=100_000)
+
+    def test_oversized_item_rejected(self):
+        machine = PlusMachine(n_nodes=1)
+        queue = GottliebQueue(machine)
+
+        def worker(ctx):
+            yield from queue.enqueue(ctx, 1 << 31)
+
+        machine.spawn(0, worker)
+        with pytest.raises(ConfigError):
+            machine.run()

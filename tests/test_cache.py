@@ -1,0 +1,94 @@
+"""Unit tests for the direct-mapped write-through processor cache."""
+
+import pytest
+
+from repro.core.params import TimingParams
+from repro.errors import ConfigError
+from repro.node.cache import DirectMappedCache
+
+PARAMS = TimingParams(
+    page_words=64, cache_size_words=32, cache_line_words=4, queue_ring_base=8
+)
+
+
+class TestCacheTiming:
+    def test_miss_then_hit(self):
+        cache = DirectMappedCache(PARAMS)
+        assert cache.read_cycles(0, 0) == PARAMS.line_fill_cycles
+        assert cache.read_cycles(0, 0) == PARAMS.cache_hit_cycles
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_line_granularity(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.read_cycles(0, 0)
+        # Words 1..3 share the line with word 0.
+        for off in (1, 2, 3):
+            assert cache.read_cycles(0, off) == PARAMS.cache_hit_cycles
+        assert cache.read_cycles(0, 4) == PARAMS.line_fill_cycles
+
+    def test_direct_mapped_conflict_eviction(self):
+        cache = DirectMappedCache(PARAMS)  # 8 lines
+        cache.read_cycles(0, 0)
+        # Same set: 8 lines * 4 words = offset 32 maps onto set 0 again.
+        assert cache.read_cycles(0, 32) == PARAMS.line_fill_cycles
+        assert cache.read_cycles(0, 0) == PARAMS.line_fill_cycles  # evicted
+
+    def test_different_pages_different_lines(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.read_cycles(0, 0)
+        # page 1 offset 0 is a different global line; with 64-word pages
+        # and 8 lines it conflicts (64/4 = 16 lines per page, 16 % 8 == 0).
+        assert cache.read_cycles(1, 0) == PARAMS.line_fill_cycles
+        assert cache.read_cycles(0, 0) == PARAMS.line_fill_cycles
+
+    def test_hit_rate(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.read_cycles(0, 0)
+        cache.read_cycles(0, 1)
+        cache.read_cycles(0, 2)
+        cache.read_cycles(0, 3)
+        assert cache.hit_rate == pytest.approx(0.75)
+
+
+class TestSnooping:
+    def test_update_policy_keeps_line_valid(self):
+        cache = DirectMappedCache(PARAMS, snoop_policy="update")
+        cache.read_cycles(0, 0)
+        cache.snoop(0, 1, 99)  # CM writes a word in the cached line
+        assert cache.contains(0, 0)
+        assert cache.snoop_updates == 1
+        assert cache.read_cycles(0, 1) == PARAMS.cache_hit_cycles
+
+    def test_invalidate_policy_drops_line(self):
+        cache = DirectMappedCache(PARAMS, snoop_policy="invalidate")
+        cache.read_cycles(0, 0)
+        cache.snoop(0, 1, 99)
+        assert not cache.contains(0, 0)
+        assert cache.snoop_invalidates == 1
+        assert cache.read_cycles(0, 0) == PARAMS.line_fill_cycles
+
+    def test_snoop_on_uncached_line_is_noop(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.snoop(0, 0, 1)
+        assert cache.snoop_updates == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectMappedCache(PARAMS, snoop_policy="dragon")
+
+
+class TestMisc:
+    def test_write_does_not_allocate(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.note_write(0, 0)
+        assert not cache.contains(0, 0)
+
+    def test_flush_empties_cache(self):
+        cache = DirectMappedCache(PARAMS)
+        cache.read_cycles(0, 0)
+        cache.flush()
+        assert not cache.contains(0, 0)
+
+    def test_paper_geometry(self):
+        cache = DirectMappedCache(TimingParams())
+        assert cache.n_lines == 2048  # 32 KB / 16-byte lines

@@ -1,0 +1,387 @@
+"""Integration tests for the write-update coherence protocol.
+
+These drive whole machines with small thread programs and check the
+protocol guarantees of Section 2.3: master-first write ordering, general
+coherence, read-blocking on pending writes, fence semantics, and the
+documented latency model.
+"""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMS, TOP_BIT
+from repro.machine import PlusMachine
+from repro.network.message import MsgKind
+
+from tests.helpers import run_threads
+
+
+def collect(gen_fn):
+    """Decorator-free helper: wrap a generator to record its return."""
+    return gen_fn
+
+
+class TestRemoteRead:
+    def test_value_comes_from_owner(self, machine4):
+        seg = machine4.shm.alloc(4, home=2)
+        machine4.poke(seg.base + 1, 777)
+
+        def reader(ctx, addr):
+            value = yield from ctx.read(addr)
+            return value
+
+        _, threads = run_threads(machine4, (0, reader, seg.base + 1))
+        assert threads[0].result == 777
+
+    def test_latency_is_32_cycles_plus_round_trip(self):
+        # Nodes 0 and 1 are adjacent in a 2x2 mesh: round trip = 24.
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(1, home=1)
+
+        def reader(ctx, addr):
+            yield from ctx.read(addr)  # warm the TLB (central-table fill)
+            start = machine.engine.now
+            yield from ctx.read(addr)
+            return machine.engine.now - start
+
+        _, threads = run_threads(machine, (0, reader, seg.base))
+        # 32 fixed + 24 round trip = 56, uncontended.
+        assert threads[0].result == 32 + 24
+
+    def test_extra_hops_add_8_cycles_round_trip(self):
+        latencies = {}
+        for dst, hops in ((1, 1), (3, 3)):  # 4x1 mesh distances
+            machine = PlusMachine(n_nodes=4, width=4, height=1)
+            seg = machine.shm.alloc(1, home=dst)
+
+            def reader(ctx, addr):
+                yield from ctx.read(addr)
+                start = machine.engine.now
+                yield from ctx.read(addr)
+                return machine.engine.now - start
+
+            _, threads = run_threads(machine, (0, reader, seg.base))
+            latencies[hops] = threads[0].result
+        assert latencies[3] - latencies[1] == 2 * 2 * PAPER_PARAMS.net_hop_cycles
+
+
+class TestWritePropagation:
+    def test_local_master_write_updates_all_copies(self, machine4):
+        seg = machine4.shm.alloc(1, home=0, replicas=[1, 2, 3])
+
+        def writer(ctx, addr):
+            yield from ctx.write(addr, 42)
+            yield from ctx.fence()
+
+        run_threads(machine4, (0, writer, seg.base))
+        assert [machine4.peek_copy(seg.base, n) for n in range(4)] == [42] * 4
+
+    def test_write_from_non_master_node_goes_master_first(self, machine4):
+        seg = machine4.shm.alloc(1, home=0, replicas=[2])
+
+        def writer(ctx, addr):
+            yield from ctx.write(addr, 9)
+            yield from ctx.fence()
+
+        # Node 2 holds a (non-master) copy; its write must route to the
+        # master on node 0 and come back as an update.
+        report, _ = run_threads(machine4, (2, writer, seg.base))
+        assert machine4.peek_copy(seg.base, 0) == 9
+        assert machine4.peek_copy(seg.base, 2) == 9
+        assert report.fabric.messages_by_kind[MsgKind.WRITE_REQ] == 1
+        assert report.fabric.messages_by_kind[MsgKind.UPDATE] == 1
+
+    def test_write_from_third_party_node(self, machine4):
+        # Writer holds no copy at all: request goes to the addressed node,
+        # which forwards to wherever the master is.
+        seg = machine4.shm.alloc(1, home=1, replicas=[2])
+
+        def writer(ctx, addr):
+            yield from ctx.write(addr, 5)
+            yield from ctx.fence()
+
+        run_threads(machine4, (3, writer, seg.base))
+        assert machine4.peek_copy(seg.base, 1) == 5
+        assert machine4.peek_copy(seg.base, 2) == 5
+
+    def test_unreplicated_local_write_is_local(self, machine4):
+        seg = machine4.shm.alloc(1, home=0)
+
+        def writer(ctx, addr):
+            yield from ctx.write(addr, 1)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine4, (0, writer, seg.base))
+        assert report.fabric.total_messages == 0
+        assert report.counters.local_writes == 1
+        assert report.counters.remote_writes == 0
+
+    def test_replicated_local_write_counts_remote(self, machine4):
+        seg = machine4.shm.alloc(1, home=0, replicas=[1])
+
+        def writer(ctx, addr):
+            yield from ctx.write(addr, 1)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine4, (0, writer, seg.base))
+        assert report.counters.remote_writes == 1
+
+
+class TestGeneralCoherence:
+    def test_concurrent_writers_converge(self):
+        """Copies of a location are always written in the same order, so
+        after all writes complete every copy holds the same value."""
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(1, home=1, replicas=[0, 2, 3])
+
+        def writer(ctx, addr, base):
+            for i in range(20):
+                yield from ctx.write(addr, base + i)
+                yield from ctx.compute(7 * (base % 5) + 1)
+            yield from ctx.fence()
+
+        run_threads(
+            machine,
+            (0, writer, seg.base, 100),
+            (1, writer, seg.base, 200),
+            (2, writer, seg.base, 300),
+            (3, writer, seg.base, 400),
+        )
+        values = {machine.peek_copy(seg.base, n) for n in range(4)}
+        assert len(values) == 1
+
+    def test_interleaved_rmw_and_writes_converge(self):
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(2, home=0, replicas=[1, 2, 3])
+
+        def mixed(ctx, addr, seed):
+            for i in range(10):
+                if (seed + i) % 3 == 0:
+                    yield from ctx.fetch_add(addr, seed)
+                else:
+                    yield from ctx.write(addr + 1, seed + i)
+                yield from ctx.compute((seed * 13) % 23 + 1)
+            yield from ctx.fence()
+
+        run_threads(
+            machine,
+            (0, mixed, seg.base, 1),
+            (1, mixed, seg.base, 2),
+            (3, mixed, seg.base, 3),
+        )
+        for offset in (0, 1):
+            values = {
+                machine.peek_copy(seg.base + offset, n) for n in range(4)
+            }
+            assert len(values) == 1
+
+
+class TestStrongOrderingWithinProcessor:
+    def test_read_after_own_write_sees_new_value(self, machine4):
+        # The local copy is NOT the master, so without the pending-writes
+        # block a read-after-write would return stale local data.
+        seg = machine4.shm.alloc(1, home=0, replicas=[2])
+
+        def wr(ctx, addr):
+            yield from ctx.write(addr, 31337)
+            value = yield from ctx.read(addr)
+            return value
+
+        _, threads = run_threads(machine4, (2, wr, seg.base))
+        assert threads[0].result == 31337
+
+    def test_read_of_pending_address_blocks(self, machine4):
+        seg = machine4.shm.alloc(1, home=0, replicas=[2])
+
+        def wr(ctx, addr):
+            yield from ctx.write(addr, 1)
+            start = machine4.engine.now
+            yield from ctx.read(addr)
+            return machine4.engine.now - start
+
+        _, threads = run_threads(machine4, (2, wr, seg.base))
+        # The read must wait for the master round trip, far more than a
+        # local cache access.
+        assert threads[0].result > 20
+
+    def test_read_of_other_address_does_not_block(self, machine4):
+        seg = machine4.shm.alloc(2, home=0, replicas=[2])
+        machine4.poke(seg.base + 1, 5)
+
+        def wr(ctx, addr):
+            yield from ctx.read(addr + 1)  # warm TLB/cache line
+            yield from ctx.write(addr, 1)
+            start = machine4.engine.now
+            yield from ctx.read(addr + 1)  # different word: local, fast
+            elapsed = machine4.engine.now - start
+            yield from ctx.fence()
+            return elapsed
+
+        _, threads = run_threads(machine4, (2, wr, seg.base))
+        assert threads[0].result <= 5
+
+
+class TestWeakOrderingBetweenProcessors:
+    """The producer/consumer flag example of Section 2.1."""
+
+    N = 8
+    CONSUMER = 7
+
+    @classmethod
+    def _build(cls):
+        machine = PlusMachine(n_nodes=cls.N)
+        # Buffer: long copy-list 0 -> 1 -> ... -> 7; the consumer (node 7)
+        # reads its local copy, which is the last to be updated.  Pin the
+        # chain order explicitly (the default heuristic would shorten it).
+        buf = machine.shm.alloc(1, home=0)
+        for node in range(1, cls.N):
+            machine.os.replicate(buf.vpages[0], node, after=node - 1)
+        # Flag: short list 0 -> 7, so it overtakes the buffer updates.
+        flag = machine.shm.alloc(1, home=0, replicas=[cls.CONSUMER])
+        # Handshake so the race starts with warm TLBs on both sides.
+        ready = machine.shm.alloc(1, home=cls.CONSUMER)
+        return machine, buf, flag, ready
+
+    @staticmethod
+    def consumer(ctx, buf_va, flag_va, ready_va):
+        yield from ctx.read(buf_va)    # warm translations + cache
+        yield from ctx.read(flag_va)
+        yield from ctx.write(ready_va, 1)
+        yield from ctx.fence()
+        while True:
+            f = yield from ctx.read(flag_va)
+            if f:
+                break
+            yield from ctx.compute(3)
+        value = yield from ctx.read(buf_va)
+        return value
+
+    @staticmethod
+    def producer_body(ctx, buf_va, flag_va, ready_va):
+        """Common prologue: wait for the consumer to be warmed up."""
+        yield from ctx.read(buf_va)
+        yield from ctx.read(flag_va)
+        while True:
+            r = yield from ctx.read(ready_va)
+            if r:
+                return
+            yield from ctx.compute(10)
+
+    def test_without_fence_consumer_can_see_stale_buffer(self):
+        machine, buf, flag, ready = self._build()
+
+        def producer(ctx, buf_va, flag_va, ready_va):
+            yield from self.producer_body(ctx, buf_va, flag_va, ready_va)
+            yield from ctx.write(buf_va, 123)
+            yield from ctx.write(flag_va, 1)  # no fence: racy!
+            yield from ctx.fence()
+
+        _, threads = run_threads(
+            machine,
+            (0, producer, buf.base, flag.base, ready.base),
+            (self.CONSUMER, self.consumer, buf.base, flag.base, ready.base),
+        )
+        # The flag update (one list hop) beats the buffer update (seven
+        # list hops), so the consumer reads the stale zero.
+        assert threads[1].result == 0
+
+    def test_with_fence_consumer_sees_fresh_buffer(self):
+        machine, buf, flag, ready = self._build()
+
+        def producer(ctx, buf_va, flag_va, ready_va):
+            yield from self.producer_body(ctx, buf_va, flag_va, ready_va)
+            yield from ctx.write(buf_va, 123)
+            yield from ctx.fence()  # drain before raising the flag
+            yield from ctx.write(flag_va, 1)
+            yield from ctx.fence()
+
+        _, threads = run_threads(
+            machine,
+            (0, producer, buf.base, flag.base, ready.base),
+            (self.CONSUMER, self.consumer, buf.base, flag.base, ready.base),
+        )
+        assert threads[1].result == 123
+
+
+class TestPendingWritesCache:
+    def test_ninth_write_stalls(self):
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        seg = machine.shm.alloc(16, home=3)  # far master: slow acks
+
+        def writer(ctx, base):
+            t0 = machine.engine.now
+            stamps = []
+            for i in range(12):
+                yield from ctx.write(base + i, i)
+                stamps.append(machine.engine.now - t0)
+            yield from ctx.fence()
+            return stamps
+
+        _, threads = run_threads(machine, (0, writer, seg.base))
+        stamps = threads[0].result
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        # The first 8 writes are buffered quickly; once the cache is full
+        # some write must wait for a remote ack.
+        assert max(gaps[:6]) < 30
+        assert max(gaps) >= 30
+        assert max(gaps) > 5 * min(gaps)
+
+    def test_small_cache_stalls_earlier(self):
+        params = PAPER_PARAMS.evolved(pending_writes_capacity=1)
+        machine = PlusMachine(n_nodes=4, params=params)
+        seg = machine.shm.alloc(8, home=1)
+
+        def writer(ctx, base):
+            for i in range(4):
+                yield from ctx.write(base + i, i)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine, (0, writer, seg.base))
+        assert report.counters.nodes[0].write_stall_cycles > 0
+
+
+class TestFence:
+    def test_fence_waits_for_all_pending_writes(self, machine4):
+        seg = machine4.shm.alloc(8, home=1, replicas=[2, 3])
+
+        def writer(ctx, base):
+            for i in range(5):
+                yield from ctx.write(base + i, i + 1)
+            yield from ctx.fence()
+            # After the fence every copy must be up to date.
+            return machine4.peek_copy(base + 4, 3)
+
+        _, threads = run_threads(machine4, (0, writer, seg.base))
+        assert threads[0].result == 5
+
+    def test_fence_with_nothing_pending_is_fast(self, machine1):
+        def idle(ctx):
+            start = machine1.engine.now
+            yield from ctx.fence()
+            return machine1.engine.now - start
+
+        _, threads = run_threads(machine1, (0, idle))
+        assert threads[0].result <= 1
+
+    def test_fence_waits_for_rmw_update_chains(self, machine4):
+        seg = machine4.shm.alloc(1, home=1, replicas=[2, 3])
+
+        def worker(ctx, addr):
+            token = yield from ctx.issue_fetch_add(addr, 7)
+            _ = yield from ctx.result(token)
+            yield from ctx.fence()
+            # Chain complete: the tail copy has the new value.
+            return machine4.peek_copy(addr, 3)
+
+        _, threads = run_threads(machine4, (0, worker, seg.base))
+        assert threads[0].result == 7
+
+    def test_fences_counted(self, machine4):
+        seg = machine4.shm.alloc(1, home=0)
+
+        def f(ctx, addr):
+            yield from ctx.write(addr, 1)
+            yield from ctx.fence()
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine4, (0, f, seg.base))
+        assert report.counters.nodes[0].fences == 2

@@ -1,0 +1,197 @@
+"""Tests for the distributed work-queue pool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.runtime.collections import WorkPool
+
+from tests.helpers import run_threads
+
+
+class TestPreload:
+    def test_preload_sets_counter_and_items(self, machine4):
+        pool = WorkPool(machine4, n_queues=2)
+        pool.preload(machine4, 0, [1, 2, 3])
+        pool.preload(machine4, 1, [4])
+        assert machine4.peek(pool.counter_va) == 4
+
+    def test_preload_rejects_oversized_items(self, machine4):
+        pool = WorkPool(machine4, n_queues=1)
+        with pytest.raises(ConfigError):
+            pool.preload(machine4, 0, [1 << 31])
+
+    def test_zero_queues_rejected(self, machine4):
+        with pytest.raises(ConfigError):
+            WorkPool(machine4, n_queues=0)
+
+
+class TestPopSemantics:
+    def test_pop_local_first(self, machine4):
+        pool = WorkPool(machine4, n_queues=4)
+        pool.preload(machine4, 0, [10])
+        pool.preload(machine4, 1, [11])
+
+        def worker(ctx):
+            item = yield from pool.pop_any(ctx, 1)
+            return item
+
+        _, threads = run_threads(machine4, (1, worker))
+        assert threads[0].result == 11
+
+    def test_steal_when_local_empty(self, machine4):
+        pool = WorkPool(machine4, n_queues=4)
+        pool.preload(machine4, 0, [10])
+
+        def worker(ctx):
+            item = yield from pool.pop_any(ctx, 2)
+            return item
+
+        _, threads = run_threads(machine4, (2, worker))
+        assert threads[0].result == 10
+
+    def test_no_steal_flag(self, machine4):
+        pool = WorkPool(machine4, n_queues=4)
+        pool.preload(machine4, 0, [10])
+
+        def worker(ctx):
+            item = yield from pool.pop_any(ctx, 2, steal=False)
+            return item
+
+        _, threads = run_threads(machine4, (2, worker))
+        assert threads[0].result is None
+
+    def test_empty_pool_returns_none(self, machine4):
+        pool = WorkPool(machine4, n_queues=2)
+
+        def worker(ctx):
+            item = yield from pool.pop_any(ctx, 0)
+            return item
+
+        _, threads = run_threads(machine4, (0, worker))
+        assert threads[0].result is None
+
+
+class TestWorkerLoop:
+    def test_all_items_processed_exactly_once(self):
+        machine = PlusMachine(n_nodes=4)
+        pool = WorkPool(machine, n_queues=4, flag_replicas=range(4))
+        for qi in range(4):
+            pool.preload(machine, qi, [qi * 100 + i for i in range(10)])
+        seen = []
+
+        def handle(ctx, item):
+            seen.append(item)
+            yield from ctx.compute(37)
+            yield from pool.task_done(ctx)
+
+        run_threads(
+            machine,
+            *[(n, pool.run_worker, n, handle) for n in range(4)],
+        )
+        assert sorted(seen) == sorted(
+            qi * 100 + i for qi in range(4) for i in range(10)
+        )
+
+    def test_dynamic_push_from_handlers(self):
+        """Handlers spawning follow-on work must still terminate cleanly."""
+        machine = PlusMachine(n_nodes=2)
+        pool = WorkPool(machine, n_queues=2, flag_replicas=[0, 1])
+        pool.preload(machine, 0, [40])  # seed: item value = remaining depth
+        seen = []
+
+        def handle(ctx, item):
+            seen.append(item)
+            if item > 0:
+                yield from pool.push(ctx, item % 2, item - 1)
+            yield from pool.task_done(ctx)
+
+        run_threads(
+            machine,
+            (0, pool.run_worker, 0, handle),
+            (1, pool.run_worker, 1, handle),
+        )
+        assert sorted(seen, reverse=True) == list(range(41))[::-1]
+
+    def test_stealing_balances_a_skewed_pool(self):
+        machine = PlusMachine(n_nodes=4)
+        pool = WorkPool(machine, n_queues=4, flag_replicas=range(4))
+        pool.preload(machine, 0, list(range(40)))  # all work on queue 0
+        done_by = {n: 0 for n in range(4)}
+
+        def make_handler(node):
+            def handle(ctx, item):
+                done_by[node] += 1
+                yield from ctx.compute(500)
+                yield from pool.task_done(ctx)
+
+            return handle
+
+        run_threads(
+            machine,
+            *[(n, pool.run_worker, n, make_handler(n)) for n in range(4)],
+        )
+        assert sum(done_by.values()) == 40
+        # Everyone got a real share despite the skewed initial placement.
+        assert all(done_by[n] >= 4 for n in range(4))
+
+
+class TestAccumulator:
+    def test_distributed_sum_is_exact(self):
+        from repro.runtime.collections import Accumulator
+
+        machine = PlusMachine(n_nodes=4)
+        acc = Accumulator(machine, home=0)
+
+        def worker(ctx, values):
+            for v in values:
+                yield from acc.add(ctx, v)
+                yield from ctx.compute(9)
+            yield from acc.publish(ctx)
+
+        chunks = [[1, 2, 3], [10], [100, 200], [5, 5, 5, 5]]
+        for node, chunk in enumerate(chunks):
+            machine.spawn(node, worker, chunk)
+        machine.run()
+        assert machine.peek(acc.total_va) == sum(sum(c) for c in chunks)
+
+    def test_local_adds_generate_no_interlocked_traffic(self):
+        from repro.core.params import OpCode
+        from repro.runtime.collections import Accumulator
+
+        machine = PlusMachine(n_nodes=4)
+        acc = Accumulator(machine, home=0)
+
+        def worker(ctx):
+            for i in range(25):
+                yield from acc.add(ctx, i)
+            yield from acc.publish(ctx)
+
+        for node in range(4):
+            machine.spawn(node, worker)
+        report = machine.run()
+        mix = report.counters.rmw_mix()
+        # Exactly one fetch-add per node, despite 100 adds.
+        assert mix.get(OpCode.FETCH_ADD, 0) == 4
+
+    def test_total_readable_by_any_node(self):
+        from repro.runtime.collections import Accumulator
+
+        machine = PlusMachine(n_nodes=2)
+        acc = Accumulator(machine, home=0)
+
+        def producer(ctx):
+            yield from acc.add(ctx, 42)
+            yield from acc.publish(ctx)
+
+        def reader(ctx):
+            while True:
+                total = yield from acc.total(ctx)
+                if total:
+                    return total
+                yield from ctx.spin(40)
+
+        machine.spawn(0, producer)
+        thread = machine.spawn(1, reader)
+        machine.run()
+        assert thread.result == 42

@@ -1,0 +1,111 @@
+"""Unit tests for copy-lists and the per-node CM tables."""
+
+import pytest
+
+from repro.core.copylist import CMTables, CopyList
+from repro.errors import ReplicationError
+from repro.memory.address import PhysPage
+
+M = PhysPage(0, 10)   # master
+C1 = PhysPage(1, 20)
+C2 = PhysPage(2, 30)
+
+
+class TestCopyList:
+    def test_single_copy_is_master(self):
+        clist = CopyList(vpage=0, master=M)
+        assert clist.master == M
+        assert len(clist) == 1
+        assert clist.successor(M) is None
+        assert 0 in clist and 1 not in clist
+
+    def test_insert_after_preserves_order(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        clist.insert_after(M, C2)
+        assert clist.copies == [M, C2, C1]
+        assert clist.successor(M) == C2
+        assert clist.successor(C2) == C1
+        assert clist.successor(C1) is None
+        assert clist.predecessor(C1) == C2
+        assert clist.predecessor(M) is None
+
+    def test_duplicate_node_rejected(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        with pytest.raises(ReplicationError):
+            clist.insert_after(M, PhysPage(1, 99))
+
+    def test_copy_on(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        assert clist.copy_on(1) == C1
+        assert clist.copy_on(5) is None
+
+    def test_remove_tail_and_middle(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        clist.insert_after(C1, C2)
+        clist.remove(C1)
+        assert clist.copies == [M, C2]
+        assert clist.successor(M) == C2
+
+    def test_cannot_remove_master_while_replicated(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        with pytest.raises(ReplicationError):
+            clist.remove(M)
+
+    def test_cannot_remove_only_copy(self):
+        clist = CopyList(0, M)
+        with pytest.raises(ReplicationError):
+            clist.remove(M)
+
+    def test_promote_reorders_to_head(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C1)
+        clist.insert_after(C1, C2)
+        clist.promote(C2)
+        assert clist.master == C2
+        assert clist.copies == [C2, M, C1]
+
+    def test_unknown_copy_rejected(self):
+        clist = CopyList(0, M)
+        with pytest.raises(ReplicationError):
+            clist.successor(C1)
+
+    def test_nodes_in_propagation_order(self):
+        clist = CopyList(0, M)
+        clist.insert_after(M, C2)
+        assert clist.nodes == [0, 2]
+
+
+class TestCMTables:
+    def test_register_and_lookup(self):
+        tables = CMTables(node_id=1)
+        tables.register(20, master=M, nxt=C2)
+        assert tables.master_of(20) == M
+        assert tables.next_of(20) == C2
+        assert tables.knows(20)
+        assert not tables.is_master(20)
+
+    def test_is_master_requires_matching_page(self):
+        tables = CMTables(node_id=0)
+        tables.register(10, master=PhysPage(0, 10), nxt=None)
+        assert tables.is_master(10)
+        tables.register(11, master=PhysPage(0, 10), nxt=None)
+        assert not tables.is_master(11)
+
+    def test_unknown_page_raises(self):
+        tables = CMTables(node_id=0)
+        with pytest.raises(ReplicationError):
+            tables.master_of(5)
+        with pytest.raises(ReplicationError):
+            tables.next_of(5)
+
+    def test_unregister(self):
+        tables = CMTables(node_id=0)
+        tables.register(10, master=M, nxt=None)
+        tables.unregister(10)
+        assert not tables.knows(10)
+        tables.unregister(10)  # idempotent

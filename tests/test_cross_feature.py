@@ -1,0 +1,117 @@
+"""Cross-feature integration: applications on non-default machines."""
+
+import pytest
+
+from repro.apps.graphs import dijkstra, geometric_graph
+from repro.apps.sssp import SSSPApp, SSSPConfig
+from repro.core.params import PAPER_PARAMS
+from repro.machine import PlusMachine
+
+INVALIDATE = PAPER_PARAMS.evolved(coherence_protocol="invalidate")
+GRAPH = geometric_graph(90, degree=4, long_edge_fraction=0.15, seed=21)
+REFERENCE = dijkstra(GRAPH, 0)
+
+
+def _run_sssp_on(machine, config=None):
+    app = SSSPApp(machine, GRAPH, config or SSSPConfig(copies=2))
+    app.spawn_workers()
+    report = machine.run()
+    return app.distances(), report
+
+
+class TestAppsUnderInvalidateProtocol:
+    """The applications never assume the update protocol; they must be
+    exactly correct when writes invalidate copies instead."""
+
+    def test_sssp_correct_under_invalidation(self):
+        machine = PlusMachine(n_nodes=4, params=INVALIDATE)
+        distances, report = _run_sssp_on(machine)
+        assert distances == REFERENCE
+        # The variant really ran: invalidations were applied somewhere.
+        assert (
+            sum(n.invalidations_applied for n in report.counters.nodes) > 0
+        )
+
+    def test_sssp_delayed_mode_under_invalidation(self):
+        machine = PlusMachine(n_nodes=4, params=INVALIDATE)
+        distances, _ = _run_sssp_on(
+            machine, SSSPConfig(copies=2, sync_mode="delayed")
+        )
+        assert distances == REFERENCE
+
+    def test_beam_correct_under_invalidation(self):
+        from repro.apps.beam import BeamConfig, BeamSearchApp
+        from repro.apps.graphs import (
+            beam_search_reference,
+            initial_costs,
+            layered_lattice,
+        )
+
+        lattice = layered_lattice(
+            n_layers=6, width=16, branching=3, seed=4, hot_fraction=0.5
+        )
+        beam = 40
+        initial = initial_costs(lattice, seed=1)
+        reference = beam_search_reference(lattice, beam=beam, initial=initial)
+        machine = PlusMachine(n_nodes=4, params=INVALIDATE)
+        app = BeamSearchApp(machine, lattice, BeamConfig(beam=beam))
+        app.spawn_workers()
+        machine.run()
+        for state, cost in reference.items():
+            assert app.scores().get(state) == cost
+
+
+class TestAppsWithCompetitiveHardware:
+    def test_sssp_correct_with_competitive_replication_running(self):
+        """Live background copies racing the algorithm must not corrupt
+        distances."""
+        machine = PlusMachine(
+            n_nodes=4, enable_competitive=True, competitive_threshold=12
+        )
+        distances, _ = _run_sssp_on(machine, SSSPConfig(copies=1))
+        assert distances == REFERENCE
+
+    def test_sssp_correct_with_migration_policy(self):
+        from repro.memory.competitive import CompetitiveReplicator
+
+        machine = PlusMachine(n_nodes=4)
+        machine.competitive = CompetitiveReplicator(
+            machine, threshold=12, migrate_unshared=True
+        )
+        distances, _ = _run_sssp_on(machine, SSSPConfig(copies=1))
+        assert distances == REFERENCE
+
+
+class TestDelayedSSSPWorkConservation:
+    """The eager-dequeue pipeline must never drop a work item (the drain
+    race), whatever the graph shape."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_many_random_graphs(self, seed):
+        graph = geometric_graph(
+            60 + seed * 7,
+            degree=3 + seed % 3,
+            long_edge_fraction=0.1 * (seed % 4),
+            seed=seed,
+        )
+        machine = PlusMachine(n_nodes=3)
+        app = SSSPApp(
+            machine, graph, SSSPConfig(copies=1, sync_mode="delayed")
+        )
+        app.spawn_workers()
+        machine.run()
+        assert app.distances() == dijkstra(graph, 0), f"seed {seed}"
+
+
+class TestContextModeApps:
+    def test_sssp_under_multithreaded_nodes(self):
+        """Two worker threads per node sharing the node's queue."""
+        params = PAPER_PARAMS.evolved(context_switch_cycles=16)
+        machine = PlusMachine(n_nodes=2, params=params)
+        app = SSSPApp(machine, GRAPH, SSSPConfig(copies=1))
+        # Spawn an extra worker per node (the app's spawn gives one).
+        app.spawn_workers()
+        for node in range(2):
+            machine.spawn(node, app._worker, node, name=f"extra{node}")
+        machine.run()
+        assert app.distances() == REFERENCE

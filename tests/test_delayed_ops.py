@@ -1,0 +1,372 @@
+"""Integration tests for delayed operations on whole machines.
+
+Covers the Section 3.1 mechanics: issue/verify split, the 8-slot
+delayed-operations cache, master-side atomicity, update propagation of
+operation results, and the published cost model.
+"""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMS, TOP_BIT, OpCode
+from repro.machine import PlusMachine
+
+from tests.helpers import run_threads
+
+
+class TestBlockingRMW:
+    def test_fetch_add_many_threads_sums_exactly(self):
+        machine = PlusMachine(n_nodes=8)
+        seg = machine.shm.alloc(1, home=3)
+
+        def adder(ctx, addr, n):
+            for _ in range(n):
+                yield from ctx.fetch_add(addr, 1)
+
+        specs = [(node, adder, seg.base, 25) for node in range(8)]
+        run_threads(machine, *specs)
+        assert machine.peek(seg.base) == 8 * 25
+
+    def test_fetch_set_grants_exactly_one_winner(self):
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(1, home=2)
+        winners = []
+
+        def contender(ctx, addr, who):
+            old = yield from ctx.fetch_set(addr)
+            if not old & TOP_BIT:
+                winners.append(who)
+
+        run_threads(
+            machine, *[(n, contender, seg.base, n) for n in range(4)]
+        )
+        assert len(winners) == 1
+
+    def test_xchng_chain_passes_values(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0)
+        machine.poke(seg.base, 1)
+
+        def swapper(ctx, addr, mine):
+            old = yield from ctx.xchng(addr, mine)
+            return old
+
+        _, threads = run_threads(
+            machine, (0, swapper, seg.base, 2), (1, swapper, seg.base, 3)
+        )
+        results = {t.result for t in threads}
+        final = machine.peek(seg.base)
+        # The three values 1, 2, 3 are a permutation over (old0, old1, final).
+        assert results | {final} == {1, 2, 3}
+
+    def test_min_xchng_computes_global_min(self):
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(1, home=1)
+        machine.poke(seg.base, 0xFFFF_FFFF)
+
+        def relaxer(ctx, addr, values):
+            for v in values:
+                yield from ctx.min_xchng(addr, v)
+                yield from ctx.compute(13)
+
+        run_threads(
+            machine,
+            (0, relaxer, seg.base, [900, 400, 700]),
+            (1, relaxer, seg.base, [350, 800]),
+            (2, relaxer, seg.base, [620, 377]),
+            (3, relaxer, seg.base, [505]),
+        )
+        assert machine.peek(seg.base) == 350
+
+    def test_cond_xchng_respects_top_bit(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(2, home=1)
+        machine.poke(seg.base, TOP_BIT | 1)  # writable
+        machine.poke(seg.base + 1, 1)        # not writable
+
+        def worker(ctx, base):
+            a = yield from ctx.cond_xchng(base, 5)
+            b = yield from ctx.cond_xchng(base + 1, 5)
+            return (a, b)
+
+        _, threads = run_threads(machine, (0, worker, seg.base))
+        assert threads[0].result == (TOP_BIT | 1, 1)
+        assert machine.peek(seg.base) == 5
+        assert machine.peek(seg.base + 1) == 1
+
+    def test_delayed_read_sees_rmw_results(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=1)
+
+        def worker(ctx, addr):
+            yield from ctx.fetch_add(addr, 5)
+            value = yield from ctx.delayed_read(addr)
+            return value
+
+        _, threads = run_threads(machine, (0, worker, seg.base))
+        assert threads[0].result == 5
+
+
+class TestRMWOnReplicatedPages:
+    def test_result_comes_from_master_and_updates_propagate(self):
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(1, home=1, replicas=[0, 2, 3])
+        machine.poke(seg.base, 10)
+
+        def worker(ctx, addr):
+            old = yield from ctx.fetch_add(addr, 5)
+            yield from ctx.fence()
+            return old
+
+        _, threads = run_threads(machine, (0, worker, seg.base))
+        assert threads[0].result == 10
+        assert all(
+            machine.peek_copy(seg.base, n) == 15 for n in range(4)
+        )
+
+    def test_queue_writes_propagate_both_words(self):
+        machine = PlusMachine(n_nodes=2)
+        q = machine.shm.alloc_queue(home=0, replicas=[1])
+        ring_base = machine.params.queue_ring_base
+
+        def worker(ctx, q):
+            yield from ctx.enqueue(q, 42)
+            yield from ctx.fence()
+
+        run_threads(machine, (1, worker, q))
+        # Both the ring slot and the tail-offset word updated on BOTH copies.
+        for node in (0, 1):
+            assert machine.peek_copy(q.base + ring_base, node) == TOP_BIT | 42
+            assert machine.peek_copy(q.tail_va, node) == ring_base + 1
+
+    def test_failed_cond_xchng_generates_no_updates(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0, replicas=[1])
+        machine.poke(seg.base, 3)  # top bit clear: cond-xchng must not write
+
+        def worker(ctx, addr):
+            yield from ctx.cond_xchng(addr, 9)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine, (1, worker, seg.base))
+        from repro.network.message import MsgKind
+
+        assert report.fabric.messages_by_kind[MsgKind.UPDATE] == 0
+
+
+class TestQueueConcurrency:
+    def test_no_items_lost_or_duplicated(self):
+        machine = PlusMachine(n_nodes=4)
+        q = machine.shm.alloc_queue(home=0)
+        received = []
+
+        def producer(ctx, q, base):
+            for i in range(30):
+                while True:
+                    ret = yield from ctx.enqueue(q, base + i)
+                    if not ret & TOP_BIT:
+                        break
+                    yield from ctx.compute(20)
+
+        def consumer(ctx, q, expect):
+            got = 0
+            while got < expect:
+                word = yield from ctx.dequeue(q)
+                if word & TOP_BIT:
+                    received.append(word & 0x7FFF_FFFF)
+                    got += 1
+                else:
+                    yield from ctx.compute(20)
+
+        run_threads(
+            machine,
+            (1, producer, q, 1000),
+            (2, producer, q, 2000),
+            (3, consumer, q, 60),
+        )
+        assert sorted(received) == sorted(
+            [1000 + i for i in range(30)] + [2000 + i for i in range(30)]
+        )
+
+    def test_per_producer_fifo_order(self):
+        machine = PlusMachine(n_nodes=2)
+        q = machine.shm.alloc_queue(home=0)
+
+        def producer(ctx, q):
+            for i in range(10):
+                yield from ctx.enqueue(q, i + 1)
+
+        def consumer(ctx, q):
+            got = []
+            while len(got) < 10:
+                word = yield from ctx.dequeue(q)
+                if word & TOP_BIT:
+                    got.append(word & 0x7FFF_FFFF)
+                else:
+                    yield from ctx.compute(15)
+            return got
+
+        _, threads = run_threads(machine, (0, producer, q), (1, consumer, q))
+        assert threads[1].result == list(range(1, 11))
+
+
+class TestDelayedPipeline:
+    def test_split_phase_overlaps_latency(self):
+        """Eight pipelined fetch-adds finish much faster than eight
+        blocking ones (the whole point of delayed operations)."""
+
+        def timed(pipelined):
+            machine = PlusMachine(n_nodes=4, width=4, height=1)
+            seg = machine.shm.alloc(8, home=3)
+
+            def worker(ctx, base):
+                yield from ctx.read(base)  # warm translation
+                start = machine.engine.now
+                if pipelined:
+                    tokens = []
+                    for i in range(8):
+                        t = yield from ctx.issue_fetch_add(base + i, 1)
+                        tokens.append(t)
+                    for t in tokens:
+                        yield from ctx.result(t)
+                else:
+                    for i in range(8):
+                        yield from ctx.fetch_add(base + i, 1)
+                return machine.engine.now - start
+
+            _, threads = run_threads(machine, (0, worker, seg.base))
+            return threads[0].result
+
+        blocking = timed(False)
+        pipelined = timed(True)
+        assert pipelined < blocking * 0.6
+
+    def test_ninth_issue_waits_for_a_slot(self):
+        """Slots free only when a result is read; with all 8 occupied by
+        one thread, another thread's issue stalls until the first thread
+        verifies something."""
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        seg = machine.shm.alloc(16, home=3)
+
+        def hog(ctx, base):
+            tokens = []
+            for i in range(8):
+                t = yield from ctx.issue_fetch_add(base + i, 1)
+                tokens.append(t)
+            assert machine.nodes[0].cm.delayed.in_flight == 8
+            # Block on a remote read so the other thread gets the CPU
+            # while every slot is still occupied.
+            yield from ctx.read(base + 15)
+            yield from ctx.compute(500)
+            for t in tokens:
+                yield from ctx.result(t)
+
+        def ninth(ctx, base):
+            start = machine.engine.now
+            token = yield from ctx.issue_fetch_add(base + 8, 1)
+            waited = machine.engine.now - start
+            yield from ctx.result(token)
+            return waited
+
+        _, threads = run_threads(
+            machine, (0, hog, seg.base), (0, ninth, seg.base)
+        )
+        assert machine.nodes[0].cm.delayed.slot_stalls >= 1
+        # The ninth issue had to wait out the hog's slot occupancy.
+        assert threads[1].result > 500
+
+    def test_poll_is_nonblocking(self):
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        seg = machine.shm.alloc(1, home=3)
+
+        def worker(ctx, addr):
+            token = yield from ctx.issue_fetch_add(addr, 1)
+            first = yield from ctx.poll(token)
+            while True:
+                value = yield from ctx.poll(token)
+                if value is not None:
+                    break
+                yield from ctx.compute(10)
+            final = yield from ctx.result(token)
+            return (first, final)
+
+        _, threads = run_threads(machine, (0, worker, seg.base))
+        first, final = threads[0].result
+        assert first is None  # result cannot be back instantly
+        assert final == 0
+
+
+class TestCostModel:
+    """Section 3.1: issue ~25 cycles, CM execution per Table 3-1, result
+    read ~10 cycles, plus network transit."""
+
+    @staticmethod
+    def _measure(op, home, operand=0):
+        machine = PlusMachine(n_nodes=2)
+        if op in (OpCode.QUEUE, OpCode.DEQUEUE):
+            q = machine.shm.alloc_queue(home=home)
+            va = q.tail_va if op is OpCode.QUEUE else q.head_va
+        else:
+            seg = machine.shm.alloc(1, home=home)
+            va = seg.base
+
+        def worker(ctx, va):
+            yield from ctx.delayed_read(va)  # warm translation
+            start = machine.engine.now
+            token = yield from ctx.issue(op, va, operand)
+            value = yield from ctx.result(token)
+            del value
+            return machine.engine.now - start
+
+        _, threads = run_threads(machine, (0, worker, va))
+        return threads[0].result, machine.params
+
+    def test_local_op_cost(self):
+        elapsed, params = self._measure(OpCode.FETCH_ADD, home=0)
+        floor = (
+            params.issue_delayed_cycles
+            + params.op_cycles[OpCode.FETCH_ADD]
+            + params.read_result_cycles
+        )
+        assert floor <= elapsed <= floor + 2 * params.cm_forward_cycles
+
+    def test_remote_op_cost_includes_round_trip(self):
+        elapsed, params = self._measure(OpCode.FETCH_ADD, home=1)
+        floor = (
+            params.issue_delayed_cycles
+            + params.op_cycles[OpCode.FETCH_ADD]
+            + params.read_result_cycles
+            + 2 * params.one_way_latency(1)
+        )
+        assert floor <= elapsed <= floor + 2 * params.cm_forward_cycles
+
+    def test_queue_ops_cost_more_than_simple_ops(self):
+        simple, _ = self._measure(OpCode.FETCH_ADD, home=1)
+        queue, params = self._measure(OpCode.QUEUE, home=1, operand=1)
+        diff = (
+            params.op_cycles[OpCode.QUEUE]
+            - params.op_cycles[OpCode.FETCH_ADD]
+        )
+        assert queue == simple + diff  # 52 vs 39 cycles at the CM
+
+
+class TestTokenSafety:
+    def test_foreign_token_rejected(self):
+        from repro.errors import ThreadError
+
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0)
+        stash = []
+
+        def issuer(ctx, addr):
+            token = yield from ctx.issue_fetch_add(addr, 1)
+            stash.append(token)
+            yield from ctx.result(token)
+
+        def thief(ctx):
+            yield from ctx.compute(500)
+            yield from ctx.result(stash[0])  # token from another node
+
+        machine.spawn(0, issuer, seg.base)
+        machine.spawn(1, thief)
+        with pytest.raises(ThreadError):
+            machine.run()

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import WaitQueue
+
+
+class TestEngine:
+    def test_starts_at_cycle_zero(self):
+        assert Engine().now == 0
+
+    def test_runs_events_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.at(30, lambda: seen.append("c"))
+        engine.at(10, lambda: seen.append("a"))
+        engine.at(20, lambda: seen.append("b"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        engine = Engine()
+        seen = []
+        for tag in range(5):
+            engine.at(7, lambda t=tag: seen.append(t))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative_to_now(self):
+        engine = Engine()
+        times = []
+        engine.at(100, lambda: engine.after(5, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [105]
+
+    def test_now_tracks_event_time(self):
+        engine = Engine()
+        times = []
+        engine.at(42, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [42]
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append(1)
+            engine.after(10, lambda: seen.append(2))
+
+        engine.at(0, first)
+        engine.run()
+        assert seen == [1, 2]
+        assert engine.now == 10
+
+    def test_run_until_stops_the_clock(self):
+        engine = Engine()
+        seen = []
+        engine.at(10, lambda: seen.append(1))
+        engine.at(100, lambda: seen.append(2))
+        end = engine.run(until=50)
+        assert seen == [1]
+        assert end == 50
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_scheduling_in_the_past_raises(self):
+        engine = Engine()
+        engine.at(50, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(10, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1, lambda: None)
+
+    def test_max_events_backstop(self):
+        engine = Engine()
+
+        def loop():
+            engine.after(1, loop)
+
+        engine.at(0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_step_returns_false_when_drained(self):
+        engine = Engine()
+        assert engine.step() is False
+        engine.at(1, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_event_count_instrumentation(self):
+        engine = Engine()
+        for t in range(10):
+            engine.at(t, lambda: None)
+        engine.run()
+        assert engine.events_fired == 10
+        assert engine.pending_events == 0
+
+
+class TestWaitQueue:
+    def test_wake_one_is_fifo(self):
+        q = WaitQueue()
+        seen = []
+        q.park(lambda: seen.append(1))
+        q.park(lambda: seen.append(2))
+        assert q.wake_one() is True
+        assert seen == [1]
+        assert q.wake_one() is True
+        assert seen == [1, 2]
+        assert q.wake_one() is False
+
+    def test_wake_all_runs_everyone_once(self):
+        q = WaitQueue()
+        seen = []
+        q.park(lambda: seen.append("a"))
+        q.park(lambda: seen.append("b"))
+        assert q.wake_all() == 2
+        assert seen == ["a", "b"]
+        assert len(q) == 0
+
+    def test_wake_all_does_not_rerun_reparked_waiters(self):
+        q = WaitQueue()
+        calls = []
+
+        def stubborn():
+            calls.append("again")
+            q.park(stubborn)
+
+        q.park(stubborn)
+        assert q.wake_all() == 1
+        assert calls == ["again"]
+        assert len(q) == 1  # re-parked, not re-run
+
+    def test_bool_reflects_emptiness(self):
+        q = WaitQueue()
+        assert not q
+        q.park(lambda: None)
+        assert q

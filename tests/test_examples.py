@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs and verifies itself.
+
+The examples assert their own correctness internally (each compares
+against a sequential oracle); these tests run them as subprocesses with
+reduced problem sizes so the whole suite stays fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    """Run one example script; returns its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "All demos completed." in out
+        assert "(stale!)" in out  # the weak-ordering race fired
+        assert "acquisition order" in out
+
+    def test_shortest_path(self):
+        out = run_example(
+            "shortest_path.py", "--vertices", "150", "--nodes", "4"
+        )
+        assert "Message ratios" in out
+        assert "faster than the unreplicated" in out
+
+    def test_beam_search(self):
+        out = run_example(
+            "beam_search.py", "--nodes", "4", "--width", "48",
+            "--layers", "8",
+        )
+        assert "verified against the sequential oracle" in out
+        assert "Figure 3-1" in out
+
+    def test_production_system(self):
+        out = run_example(
+            "production_system.py",
+            "--rules", "80", "--facts", "100", "--nodes", "1", "2",
+        )
+        assert "firing order verified" in out
+
+    def test_page_migration(self):
+        out = run_example("page_migration.py")
+        assert "words diverging between master and new copy: 0" in out
+        assert "data survived: 1234" in out
+        assert "automatic replications: 1" in out
+
+    def test_stencil_halo(self):
+        out = run_example(
+            "stencil_halo.py", "--cells", "48", "--nodes", "4",
+            "--iterations", "4",
+        )
+        assert "verified" in out
+        assert "replicated halo pages" in out

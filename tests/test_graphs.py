@@ -1,0 +1,161 @@
+"""Tests for the synthetic workload generators and their oracles."""
+
+import pytest
+
+from repro.apps.graphs import (
+    Graph,
+    Lattice,
+    beam_search_reference,
+    dijkstra,
+    geometric_graph,
+    initial_costs,
+    layered_lattice,
+)
+from repro.errors import ConfigError
+
+
+class TestGeometricGraph:
+    def test_deterministic_for_seed(self):
+        a = geometric_graph(100, seed=3)
+        b = geometric_graph(100, seed=3)
+        assert a.adjacency == b.adjacency
+        c = geometric_graph(100, seed=4)
+        assert a.adjacency != c.adjacency
+
+    def test_degree_and_size(self):
+        g = geometric_graph(200, degree=5, seed=1)
+        assert g.n_vertices == 200
+        assert all(len(adj) == 5 for adj in g.adjacency)
+        assert g.n_edges == 1000
+
+    def test_backbone_guarantees_connectivity(self):
+        g = geometric_graph(150, degree=2, seed=9)
+        dist = dijkstra(g, 0)
+        INF = (1 << 32) - 1
+        assert all(d < INF for d in dist)
+
+    def test_no_self_loops_or_duplicate_edges(self):
+        g = geometric_graph(120, degree=6, seed=2)
+        for v, adj in enumerate(g.adjacency):
+            targets = [u for u, _ in adj]
+            assert v not in targets
+            assert len(set(targets)) == len(targets)
+
+    def test_mostly_local_edges(self):
+        g = geometric_graph(400, degree=4, long_edge_fraction=0.05, seed=7)
+        local = sum(
+            1
+            for v, adj in enumerate(g.adjacency)
+            for u, _ in adj
+            if min((u - v) % 400, (v - u) % 400) <= 400 // 8
+        )
+        assert local / g.n_edges > 0.8
+
+    def test_weights_positive_and_bounded(self):
+        g = geometric_graph(100, max_weight=15, seed=1)
+        for adj in g.adjacency:
+            for _, w in adj:
+                assert 1 <= w <= 15
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_graph(1)
+        with pytest.raises(ConfigError):
+            geometric_graph(10, degree=0)
+
+
+class TestDijkstra:
+    def test_line_graph(self):
+        g = Graph(n_vertices=4, adjacency=[[(1, 2)], [(2, 3)], [(3, 4)], []])
+        assert dijkstra(g, 0) == [0, 2, 5, 9]
+
+    def test_prefers_cheaper_indirect_path(self):
+        g = Graph(
+            n_vertices=3,
+            adjacency=[[(1, 1), (2, 10)], [(2, 1)], []],
+        )
+        assert dijkstra(g, 0)[2] == 2
+
+    def test_unreachable_is_infinite(self):
+        g = Graph(n_vertices=3, adjacency=[[(1, 1)], [], []])
+        assert dijkstra(g, 0)[2] == (1 << 32) - 1
+
+
+class TestLattice:
+    def test_shape_and_ids(self):
+        lat = layered_lattice(n_layers=5, width=10, branching=3, seed=1)
+        assert lat.n_states == 50
+        assert lat.state_id(2, 3) == 23
+        assert lat.layer_of(23) == 2
+
+    def test_arcs_only_to_next_layer(self):
+        lat = layered_lattice(n_layers=6, width=12, branching=3, seed=4)
+        for state, succs in lat.arcs.items():
+            for succ, _ in succs:
+                assert lat.layer_of(succ) == lat.layer_of(state) + 1
+
+    def test_last_layer_has_no_arcs(self):
+        lat = layered_lattice(n_layers=4, width=8, seed=1)
+        for i in range(8):
+            assert lat.successors(lat.state_id(3, i)) == []
+
+    def test_branching_count(self):
+        lat = layered_lattice(n_layers=3, width=8, branching=3, seed=1)
+        for layer in range(2):
+            for i in range(8):
+                assert len(lat.successors(lat.state_id(layer, i))) == 3
+
+    def test_deterministic(self):
+        a = layered_lattice(seed=11)
+        b = layered_lattice(seed=11)
+        assert a.arcs == b.arcs
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            layered_lattice(n_layers=1)
+        with pytest.raises(ConfigError):
+            layered_lattice(width=2, branching=3)
+
+
+class TestBeamReference:
+    def test_huge_beam_equals_exact_dp(self):
+        lat = layered_lattice(n_layers=6, width=10, branching=3, seed=2)
+        got = beam_search_reference(lat, beam=10**9)
+        # Exact DP over the same lattice.
+        INF = float("inf")
+        exact = {lat.state_id(0, 0): 0}
+        frontier = {lat.state_id(0, 0): 0}
+        for _ in range(lat.n_layers - 1):
+            nxt = {}
+            for s, c in frontier.items():
+                for u, w in lat.successors(s):
+                    if c + w < nxt.get(u, INF):
+                        nxt[u] = c + w
+            exact.update(nxt)
+            frontier = nxt
+        assert got == exact
+
+    def test_zero_beam_keeps_only_layer_minima(self):
+        lat = layered_lattice(n_layers=5, width=8, branching=3, seed=3)
+        got = beam_search_reference(lat, beam=0)
+        for layer in range(1, 5):
+            layer_costs = [
+                c for s, c in got.items() if lat.layer_of(s) == layer
+            ]
+            if layer_costs:
+                assert max(layer_costs) == min(layer_costs)
+
+    def test_tighter_beam_keeps_fewer_states(self):
+        lat = layered_lattice(n_layers=8, width=16, branching=3, seed=5)
+        init = initial_costs(lat, seed=1)
+        wide = beam_search_reference(lat, beam=1000, initial=init)
+        narrow = beam_search_reference(lat, beam=10, initial=init)
+        assert set(narrow) <= set(wide)
+        assert len(narrow) < len(wide)
+
+    def test_initial_costs_full_layer(self):
+        lat = layered_lattice(n_layers=4, width=10, seed=1)
+        init = initial_costs(lat, seed=2)
+        assert len(init) == 10
+        assert all(lat.layer_of(s) == 0 for s in init)
+        assert initial_costs(lat, seed=2) == init

@@ -1,0 +1,250 @@
+"""Tests for the write-invalidate protocol variant (Section 2.2 ablation).
+
+The production PLUS protocol is write-update; the invalidate variant
+marks remote copies stale instead of carrying data, forcing the next
+local read to re-fetch from the master.  These tests check the variant
+stays coherent and exhibits the penalty the paper's argument predicts.
+"""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMS
+from repro.machine import PlusMachine
+from repro.network.message import MsgKind
+
+from tests.helpers import run_threads
+
+INVALIDATE = PAPER_PARAMS.evolved(coherence_protocol="invalidate")
+
+
+def _machine(n=4):
+    return PlusMachine(n_nodes=n, params=INVALIDATE)
+
+
+class TestCoherence:
+    def test_reader_never_sees_stale_data_after_fence_handshake(self):
+        machine = _machine()
+        data = machine.shm.alloc(1, home=0, replicas=[3])
+        flag = machine.shm.alloc(1, home=0, replicas=[3])
+
+        def producer(ctx):
+            yield from ctx.write(data.base, 777)
+            yield from ctx.fence()
+            yield from ctx.write(flag.base, 1)
+            yield from ctx.fence()
+
+        def consumer(ctx):
+            yield from ctx.read(data.base)  # warm + cache locally
+            while True:
+                f = yield from ctx.read(flag.base)
+                if f:
+                    break
+                yield from ctx.spin(10)
+            value = yield from ctx.read(data.base)
+            return value
+
+        _, threads = run_threads(
+            machine, (0, producer), (3, consumer)
+        )
+        assert threads[1].result == 777
+
+    def test_refetch_revalidates_word(self):
+        machine = _machine()
+        seg = machine.shm.alloc(2, home=0, replicas=[2])
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 5)
+            yield from ctx.fence()
+
+        def reader(ctx):
+            yield from ctx.read(seg.base)
+            yield from ctx.compute(3000)
+            before = machine.nodes[2].counters.remote_reads
+            yield from ctx.read(seg.base)  # miss: refetch
+            mid = machine.nodes[2].counters.remote_reads
+            yield from ctx.read(seg.base)  # revalidated: local again
+            after = machine.nodes[2].counters.remote_reads
+            return (mid - before, after - mid)
+
+        _, threads = run_threads(machine, (0, writer), (2, reader))
+        assert threads[0].result is None or True
+        assert threads[1].result == (1, 0)
+
+    def test_concurrent_writers_still_converge(self):
+        machine = _machine()
+        seg = machine.shm.alloc(1, home=1, replicas=[0, 2, 3])
+
+        def writer(ctx, base):
+            for i in range(15):
+                yield from ctx.write(seg.base, base + i)
+                yield from ctx.compute((base % 7) + 3)
+            yield from ctx.fence()
+
+        def reader(ctx, node):
+            yield from ctx.compute(8000)
+            value = yield from ctx.read(seg.base)
+            return value
+
+        _, threads = run_threads(
+            machine,
+            (0, writer, 100),
+            (2, writer, 200),
+            (0, reader, 0),
+            (3, reader, 3),
+        )
+        # Every reader re-fetches from the master, so all agree.
+        values = {t.result for t in threads[2:]}
+        assert len(values) == 1
+
+    def test_rmw_results_propagate_as_invalidations(self):
+        machine = _machine()
+        seg = machine.shm.alloc(1, home=0, replicas=[1])
+
+        def worker(ctx):
+            yield from ctx.fetch_add(seg.base, 9)
+            yield from ctx.fence()
+            value = yield from ctx.read(seg.base)  # refetch at node 1
+            return value
+
+        _, threads = run_threads(machine, (1, worker))
+        assert threads[0].result == 9
+
+    def test_master_words_never_invalid(self):
+        machine = _machine()
+        seg = machine.shm.alloc(1, home=0, replicas=[1])
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 3)
+            yield from ctx.fence()
+            before = machine.nodes[0].counters.remote_reads
+            value = yield from ctx.read(seg.base)
+            after = machine.nodes[0].counters.remote_reads
+            return (value, after - before)
+
+        # Node 1 writes; the master on node 0... write from node 0:
+        _, threads = run_threads(machine, (0, writer))
+        assert threads[0].result == (3, 0)  # master read stays local
+
+
+class TestTraffic:
+    def test_invalidate_messages_replace_updates(self):
+        machine = _machine()
+        seg = machine.shm.alloc(4, home=0, replicas=[1, 2])
+
+        def writer(ctx):
+            for i in range(10):
+                yield from ctx.write(seg.base + i % 4, i)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine, (0, writer))
+        assert report.fabric.messages_by_kind[MsgKind.UPDATE] == 0
+        assert report.fabric.messages_by_kind[MsgKind.INVALIDATE] == 20
+
+    def test_update_protocol_sends_no_invalidations(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0, replicas=[1])
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 1)
+            yield from ctx.fence()
+
+        report, _ = run_threads(machine, (0, writer))
+        assert report.fabric.messages_by_kind[MsgKind.INVALIDATE] == 0
+        assert report.fabric.messages_by_kind[MsgKind.UPDATE] == 1
+
+
+class TestSection22Argument:
+    def test_update_beats_invalidate_for_shared_readers(self):
+        """The paper's §2.2 point: in a distributed machine, updating
+        copies keeps consumer reads local; invalidation turns every
+        post-write read into a remote miss."""
+
+        def total_cycles(protocol):
+            params = PAPER_PARAMS.evolved(coherence_protocol=protocol)
+            machine = PlusMachine(n_nodes=4, params=params)
+            seg = machine.shm.alloc(8, home=0, replicas=[1, 2, 3])
+
+            def producer(ctx):
+                for round_ in range(12):
+                    for i in range(8):
+                        yield from ctx.write(seg.base + i, round_ * 8 + i)
+                    yield from ctx.fence()
+                    yield from ctx.compute(400)
+
+            def consumer(ctx, node):
+                total = 0
+                for _ in range(12):
+                    for i in range(8):
+                        value = yield from ctx.read(seg.base + i)
+                        total += value
+                    yield from ctx.compute(300)
+                return total
+
+            machine.spawn(0, producer)
+            for node in (1, 2, 3):
+                machine.spawn(node, consumer, node)
+            return machine.run().cycles
+
+        update = total_cycles("update")
+        invalidate = total_cycles("invalidate")
+        assert update < invalidate
+
+    def test_bad_protocol_name_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PAPER_PARAMS.evolved(coherence_protocol="dragon")
+
+
+class TestThirdPartyReads:
+    def test_remote_read_through_stale_replica_reaches_master(self):
+        """Regression: a node with no copy maps the nearest replica; if
+        that replica's word is invalid, the read must be forwarded to
+        the master rather than served stale."""
+        machine = PlusMachine(n_nodes=8, width=8, height=1, params=INVALIDATE)
+        # Master far away on node 0, replica next door on node 5.
+        seg = machine.shm.alloc(1, home=0, replicas=[5])
+        machine.poke(seg.base, 111)
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 222)  # invalidates the replica
+            yield from ctx.fence()
+
+        def reader(ctx):
+            yield from ctx.compute(4000)  # after the invalidation lands
+            value = yield from ctx.read(seg.base)  # maps node 5's copy
+            return value
+
+        _, threads = run_threads(machine, (0, writer), (6, reader))
+        assert threads[1].result == 222
+
+
+class TestLiveReplicationUnderInvalidation:
+    def test_new_copy_inherits_invalidity_not_stale_data(self):
+        """Regression: a live copy streamed from a replica with invalid
+        words must mark those words invalid, not serve the stale data."""
+        machine = PlusMachine(n_nodes=8, width=8, height=1, params=INVALIDATE)
+        seg = machine.shm.alloc(4, home=0, replicas=[4])
+        machine.poke(seg.base, 111)
+        done = []
+
+        def writer(ctx):
+            # Invalidate node 4's copy of word 0.
+            yield from ctx.write(seg.base, 222)
+            yield from ctx.fence()
+            # Replicate onto node 5; the chain makes node 4 (nearest) the
+            # predecessor, whose word 0 is stale.
+            machine.os.replicate_live(
+                seg.vpages[0], 5, on_done=lambda: done.append(True), after=4
+            )
+            while not done:
+                yield from ctx.spin(100)
+
+        def reader(ctx):
+            yield from ctx.compute(60_000)  # after copy completes
+            value = yield from ctx.read(seg.base)  # maps node 5's copy
+            return value
+
+        _, threads = run_threads(machine, (0, writer), (6, reader))
+        assert done == [True]
+        assert threads[1].result == 222

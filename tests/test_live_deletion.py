@@ -1,0 +1,124 @@
+"""Tests for live copy deletion with TLB shootdown (Section 2.4)."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.machine import PlusMachine
+from repro.network.message import MsgKind
+from repro.stats.trace import ProtocolTrace
+
+from tests.helpers import run_threads
+
+
+class TestDeleteCopyLive:
+    def test_copy_removed_and_mappings_shot_down(self):
+        machine = PlusMachine(n_nodes=4)
+        trace = ProtocolTrace().install(machine)
+        seg = machine.shm.alloc(4, home=0)
+        vpage = seg.vpages[0]
+        machine.os.replicate(vpage, 2)
+        # Nodes 2 and 3 both map the copy on node 2.
+        machine.nodes[2].page_table.translate(seg.base)
+        machine.nodes[3].page_table.install(
+            vpage, machine.os.copylist(vpage).copy_on(2)
+        )
+        done = []
+
+        def driver(ctx):
+            machine.os.delete_copy_live(
+                vpage, 2, via_node=0, on_done=lambda: done.append(True)
+            )
+            while not done:
+                yield from ctx.spin(100)
+
+        run_threads(machine, (0, driver))
+        assert done == [True]
+        assert machine.os.copylist(vpage).nodes == [0]
+        assert machine.nodes[2].page_table.mapping_of(vpage) is None
+        assert machine.nodes[3].page_table.mapping_of(vpage) is None
+        shootdowns = trace.of_kind(MsgKind.TLB_SHOOTDOWN)
+        assert sorted(e.dst for e in shootdowns) == [2, 3]
+        assert len(trace.of_kind(MsgKind.TLB_SHOOTDOWN_ACK)) == 2
+
+    def test_deletion_takes_drain_time(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0)
+        vpage = seg.vpages[0]
+        machine.os.replicate(vpage, 1)
+        finish = []
+
+        def driver(ctx):
+            start = machine.engine.now
+            machine.os.delete_copy_live(
+                vpage, 1, via_node=0,
+                on_done=lambda: finish.append(machine.engine.now - start),
+            )
+            while not finish:
+                yield from ctx.spin(100)
+
+        run_threads(machine, (0, driver))
+        assert finish[0] >= machine.params.shootdown_drain_cycles
+
+    def test_writes_during_deletion_never_lose_data(self):
+        """Straggler updates already heading for the dying copy are
+        absorbed harmlessly; the surviving copies stay coherent."""
+        machine = PlusMachine(n_nodes=4)
+        seg = machine.shm.alloc(8, home=0)
+        vpage = seg.vpages[0]
+        machine.os.replicate(vpage, 1)
+        machine.os.replicate(vpage, 2)
+        done = []
+
+        def writer(ctx):
+            for i in range(40):
+                yield from ctx.write(seg.base + i % 8, 1000 + i)
+                yield from ctx.compute(15)
+                if i == 10:
+                    machine.os.delete_copy_live(
+                        vpage, 2, via_node=0,
+                        on_done=lambda: done.append(True),
+                    )
+            yield from ctx.fence()
+            while not done:
+                yield from ctx.spin(100)
+
+        run_threads(machine, (0, writer))
+        assert done == [True]
+        clist = machine.os.copylist(vpage)
+        assert clist.nodes == [0, 1]
+        for offset in range(8):
+            assert machine.peek_copy(seg.base + offset, 1) == machine.peek(
+                seg.base + offset
+            )
+
+    def test_reader_refaults_to_surviving_copy(self):
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        seg = machine.shm.alloc(1, home=0)
+        vpage = seg.vpages[0]
+        machine.os.replicate(vpage, 3)
+        machine.poke(seg.base, 55)
+        done = []
+
+        def reader(ctx):
+            a = yield from ctx.read(seg.base)  # maps the local copy
+            machine.os.delete_copy_live(
+                vpage, 3, via_node=0, on_done=lambda: done.append(True)
+            )
+            while not done:
+                yield from ctx.spin(100)
+            b = yield from ctx.read(seg.base)  # refaults to the master
+            return a, b
+
+        _, threads = run_threads(machine, (3, reader))
+        assert threads[0].result == (55, 55)
+        assert machine.nodes[3].page_table.mapping_of(vpage).node == 0
+
+    def test_cannot_live_delete_master_or_only_copy(self):
+        machine = PlusMachine(n_nodes=2)
+        seg = machine.shm.alloc(1, home=0)
+        vpage = seg.vpages[0]
+        with pytest.raises(ReplicationError):
+            machine.os.delete_copy_live(vpage, 0)
+        machine.os.replicate(vpage, 1)
+        with pytest.raises(ReplicationError):
+            machine.os.delete_copy_live(vpage, 0)

@@ -1,0 +1,198 @@
+"""Unit tests for mesh topology, link timing, and the fabric."""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMS
+from repro.errors import ConfigError
+from repro.memory.address import PhysAddr
+from repro.network.fabric import Fabric
+from repro.network.message import Message, MsgKind
+from repro.network.router import LinkModel
+from repro.network.topology import Mesh
+from repro.sim.engine import Engine
+
+
+class TestMesh:
+    def test_nearly_square_shape(self):
+        assert (Mesh(16).width, Mesh(16).height) == (4, 4)
+        assert (Mesh(12).width, Mesh(12).height) == (4, 3)
+        assert (Mesh(1).width, Mesh(1).height) == (1, 1)
+
+    def test_explicit_shape(self):
+        mesh = Mesh(8, width=8, height=1)
+        assert mesh.coord(7) == (7, 0)
+
+    def test_shape_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            Mesh(10, width=3, height=3)
+
+    def test_coords_row_major(self):
+        mesh = Mesh(16)
+        assert mesh.coord(0) == (0, 0)
+        assert mesh.coord(5) == (1, 1)
+        assert mesh.node_at(1, 1) == 5
+
+    def test_hops_is_manhattan_distance(self):
+        mesh = Mesh(16)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+        assert mesh.hops(0, 15) == 6
+        assert mesh.hops(5, 10) == 2
+
+    def test_route_is_dimension_order_x_first(self):
+        mesh = Mesh(16)
+        links = mesh.route(0, 10)  # (0,0) -> (2,2)
+        assert links == [(0, 1), (1, 2), (2, 6), (6, 10)]
+
+    def test_route_length_equals_hops(self):
+        mesh = Mesh(16)
+        for src in range(16):
+            for dst in range(16):
+                assert len(mesh.route(src, dst)) == mesh.hops(src, dst)
+
+    def test_route_links_are_adjacent_steps(self):
+        mesh = Mesh(12)
+        for src in (0, 5, 11):
+            for dst in (0, 5, 11):
+                here = src
+                for a, b in mesh.route(src, dst):
+                    assert a == here
+                    assert mesh.hops(a, b) == 1
+                    here = b
+                assert here == dst
+
+    def test_neighbors_counts(self):
+        mesh = Mesh(9)  # 3x3
+        assert sorted(mesh.neighbors(4)) == [1, 3, 5, 7]   # center
+        assert sorted(mesh.neighbors(0)) == [1, 3]          # corner
+
+    def test_neighbors_skip_missing_nodes(self):
+        mesh = Mesh(3)  # 2x2 grid with node 3 absent
+        assert 3 not in list(mesh.neighbors(1))
+
+    def test_nearest_to(self):
+        mesh = Mesh(16)
+        assert mesh.nearest_to(0, [15, 1, 9]) == 1
+        assert mesh.nearest_to(0, [5, 10]) == 5
+        # Ties broken by lowest node id.
+        assert mesh.nearest_to(0, [4, 1]) == 1
+        with pytest.raises(ConfigError):
+            mesh.nearest_to(0, [])
+
+
+class TestLinkModel:
+    def test_uncontended_latency(self):
+        params = PAPER_PARAMS
+        links = LinkModel(params)
+        mesh = Mesh(16)
+        arrive = links.traverse(mesh.route(0, 1), depart=0, size_bytes=4)
+        assert arrive == params.net_fixed_cycles + params.net_hop_cycles
+
+    def test_adjacent_round_trip_is_24_cycles(self):
+        params = PAPER_PARAMS
+        links = LinkModel(params)
+        mesh = Mesh(4)
+        t1 = links.traverse(mesh.route(0, 1), depart=0, size_bytes=4)
+        t2 = links.traverse(mesh.route(1, 0), depart=t1, size_bytes=4)
+        assert t2 == 24
+
+    def test_contention_delays_second_message(self):
+        params = PAPER_PARAMS
+        links = LinkModel(params)
+        mesh = Mesh(4)
+        path = mesh.route(0, 1)
+        first = links.traverse(path, depart=0, size_bytes=80)  # 100-cycle hold
+        second = links.traverse(path, depart=0, size_bytes=80)
+        assert second > first
+
+    def test_disjoint_paths_do_not_interact(self):
+        params = PAPER_PARAMS
+        links = LinkModel(params)
+        mesh = Mesh(16)
+        t1 = links.traverse(mesh.route(0, 1), depart=0, size_bytes=400)
+        t2 = links.traverse(mesh.route(14, 15), depart=0, size_bytes=400)
+        assert t1 == t2
+
+    def test_busy_accounting(self):
+        params = PAPER_PARAMS
+        links = LinkModel(params)
+        mesh = Mesh(4)
+        links.traverse(mesh.route(0, 3), depart=0, size_bytes=8)
+        assert links.total_link_messages() == 2  # two hops
+        assert links.total_busy_cycles() == 2 * params.link_occupancy_cycles(8)
+        assert len(links.hottest_links()) == 2
+
+
+class TestMessages:
+    def test_update_size_grows_with_extra_writes(self):
+        single = Message(MsgKind.UPDATE, 0, 1, writes=[(0, 1)])
+        double = Message(MsgKind.UPDATE, 0, 1, writes=[(0, 1), (1, 2)])
+        assert double.size_bytes == single.size_bytes + 8
+
+    def test_page_copy_data_size_includes_words(self):
+        msg = Message(MsgKind.PAGE_COPY_DATA, 0, 1, words=[0] * 32)
+        empty = Message(MsgKind.PAGE_COPY_DATA, 0, 1, words=[])
+        assert msg.size_bytes == empty.size_bytes + 128
+
+    def test_message_ids_unique(self):
+        a = Message(MsgKind.READ_REQ, 0, 1)
+        b = Message(MsgKind.READ_REQ, 0, 1)
+        assert a.msg_id != b.msg_id
+
+
+class TestFabric:
+    @staticmethod
+    def _fabric(n=4):
+        engine = Engine()
+        fabric = Fabric(engine, Mesh(n), PAPER_PARAMS)
+        return engine, fabric
+
+    def test_delivers_to_attached_receiver(self):
+        engine, fabric = self._fabric()
+        got = []
+        fabric.attach(1, got.append)
+        msg = Message(MsgKind.READ_REQ, 0, 1, addr=PhysAddr(1, 0, 0))
+        fabric.send(msg)
+        engine.run()
+        assert got == [msg]
+        assert engine.now == PAPER_PARAMS.one_way_latency(1)
+
+    def test_rejects_self_messages(self):
+        _, fabric = self._fabric()
+        fabric.attach(0, lambda m: None)
+        with pytest.raises(ConfigError):
+            fabric.send(Message(MsgKind.READ_REQ, 0, 0))
+
+    def test_rejects_unattached_destination(self):
+        _, fabric = self._fabric()
+        with pytest.raises(ConfigError):
+            fabric.send(Message(MsgKind.READ_REQ, 0, 2))
+
+    def test_rejects_double_attach(self):
+        _, fabric = self._fabric()
+        fabric.attach(1, lambda m: None)
+        with pytest.raises(ConfigError):
+            fabric.attach(1, lambda m: None)
+
+    def test_point_to_point_fifo_order(self):
+        engine, fabric = self._fabric()
+        got = []
+        fabric.attach(3, lambda m: got.append(m.xid))
+        for i in range(10):
+            fabric.send(Message(MsgKind.WRITE_ACK, 0, 3, xid=i))
+        engine.run()
+        assert got == list(range(10))
+
+    def test_stats_by_kind_and_hops(self):
+        engine, fabric = self._fabric()
+        fabric.attach(3, lambda m: None)
+        fabric.send(Message(MsgKind.READ_REQ, 0, 3))
+        fabric.send(Message(MsgKind.UPDATE, 0, 3, writes=[(0, 0)]))
+        engine.run()
+        stats = fabric.stats
+        assert stats.total_messages == 2
+        assert stats.messages_by_kind[MsgKind.READ_REQ] == 1
+        assert stats.messages_by_kind[MsgKind.UPDATE] == 1
+        assert stats.total_hops == 4  # 0 -> 3 is 2 hops in a 2x2 mesh
+        assert stats.mean_hops == 2.0
+        assert stats.count(MsgKind.READ_REQ, MsgKind.UPDATE) == 2

@@ -1,0 +1,177 @@
+"""Tests for the IVY-style paging DSM baseline."""
+
+import pytest
+
+from repro.baselines.paging import PageState, PagingDSM
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+
+from tests.helpers import run_threads
+
+
+def _dsm(n_nodes=4, n_pages=4, **kwargs):
+    machine = PlusMachine(n_nodes=n_nodes)
+    return machine, PagingDSM(machine, n_pages=n_pages, **kwargs)
+
+
+class TestBasics:
+    def test_local_access_is_cheap(self):
+        machine, dsm = _dsm()
+        dsm.place(0, 2)
+        dsm.poke(5, 99)
+
+        def worker(ctx):
+            start = machine.engine.now
+            value = yield from dsm.read(ctx, 5)
+            return value, machine.engine.now - start
+
+        _, threads = run_threads(machine, (2, worker))
+        value, cycles = threads[0].result
+        assert value == 99
+        assert cycles <= 2
+
+    def test_remote_read_faults_once(self):
+        machine, dsm = _dsm()
+        dsm.place(0, 0)
+        dsm.poke(3, 42)
+
+        def worker(ctx):
+            a = yield from dsm.read(ctx, 3)
+            t0 = machine.engine.now
+            b = yield from dsm.read(ctx, 3)  # now resident
+            return a, b, machine.engine.now - t0
+
+        _, threads = run_threads(machine, (3, worker))
+        a, b, second = threads[0].result
+        assert (a, b) == (42, 42)
+        assert dsm.read_faults == 1
+        assert second <= 2
+
+    def test_fault_cost_includes_page_transfer(self):
+        machine, dsm = _dsm()
+        dsm.place(0, 0)
+
+        def worker(ctx):
+            start = machine.engine.now
+            yield from dsm.read(ctx, 0)
+            return machine.engine.now - start
+
+        _, threads = run_threads(machine, (1, worker))
+        # 2x software overhead + >= 5120 cycles of 4KB at 0.8 B/cycle.
+        assert threads[0].result > 5000
+
+    def test_write_fault_invalidates_readers(self):
+        machine, dsm = _dsm()
+        dsm.place(0, 0)
+
+        def reader(ctx):
+            yield from dsm.read(ctx, 0)
+
+        def writer(ctx):
+            yield from ctx.compute(50_000)  # after the readers faulted in
+            yield from dsm.write(ctx, 0, 7)
+
+        run_threads(machine, (1, reader), (2, reader), (3, writer))
+        assert dsm.invalidations >= 2
+        assert dsm.peek(0) == 7
+        # Readers' copies dropped; the writer owns the page.
+        assert dsm._state[0][1] is PageState.INVALID
+        assert dsm._state[0][3] is PageState.WRITE
+
+    def test_sequential_semantics_on_pingpong(self):
+        machine, dsm = _dsm(n_nodes=2, n_pages=1)
+
+        def ping(ctx):
+            for i in range(5):
+                yield from dsm.write(ctx, 0, i)
+                yield from ctx.compute(100)
+
+        def pong(ctx):
+            seen = []
+            for _ in range(5):
+                value = yield from dsm.read(ctx, 0)
+                seen.append(value)
+                yield from ctx.compute(100)
+            return seen
+
+        _, threads = run_threads(machine, (0, ping), (1, pong))
+        seen = threads[1].result
+        assert seen == sorted(seen)  # monotone: never travels back in time
+        assert dsm.pages_transferred >= 2
+
+    def test_address_validation(self):
+        machine, dsm = _dsm(n_pages=1)
+        with pytest.raises(ConfigError):
+            dsm.peek(5000)
+        with pytest.raises(ConfigError):
+            PagingDSM(machine, n_pages=0)
+
+
+class TestSection4Argument:
+    def test_plus_beats_paging_on_fine_grained_sharing(self):
+        """One producer updates a few words that three consumers read:
+        PLUS propagates 4-byte updates in hardware; the paging DSM moves
+        4 KB pages through a software path and thrashes."""
+        ROUNDS = 10
+
+        def paging_run():
+            machine, dsm = _dsm(n_nodes=4, n_pages=1)
+            dsm.place(0, 0)
+
+            def producer(ctx):
+                for r in range(ROUNDS):
+                    for i in range(4):
+                        yield from dsm.write(ctx, i, r * 4 + i)
+                    yield from ctx.compute(500)
+
+            def consumer(ctx):
+                for _ in range(ROUNDS):
+                    for i in range(4):
+                        yield from dsm.read(ctx, i)
+                    yield from ctx.compute(500)
+
+            machine.spawn(0, producer)
+            for n in (1, 2, 3):
+                machine.spawn(n, consumer)
+            return machine.run().cycles
+
+        def plus_run():
+            machine = PlusMachine(n_nodes=4)
+            seg = machine.shm.alloc(4, home=0, replicas=[1, 2, 3])
+
+            def producer(ctx):
+                for r in range(ROUNDS):
+                    for i in range(4):
+                        yield from ctx.write(seg.base + i, r * 4 + i)
+                    yield from ctx.fence()
+                    yield from ctx.compute(500)
+
+            def consumer(ctx):
+                for _ in range(ROUNDS):
+                    for i in range(4):
+                        yield from ctx.read(seg.base + i)
+                    yield from ctx.compute(500)
+
+            machine.spawn(0, producer)
+            for n in (1, 2, 3):
+                machine.spawn(n, consumer)
+            return machine.run().cycles
+
+        assert plus_run() * 3 < paging_run()
+
+    def test_paging_is_fine_for_private_pages(self):
+        """Each node works on its own page: after one cold fault the
+        paging DSM is as good as local memory — the paper concedes "the
+        usability of such systems depends heavily on the application"."""
+        machine, dsm = _dsm(n_nodes=4, n_pages=4)
+        for p in range(4):
+            dsm.place(p, 0)  # all initially misplaced
+
+        def worker(ctx, node):
+            base = node * 1024
+            for i in range(50):
+                yield from dsm.write(ctx, base + i % 20, i)
+                yield from ctx.compute(20)
+
+        run_threads(machine, *[(n, worker, n) for n in range(4)])
+        assert dsm.write_faults == 3  # one cold fault per non-home node

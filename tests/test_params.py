@@ -1,0 +1,112 @@
+"""Unit tests for timing parameters (the paper's published constants)."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_OP_CYCLES,
+    PAPER_PARAMS,
+    OpCode,
+    TimingParams,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperConstants:
+    """The defaults must match the numbers printed in the paper."""
+
+    def test_cycle_is_40ns(self):
+        assert PAPER_PARAMS.cycle_ns == 40.0
+
+    def test_page_is_4kbytes(self):
+        assert PAPER_PARAMS.page_words * 4 == 4096
+
+    def test_cache_is_32_kbytes(self):
+        assert PAPER_PARAMS.cache_size_words * 4 == 32 * 1024
+
+    def test_issue_cost_is_25_cycles(self):
+        assert PAPER_PARAMS.issue_delayed_cycles == 25
+
+    def test_result_read_is_10_cycles(self):
+        assert PAPER_PARAMS.read_result_cycles == 10
+
+    def test_adjacent_round_trip_is_24_cycles(self):
+        assert 2 * PAPER_PARAMS.one_way_latency(1) == 24
+
+    def test_extra_hop_adds_4_cycles(self):
+        p = PAPER_PARAMS
+        assert p.one_way_latency(3) - p.one_way_latency(2) == 4
+
+    def test_remote_read_fixed_overhead_is_32_cycles(self):
+        p = PAPER_PARAMS
+        assert p.cm_request_cycles + p.cm_service_cycles == 32
+
+    def test_eight_pending_writes(self):
+        assert PAPER_PARAMS.pending_writes_capacity == 8
+
+    def test_eight_delayed_slots(self):
+        assert PAPER_PARAMS.delayed_slots == 8
+
+    def test_line_fill_is_15_cycles(self):
+        assert PAPER_PARAMS.line_fill_cycles == 15
+        assert PAPER_PARAMS.cache_line_words == 4
+
+    def test_table_3_1_op_cycles(self):
+        expected = {
+            OpCode.XCHNG: 39,
+            OpCode.COND_XCHNG: 39,
+            OpCode.FETCH_ADD: 39,
+            OpCode.FETCH_SET: 39,
+            OpCode.QUEUE: 52,
+            OpCode.DEQUEUE: 52,
+            OpCode.MIN_XCHNG: 52,
+            OpCode.DELAYED_READ: 39,
+        }
+        assert DEFAULT_OP_CYCLES == expected
+        assert PAPER_PARAMS.op_cycles == expected
+
+    def test_link_bandwidth_is_20_mbytes_per_second(self):
+        # 0.8 bytes/cycle at 40 ns = 20 MB/s.
+        bytes_per_second = (
+            PAPER_PARAMS.link_bytes_per_cycle / (PAPER_PARAMS.cycle_ns * 1e-9)
+        )
+        assert bytes_per_second == pytest.approx(20e6)
+
+
+class TestTimingParams:
+    def test_queue_capacity_excludes_ring_base(self):
+        p = TimingParams(page_words=1024, queue_ring_base=8)
+        assert p.queue_capacity == 1016
+
+    def test_evolved_creates_validated_variant(self):
+        p = PAPER_PARAMS.evolved(pending_writes_capacity=2)
+        assert p.pending_writes_capacity == 2
+        assert PAPER_PARAMS.pending_writes_capacity == 8  # original intact
+
+    def test_evolved_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            PAPER_PARAMS.evolved(pending_writes_capacity=0)
+
+    def test_page_words_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            TimingParams(page_words=1000)
+
+    def test_page_must_exceed_ring_base(self):
+        with pytest.raises(ConfigError):
+            TimingParams(page_words=8, queue_ring_base=8)
+
+    def test_link_occupancy_rounds_and_floors_at_one(self):
+        p = PAPER_PARAMS
+        assert p.link_occupancy_cycles(16) == 20  # 16 / 0.8
+        assert p.link_occupancy_cycles(0) == 1
+
+    def test_link_occupancy_zero_bandwidth_disables_contention(self):
+        p = PAPER_PARAMS.evolved(link_bytes_per_cycle=0)
+        assert p.link_occupancy_cycles(1000) == 0
+
+    def test_one_way_latency_of_zero_hops_is_zero(self):
+        assert PAPER_PARAMS.one_way_latency(0) == 0
+
+    def test_op_cycles_must_cover_all_ops(self):
+        partial = {OpCode.XCHNG: 39}
+        with pytest.raises(ConfigError):
+            TimingParams(op_cycles=partial)

@@ -1,0 +1,196 @@
+"""Tests for the software-pipelining helpers (Sections 3.2 / 3.3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.runtime.prefetch import EagerDequeuer, ReadPipeline
+
+from tests.helpers import run_threads
+
+
+class TestReadPipeline:
+    @staticmethod
+    def _machine_with_data(n_words=24):
+        machine = PlusMachine(n_nodes=4, width=4, height=1)
+        seg = machine.shm.alloc(n_words, home=3)
+        for i in range(n_words):
+            machine.poke(seg.addr(i), i * 10)
+        return machine, seg
+
+    def test_gather_returns_values_in_order(self):
+        machine, seg = self._machine_with_data()
+        addresses = [seg.addr(i) for i in range(24)]
+
+        def worker(ctx):
+            pipeline = ReadPipeline(depth=4)
+            values = yield from pipeline.gather(ctx, addresses)
+            return values
+
+        _, threads = run_threads(machine, (0, worker))
+        assert threads[0].result == [i * 10 for i in range(24)]
+
+    def test_deeper_pipeline_is_faster(self):
+        def elapsed(depth):
+            machine, seg = self._machine_with_data()
+            addresses = [seg.addr(i) for i in range(24)]
+
+            def worker(ctx):
+                yield from ctx.read(seg.base)  # warm translation
+                start = machine.engine.now
+                pipeline = ReadPipeline(depth=depth)
+                yield from pipeline.gather(ctx, addresses)
+                return machine.engine.now - start
+
+            _, threads = run_threads(machine, (0, worker))
+            return threads[0].result
+
+        assert elapsed(8) < elapsed(1) * 0.6
+
+    def test_pipelined_beats_plain_remote_reads(self):
+        machine, seg = self._machine_with_data()
+        addresses = [seg.addr(i) for i in range(24)]
+
+        def plain(ctx):
+            yield from ctx.read(seg.base)
+            start = machine.engine.now
+            values = []
+            for a in addresses:
+                values.append((yield from ctx.read(a)))
+            return machine.engine.now - start
+
+        _, threads = run_threads(machine, (0, plain))
+        plain_cycles = threads[0].result
+
+        machine2, seg2 = self._machine_with_data()
+        addresses2 = [seg2.addr(i) for i in range(24)]
+
+        def piped(ctx):
+            yield from ctx.read(seg2.base)
+            start = machine2.engine.now
+            pipeline = ReadPipeline(depth=6)
+            yield from pipeline.gather(ctx, addresses2)
+            return machine2.engine.now - start
+
+        _, threads = run_threads(machine2, (0, piped))
+        assert threads[0].result < plain_cycles
+
+    def test_stream_overlaps_consumption(self):
+        machine, seg = self._machine_with_data(12)
+        addresses = [seg.addr(i) for i in range(12)]
+        consumed = []
+
+        def consume(ctx, value):
+            consumed.append(value)
+            yield from ctx.compute(30)
+
+        def worker(ctx):
+            pipeline = ReadPipeline(depth=3)
+            yield from pipeline.stream(ctx, iter(addresses), consume)
+
+        run_threads(machine, (0, worker))
+        assert consumed == [i * 10 for i in range(12)]
+
+    def test_depth_validated(self):
+        with pytest.raises(ConfigError):
+            ReadPipeline(depth=0)
+        with pytest.raises(ConfigError):
+            ReadPipeline(depth=9)
+
+    def test_empty_address_list(self):
+        machine, _ = self._machine_with_data(1)
+
+        def worker(ctx):
+            pipeline = ReadPipeline()
+            values = yield from pipeline.gather(ctx, [])
+            return values
+
+        _, threads = run_threads(machine, (0, worker))
+        assert threads[0].result == []
+
+
+class TestEagerDequeuer:
+    def test_yields_items_in_order(self):
+        machine = PlusMachine(n_nodes=2)
+        queue = machine.shm.alloc_queue(home=1)
+
+        def producer(ctx):
+            for i in range(6):
+                yield from ctx.enqueue(queue, i + 1)
+
+        def consumer(ctx):
+            yield from ctx.compute(3000)  # producer first
+            eager = EagerDequeuer(queue)
+            got = []
+            while len(got) < 6:
+                item = yield from eager.next(ctx)
+                if item is not None:
+                    got.append(item)
+                else:
+                    yield from ctx.spin(25)
+            leftover = yield from eager.drain(ctx)
+            assert leftover is None  # queue empty by now
+            return got
+
+        _, threads = run_threads(machine, (0, producer), (1, consumer))
+        assert threads[1].result == [1, 2, 3, 4, 5, 6]
+
+    def test_steady_state_cost_is_below_blocking(self):
+        """With the dequeue always in flight, consuming an element costs
+        about a result read instead of a full round trip."""
+
+        def measure(eagerly):
+            machine = PlusMachine(n_nodes=2)
+            queue = machine.shm.alloc_queue(home=1)
+            pool = machine.shm.alloc(1, home=1)  # warm-up target
+            items = list(range(1, 21))
+            # Preload the queue directly.
+            ring = machine.params.queue_ring_base
+            for i, item in enumerate(items):
+                machine.poke(queue.base + ring + i, item | 0x80000000)
+            machine.poke(queue.tail_va, ring + len(items))
+
+            def consumer(ctx):
+                yield from ctx.read(pool.base)
+                start = machine.engine.now
+                got = []
+                if eagerly:
+                    eager = EagerDequeuer(queue)
+                    while len(got) < 20:
+                        item = yield from eager.next(ctx)
+                        assert item is not None
+                        got.append(item)
+                        yield from ctx.compute(60)
+                    yield from eager.drain(ctx)
+                else:
+                    while len(got) < 20:
+                        word = yield from ctx.dequeue(queue)
+                        assert word & 0x80000000
+                        got.append(word & 0x7FFFFFFF)
+                        yield from ctx.compute(60)
+                assert got == items
+                return machine.engine.now - start
+
+            _, threads = run_threads(machine, (0, consumer))
+            return threads[0].result
+
+        assert measure(True) < measure(False) * 0.8
+
+    def test_drain_returns_popped_item(self):
+        machine = PlusMachine(n_nodes=2)
+        queue = machine.shm.alloc_queue(home=1)
+        ring = machine.params.queue_ring_base
+        machine.poke(queue.base + ring, 9 | 0x80000000)
+        machine.poke(queue.tail_va, ring + 1)
+
+        def consumer(ctx):
+            eager = EagerDequeuer(queue)
+            # First next() issues two dequeues; the queue holds one item.
+            first = yield from eager.next(ctx)
+            leftover = yield from eager.drain(ctx)
+            return first, leftover
+
+        _, threads = run_threads(machine, (1, consumer))
+        first, leftover = threads[0].result
+        assert first == 9
+        assert leftover is None

@@ -1,0 +1,108 @@
+"""Tests for the production-system application."""
+
+import pytest
+
+from repro.apps.prodsys import (
+    ProdSysApp,
+    ProductionSystem,
+    Rule,
+    random_production_system,
+    run_prodsys,
+    run_reference,
+)
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+
+
+class TestReference:
+    def test_simple_chain(self):
+        system = ProductionSystem(
+            n_facts=10,
+            rules=[
+                Rule(conditions=(0, 1), actions=(2,)),
+                Rule(conditions=(2, 1), actions=(3, 4)),
+                Rule(conditions=(9, 9), actions=(5,)),  # never fires
+            ],
+            initial_facts={0, 1},
+        )
+        facts, order = run_reference(system)
+        assert facts == {0, 1, 2, 3, 4}
+        assert order == [0, 1]
+
+    def test_lowest_rule_id_wins(self):
+        system = ProductionSystem(
+            n_facts=6,
+            rules=[
+                Rule(conditions=(0, 0), actions=(1,)),
+                Rule(conditions=(0, 0), actions=(2,)),
+            ],
+            initial_facts={0},
+        )
+        _, order = run_reference(system)
+        assert order == [0, 1]  # 0 first, then 1 (refractoriness)
+
+    def test_fixpoint_without_firings(self):
+        system = ProductionSystem(
+            n_facts=4,
+            rules=[Rule(conditions=(2, 3), actions=(1,))],
+            initial_facts={0},
+        )
+        facts, order = run_reference(system)
+        assert facts == {0}
+        assert order == []
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_production_system(seed=7)
+        b = random_production_system(seed=7)
+        assert a.rules == b.rules and a.initial_facts == b.initial_facts
+
+    def test_produces_firings(self):
+        system = random_production_system(n_facts=100, n_rules=60, seed=4)
+        _, order = run_reference(system)
+        assert len(order) >= 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            random_production_system(n_facts=4)
+        bad = ProductionSystem(
+            n_facts=4, rules=[Rule(conditions=(0, 9), actions=())]
+        )
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+
+class TestParallel:
+    SYSTEM = random_production_system(n_facts=80, n_rules=50, seed=4)
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_matches_sequential_semantics(self, n_nodes):
+        ref_facts, ref_order = run_reference(self.SYSTEM)
+        result = run_prodsys(n_nodes, self.SYSTEM)
+        assert result.facts == ref_facts
+        assert result.firing_order == ref_order
+
+    def test_rule_partition_covers_all_rules(self):
+        machine = PlusMachine(n_nodes=3)
+        app = ProdSysApp(machine, self.SYSTEM)
+        all_rules = sorted(
+            rid for node in range(3) for rid in app.my_rules(node)
+        )
+        assert all_rules == list(range(len(self.SYSTEM.rules)))
+
+    def test_empty_rule_firing_run(self):
+        system = ProductionSystem(
+            n_facts=8,
+            rules=[Rule(conditions=(6, 7), actions=(1,))],
+            initial_facts={0},
+        )
+        result = run_prodsys(2, system)
+        assert result.facts == {0}
+        assert result.firing_order == []
+
+    def test_match_is_mostly_local_reads(self):
+        result = run_prodsys(4, self.SYSTEM)
+        counters = result.report.counters
+        # The WM and rule tables are replicated, so local reads dominate.
+        assert counters.local_reads > 5 * counters.remote_reads

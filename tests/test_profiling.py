@@ -1,0 +1,107 @@
+"""Tests for profile-guided placement (Section 2.4, second strategy)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.memory.profiling import AccessProfiler
+
+from tests.helpers import run_threads
+
+
+class TestProfilerUnit:
+    def test_counts_and_total(self):
+        profiler = AccessProfiler()
+        for _ in range(5):
+            profiler.note(1, 7)
+        for _ in range(3):
+            profiler.note(2, 7)
+        profiler.note(1, 8)
+        assert profiler.accesses(7) == {1: 5, 2: 3}
+        assert profiler.total(7) == 8
+        assert profiler.pages() == [7, 8]
+
+    def test_recommended_home_is_heaviest_accessor(self):
+        profiler = AccessProfiler()
+        for _ in range(10):
+            profiler.note(3, 0)
+        for _ in range(4):
+            profiler.note(1, 0)
+        assert profiler.recommended_home(0) == 3
+
+    def test_home_ties_break_by_lowest_node(self):
+        profiler = AccessProfiler()
+        profiler.note(5, 0)
+        profiler.note(2, 0)
+        assert profiler.recommended_home(0) == 2
+
+    def test_replicas_require_min_share(self):
+        profiler = AccessProfiler()
+        for _ in range(80):
+            profiler.note(0, 0)
+        for _ in range(15):
+            profiler.note(1, 0)
+        for _ in range(5):
+            profiler.note(2, 0)
+        home, replicas = profiler.recommended_placement(0, min_share=0.10)
+        assert home == 0
+        assert replicas == [1]  # node 2 is below the 10% share
+
+    def test_max_copies_caps_replicas(self):
+        profiler = AccessProfiler()
+        for node in range(6):
+            for _ in range(10):
+                profiler.note(node, 0)
+        _, replicas = profiler.recommended_placement(0, max_copies=3)
+        assert len(replicas) == 2
+
+    def test_unknown_page_raises(self):
+        with pytest.raises(ConfigError):
+            AccessProfiler().recommended_home(0)
+        assert AccessProfiler().recommended_replicas(0) == []
+
+
+class TestProfileGuidedRuns:
+    @staticmethod
+    def _workload(machine, seg):
+        """Node 3 hammers a page, node 1 reads it sometimes."""
+
+        def heavy(ctx):
+            for i in range(60):
+                yield from ctx.read(seg.addr(i % 8))
+                yield from ctx.compute(20)
+
+        def light(ctx):
+            for i in range(15):
+                yield from ctx.read(seg.addr(i % 8))
+                yield from ctx.compute(80)
+
+        machine.spawn(3, heavy)
+        machine.spawn(1, light)
+        return machine.run()
+
+    def test_profiler_identifies_the_heavy_node(self):
+        machine = PlusMachine(n_nodes=4, enable_profiling=True)
+        seg = machine.shm.alloc(8, home=0)
+        self._workload(machine, seg)
+        vpage = seg.vpages[0]
+        assert machine.profiler.recommended_home(vpage) == 3
+        assert 1 in machine.profiler.recommended_replicas(vpage)
+
+    def test_second_run_with_profiled_placement_is_faster(self):
+        # Run 1: bad placement, profiling on.
+        machine1 = PlusMachine(n_nodes=4, enable_profiling=True)
+        seg1 = machine1.shm.alloc(8, home=0)
+        report1 = self._workload(machine1, seg1)
+        vpage = seg1.vpages[0]
+        home, replicas = machine1.profiler.recommended_placement(vpage)
+
+        # Run 2: apply the recommendation.
+        machine2 = PlusMachine(n_nodes=4)
+        seg2 = machine2.shm.alloc(8, home=home, replicas=replicas)
+        report2 = self._workload(machine2, seg2)
+        assert report2.cycles < report1.cycles * 0.8
+
+    def test_profiling_off_by_default(self):
+        machine = PlusMachine(n_nodes=2)
+        assert machine.profiler is None

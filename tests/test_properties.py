@@ -1,0 +1,289 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the protocol and data structures on randomly generated
+schedules and check the guarantees the paper states:
+
+* general coherence — all copies of a location converge to one value;
+* atomicity — interlocked operations never lose updates;
+* queue integrity — no element is lost or duplicated, per-producer FIFO;
+* routing — dimension-order paths have minimal length;
+* operation semantics — Table 3-1 ops match a pure model under any
+  interleaving of writes.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.ops import execute_op
+from repro.core.params import TOP_BIT, OpCode, WORD_MASK
+from repro.machine import PlusMachine
+from repro.network.topology import Mesh
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+FAST = settings(max_examples=200, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Mesh routing properties.
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+)
+def test_route_is_minimal_and_valid(n, src, dst):
+    src %= n
+    dst %= n
+    mesh = Mesh(n)
+    path = mesh.route(src, dst)
+    assert len(path) == mesh.hops(src, dst)
+    here = src
+    for a, b in path:
+        assert a == here
+        assert mesh.hops(a, b) == 1
+        here = b
+    assert here == dst
+
+
+@FAST
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+)
+def test_hops_is_a_metric(n, a, b):
+    a %= n
+    b %= n
+    mesh = Mesh(n)
+    assert mesh.hops(a, b) == mesh.hops(b, a)
+    assert mesh.hops(a, a) == 0
+    assert (mesh.hops(a, b) == 0) == (a == b)
+
+
+# ----------------------------------------------------------------------
+# Operation semantics against a pure Python model.
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    op=st.sampled_from(
+        [OpCode.XCHNG, OpCode.COND_XCHNG, OpCode.FETCH_ADD,
+         OpCode.FETCH_SET, OpCode.MIN_XCHNG, OpCode.DELAYED_READ]
+    ),
+    current=st.integers(min_value=0, max_value=WORD_MASK),
+    operand=st.integers(min_value=0, max_value=WORD_MASK),
+)
+def test_single_word_ops_match_model(op, current, operand):
+    out = execute_op(
+        op, 0, operand, read=lambda o: current, page_words=64, ring_base=8
+    )
+    assert out.returned == current
+    new = dict([(0, current)])
+    for off, val in out.writes:
+        new[off] = val
+    value = new[0]
+    if op is OpCode.XCHNG:
+        assert value == operand & 0x3FFFFFFF
+    elif op is OpCode.COND_XCHNG:
+        expect = operand & 0x3FFFFFFF if current & TOP_BIT else current
+        assert value == expect
+    elif op is OpCode.FETCH_ADD:
+        signed = operand - (1 << 32) if operand & TOP_BIT else operand
+        assert value == (current + signed) & WORD_MASK
+    elif op is OpCode.FETCH_SET:
+        assert value == current | TOP_BIT
+    elif op is OpCode.MIN_XCHNG:
+        assert value == min(current, operand)
+    else:
+        assert value == current
+
+
+@FAST
+@given(
+    items=st.lists(
+        st.integers(min_value=0, max_value=0x7FFFFFFF), max_size=40
+    )
+)
+def test_queue_ops_model_a_fifo(items):
+    """Interleaved enqueue/dequeue on the pure op model behaves as a
+    bounded FIFO."""
+    page_words, ring_base = 64, 8
+    mem = {0: ring_base, 1: ring_base}
+
+    def run(op, offset, operand=0):
+        out = execute_op(
+            op, offset, operand,
+            read=lambda o: mem.get(o, 0),
+            page_words=page_words, ring_base=ring_base,
+        )
+        for off, val in out.writes:
+            mem[off] = val
+        return out.returned
+
+    model = []
+    capacity = page_words - ring_base
+    for item in items:
+        ret = run(OpCode.QUEUE, 0, item)
+        if len(model) < capacity:
+            assert not ret & TOP_BIT
+            model.append(item)
+        else:
+            assert ret & TOP_BIT  # full
+    drained = []
+    while True:
+        ret = run(OpCode.DEQUEUE, 1)
+        if not ret & TOP_BIT:
+            break
+        drained.append(ret & 0x7FFFFFFF)
+    assert drained == model
+
+
+# ----------------------------------------------------------------------
+# Whole-machine properties (slower: each example runs a simulation).
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    data=st.data(),
+    n_nodes=st.integers(min_value=2, max_value=6),
+    n_replicas=st.integers(min_value=0, max_value=5),
+)
+def test_general_coherence_under_random_writers(data, n_nodes, n_replicas):
+    """All copies of a word converge regardless of write interleaving."""
+    machine = PlusMachine(n_nodes=n_nodes)
+    home = data.draw(st.integers(min_value=0, max_value=n_nodes - 1))
+    replicas = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_nodes - 1),
+            max_size=min(n_replicas, n_nodes - 1),
+            unique=True,
+        )
+    )
+    replicas = [r for r in replicas if r != home]
+    seg = machine.shm.alloc(2, home=home, replicas=replicas)
+    schedules = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_nodes - 1),  # node
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=1),     # offset
+                        st.integers(min_value=0, max_value=999),   # value
+                        st.integers(min_value=0, max_value=40),    # delay
+                    ),
+                    max_size=12,
+                ),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+
+    def writer(ctx, ops):
+        for offset, value, delay in ops:
+            yield from ctx.write(seg.base + offset, value)
+            if delay:
+                yield from ctx.compute(delay)
+        yield from ctx.fence()
+
+    for node, ops in schedules:
+        machine.spawn(node, writer, ops)
+    machine.run()
+    holders = [home] + replicas
+    for offset in (0, 1):
+        values = {
+            machine.peek_copy(seg.base + offset, n) for n in holders
+        }
+        assert len(values) == 1
+
+
+@SLOW
+@given(
+    n_nodes=st.integers(min_value=1, max_value=6),
+    counts=st.lists(
+        st.integers(min_value=1, max_value=15), min_size=1, max_size=6
+    ),
+)
+def test_fetch_add_never_loses_updates(n_nodes, counts):
+    machine = PlusMachine(n_nodes=n_nodes)
+    seg = machine.shm.alloc(1, home=n_nodes - 1)
+
+    def adder(ctx, n, stride):
+        for i in range(n):
+            yield from ctx.fetch_add(seg.base, 1)
+            yield from ctx.compute((i * stride) % 17)
+
+    for i, n in enumerate(counts):
+        machine.spawn(i % n_nodes, adder, n, i + 1)
+    machine.run()
+    assert machine.peek(seg.base) == sum(counts)
+
+
+@SLOW
+@given(
+    n_producers=st.integers(min_value=1, max_value=3),
+    per_producer=st.integers(min_value=1, max_value=10),
+)
+def test_hardware_queue_loses_nothing(n_producers, per_producer):
+    machine = PlusMachine(n_nodes=4)
+    queue = machine.shm.alloc_queue(home=1)
+    received = []
+
+    def producer(ctx, base):
+        for i in range(per_producer):
+            while True:
+                ret = yield from ctx.enqueue(queue, base + i)
+                if not ret & TOP_BIT:
+                    break
+                yield from ctx.spin(20)
+
+    def consumer(ctx, expect):
+        got = 0
+        while got < expect:
+            word = yield from ctx.dequeue(queue)
+            if word & TOP_BIT:
+                received.append(word & 0x7FFFFFFF)
+                got += 1
+            else:
+                yield from ctx.spin(15)
+
+    for p in range(n_producers):
+        machine.spawn(p % 4, producer, (p + 1) * 1000)
+    machine.spawn(3, consumer, n_producers * per_producer)
+    machine.run()
+    expected = sorted(
+        (p + 1) * 1000 + i
+        for p in range(n_producers)
+        for i in range(per_producer)
+    )
+    assert sorted(received) == expected
+    # Per-producer FIFO order.
+    for p in range(n_producers):
+        base = (p + 1) * 1000
+        mine = [v for v in received if base <= v < base + 1000]
+        assert mine == sorted(mine)
+
+
+@SLOW
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=0x7FFFFFFE),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_min_xchng_computes_global_minimum(values):
+    machine = PlusMachine(n_nodes=4)
+    seg = machine.shm.alloc(1, home=2)
+    machine.poke(seg.base, 0x7FFFFFFF)
+
+    def relaxer(ctx, vals):
+        for v in vals:
+            yield from ctx.min_xchng(seg.base, v)
+
+    for i in range(4):
+        machine.spawn(i, relaxer, values[i::4])
+    machine.run()
+    assert machine.peek(seg.base) == min(values + [0x7FFFFFFF])

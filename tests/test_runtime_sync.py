@@ -1,0 +1,265 @@
+"""Tests for the runtime synchronization library (locks, barrier,
+semaphore) — including the Table 3-2 lock-with-queue."""
+
+import pytest
+
+from repro.machine import PlusMachine
+from repro.runtime.sync import (
+    Barrier,
+    Mailboxes,
+    QueueLock,
+    Semaphore,
+    SpinLock,
+    as_signed32,
+)
+
+from tests.helpers import run_threads
+
+
+def test_as_signed32():
+    assert as_signed32(0) == 0
+    assert as_signed32(1) == 1
+    assert as_signed32(0xFFFF_FFFF) == -1
+    assert as_signed32(0x8000_0000) == -(1 << 31)
+    assert as_signed32(0x7FFF_FFFF) == (1 << 31) - 1
+
+
+class TestSpinLock:
+    def test_mutual_exclusion_across_nodes(self):
+        machine = PlusMachine(n_nodes=4)
+        lock = SpinLock(machine, home=0)
+        shared = machine.shm.alloc(1, home=2)
+        trace = []
+
+        def worker(ctx, who):
+            for _ in range(5):
+                yield from lock.acquire(ctx)
+                trace.append(("in", who))
+                # Unlocked read-modify-write of the shared counter: only
+                # safe because the lock serialises us.
+                value = yield from ctx.read(shared.base)
+                yield from ctx.compute(25)
+                yield from ctx.write(shared.base, value + 1)
+                trace.append(("out", who))
+                yield from lock.release(ctx)
+
+        run_threads(machine, *[(n, worker, n) for n in range(4)])
+        # No interleaving inside critical sections...
+        inside = None
+        for event, who in trace:
+            if event == "in":
+                assert inside is None
+                inside = who
+            else:
+                assert inside == who
+                inside = None
+        # ...so no lost updates despite the plain read/write increment.
+        assert machine.peek(shared.base) == 20
+
+    def test_uncontended_acquire_is_one_rmw(self):
+        machine = PlusMachine(n_nodes=2)
+        lock = SpinLock(machine, home=0)
+
+        def worker(ctx):
+            yield from lock.acquire(ctx)
+            yield from lock.release(ctx)
+
+        report, _ = run_threads(machine, (0, worker))
+        from repro.core.params import OpCode
+
+        mix = report.counters.rmw_mix()
+        assert mix.get(OpCode.FETCH_SET, 0) == 1
+
+
+class TestQueueLock:
+    @staticmethod
+    def _machine(n=4):
+        machine = PlusMachine(n_nodes=n)
+        boxes = Mailboxes(machine, n_threads=2 * n, replicas=range(n))
+        lock = QueueLock(machine, boxes, home=0)
+        return machine, lock
+
+    def test_mutual_exclusion_and_no_lost_updates(self):
+        machine, lock = self._machine()
+        shared = machine.shm.alloc(1, home=1)
+
+        def worker(ctx, my_id):
+            for _ in range(4):
+                yield from lock.acquire(ctx, my_id)
+                value = yield from ctx.read(shared.base)
+                yield from ctx.compute(40)
+                yield from ctx.write(shared.base, value + 1)
+                yield from lock.release(ctx)
+                yield from ctx.compute(60)
+
+        run_threads(machine, *[(n, worker, n) for n in range(4)])
+        assert machine.peek(shared.base) == 16
+
+    def test_waiters_sleep_instead_of_spinning_on_the_lock(self):
+        """Queued waiters spin only on their own (replicated) mailbox, so
+        the lock word sees exactly one fetch-add per acquire/release."""
+        machine, lock = self._machine(2)
+
+        def holder(ctx):
+            yield from lock.acquire(ctx, 0)
+            yield from ctx.compute(3000)
+            yield from lock.release(ctx)
+
+        def waiter(ctx):
+            yield from ctx.compute(200)  # ensure the holder wins
+            yield from lock.acquire(ctx, 1)
+            yield from lock.release(ctx)
+
+        report, _ = run_threads(machine, (0, holder), (1, waiter))
+        from repro.core.params import OpCode
+
+        mix = report.counters.rmw_mix()
+        # 2 acquires + 2 releases = 4 fetch-adds, independent of how long
+        # the waiter slept.
+        assert mix.get(OpCode.FETCH_ADD, 0) == 4
+
+    def test_handoff_order_is_queue_order(self):
+        machine, lock = self._machine(4)
+        order = []
+
+        def worker(ctx, my_id, delay):
+            yield from ctx.compute(delay)
+            yield from lock.acquire(ctx, my_id)
+            order.append(my_id)
+            yield from ctx.compute(2500)
+            yield from lock.release(ctx)
+
+        run_threads(
+            machine,
+            (0, worker, 0, 1),
+            (1, worker, 1, 300),
+            (2, worker, 2, 700),
+            (3, worker, 3, 1100),
+        )
+        assert order == [0, 1, 2, 3]
+
+
+class TestBarrier:
+    def test_no_thread_passes_early(self):
+        machine = PlusMachine(n_nodes=4)
+        barrier = Barrier(machine, n=4, home=0, replicas=range(4))
+        log = []
+
+        def worker(ctx, who, work):
+            yield from ctx.compute(work)
+            log.append(("arrive", who))
+            yield from barrier.wait(ctx)
+            log.append(("pass", who))
+
+        run_threads(machine, *[(n, worker, n, 100 * (n + 1)) for n in range(4)])
+        arrivals = [i for i, (e, _) in enumerate(log) if e == "arrive"]
+        passes = [i for i, (e, _) in enumerate(log) if e == "pass"]
+        assert max(arrivals) < min(passes)
+
+    def test_barrier_reusable_across_phases(self):
+        machine = PlusMachine(n_nodes=2)
+        barrier = Barrier(machine, n=2, home=0, replicas=[0, 1])
+        phases = {0: [], 1: []}
+
+        def worker(ctx, who):
+            for phase in range(3):
+                yield from ctx.compute(50 * (who + 1) * (phase + 1))
+                phases[who].append(phase)
+                yield from barrier.wait(ctx)
+
+        run_threads(machine, (0, worker, 0), (1, worker, 1))
+        assert phases[0] == phases[1] == [0, 1, 2]
+
+    def test_barrier_publishes_prior_writes(self):
+        machine = PlusMachine(n_nodes=2)
+        barrier = Barrier(machine, n=2, home=0, replicas=[0, 1])
+        data = machine.shm.alloc(2, home=0, replicas=[1])
+
+        def writer(ctx):
+            yield from ctx.write(data.base, 41)
+            yield from barrier.wait(ctx)
+
+        def reader(ctx):
+            yield from barrier.wait(ctx)
+            value = yield from ctx.read(data.base)
+            return value
+
+        _, threads = run_threads(machine, (0, writer), (1, reader))
+        assert threads[1].result == 41
+
+
+class TestSemaphore:
+    def test_producer_consumer_counting(self):
+        machine = PlusMachine(n_nodes=2)
+        boxes = Mailboxes(machine, n_threads=4, replicas=[0, 1])
+        items = Semaphore(machine, boxes, initial=0, home=0)
+        consumed = []
+
+        def producer(ctx):
+            for i in range(6):
+                yield from ctx.compute(120)
+                yield from items.v(ctx)
+
+        def consumer(ctx, my_id):
+            for _ in range(3):
+                yield from items.p(ctx, my_id)
+                consumed.append(machine.engine.now)
+
+        run_threads(
+            machine, (0, producer), (1, consumer, 1), (1, consumer, 2)
+        )
+        assert len(consumed) == 6
+
+    def test_initial_permits_allow_immediate_entry(self):
+        machine = PlusMachine(n_nodes=2)
+        boxes = Mailboxes(machine, n_threads=2)
+        sem = Semaphore(machine, boxes, initial=2, home=0)
+
+        def worker(ctx, my_id):
+            yield from sem.p(ctx, my_id)
+            return machine.engine.now
+
+        _, threads = run_threads(machine, (0, worker, 0), (1, worker, 1))
+        # Both got in without a V ever happening.
+        assert all(t.result < 1000 for t in threads)
+
+    def test_semaphore_as_mutex_protects_counter(self):
+        machine = PlusMachine(n_nodes=4)
+        boxes = Mailboxes(machine, n_threads=4, replicas=range(4))
+        sem = Semaphore(machine, boxes, initial=1, home=0)
+        shared = machine.shm.alloc(1, home=2)
+
+        def worker(ctx, my_id):
+            for _ in range(3):
+                yield from sem.p(ctx, my_id)
+                v = yield from ctx.read(shared.base)
+                yield from ctx.compute(30)
+                yield from ctx.write(shared.base, v + 1)
+                yield from sem.v(ctx)
+
+        run_threads(machine, *[(n, worker, n) for n in range(4)])
+        assert machine.peek(shared.base) == 12
+
+
+class TestMailboxes:
+    def test_wake_before_wait_is_not_lost(self):
+        machine = PlusMachine(n_nodes=2)
+        boxes = Mailboxes(machine, n_threads=2, replicas=[0, 1])
+
+        def waker(ctx):
+            yield from boxes.wake_up(ctx, 1)
+
+        def sleeper(ctx):
+            yield from ctx.compute(2000)  # wake arrives long before
+            yield from boxes.wait(ctx, 1)
+            return machine.engine.now
+
+        _, threads = run_threads(machine, (0, waker), (1, sleeper))
+        assert threads[1].result < 3000
+
+    def test_mailboxes_validate_size(self):
+        from repro.errors import ConfigError
+
+        machine = PlusMachine(n_nodes=2)
+        with pytest.raises(ConfigError):
+            Mailboxes(machine, n_threads=0)

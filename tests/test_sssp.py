@@ -1,0 +1,138 @@
+"""Tests for the shortest-path application (Section 2.5)."""
+
+import pytest
+
+from repro.apps.graphs import dijkstra, geometric_graph
+from repro.apps.sssp import SSSPApp, SSSPConfig, run_sssp
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+
+GRAPH = geometric_graph(120, degree=4, long_edge_fraction=0.1, seed=11)
+REFERENCE = dijkstra(GRAPH, 0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+    def test_distances_match_dijkstra(self, n_nodes):
+        result = run_sssp(n_nodes, GRAPH, SSSPConfig(copies=1))
+        assert result.distances == REFERENCE
+
+    @pytest.mark.parametrize("copies", [2, 3, 4])
+    def test_replication_preserves_correctness(self, copies):
+        result = run_sssp(4, GRAPH, SSSPConfig(copies=copies))
+        assert result.distances == REFERENCE
+
+    def test_no_steal_still_correct(self):
+        result = run_sssp(4, GRAPH, SSSPConfig(copies=1, steal=False))
+        assert result.distances == REFERENCE
+
+    def test_different_source(self):
+        config = SSSPConfig(source=17)
+        result = run_sssp(4, GRAPH, config)
+        assert result.distances == dijkstra(GRAPH, 17)
+
+    def test_replicated_queues_variant(self):
+        result = run_sssp(
+            4, GRAPH, SSSPConfig(copies=3, replicate_queues=True)
+        )
+        assert result.distances == REFERENCE
+
+    def test_relaxation_count_is_sane(self):
+        result = run_sssp(4, GRAPH, SSSPConfig(copies=2))
+        # At least one pass over the vertices, but not unboundedly many.
+        assert GRAPH.n_vertices <= result.relaxations
+        assert result.relaxations < GRAPH.n_vertices * 20
+
+
+class TestPlacement:
+    def test_owner_partition_is_contiguous_and_balanced(self):
+        machine = PlusMachine(n_nodes=4)
+        app = SSSPApp(machine, GRAPH, SSSPConfig())
+        owners = [app.owner_of(v) for v in range(GRAPH.n_vertices)]
+        assert owners == sorted(owners)
+        for node in range(4):
+            assert owners.count(node) == GRAPH.n_vertices // 4
+
+    def test_copies_bounds_validated(self):
+        machine = PlusMachine(n_nodes=4)
+        with pytest.raises(ConfigError):
+            SSSPApp(machine, GRAPH, SSSPConfig(copies=5))
+        with pytest.raises(ConfigError):
+            SSSPApp(machine, GRAPH, SSSPConfig(copies=0))
+
+    def test_replica_nodes_are_nearest(self):
+        machine = PlusMachine(n_nodes=16)
+        app = SSSPApp(machine, GRAPH, SSSPConfig(copies=3))
+        replicas = app._replica_nodes(5)
+        assert len(replicas) == 2
+        assert all(machine.mesh.hops(5, r) <= 2 for r in replicas)
+
+
+class TestPaperTrends:
+    """The qualitative Table 2-1 / Figure 2-1 behaviours, in miniature."""
+
+    def test_reads_become_more_local_with_replication(self):
+        low = run_sssp(8, GRAPH, SSSPConfig(copies=1)).report
+        high = run_sssp(8, GRAPH, SSSPConfig(copies=4)).report
+        assert (
+            high.reads_local_over_remote() > low.reads_local_over_remote()
+        )
+
+    def test_writes_become_more_remote_with_replication(self):
+        low = run_sssp(8, GRAPH, SSSPConfig(copies=1)).report
+        high = run_sssp(8, GRAPH, SSSPConfig(copies=4)).report
+        assert (
+            high.writes_local_over_remote() < low.writes_local_over_remote()
+        )
+
+    def test_update_share_of_traffic_grows_with_replication(self):
+        low = run_sssp(8, GRAPH, SSSPConfig(copies=1)).report
+        high = run_sssp(8, GRAPH, SSSPConfig(copies=4)).report
+        assert high.total_over_update() < low.total_over_update()
+
+    def test_replication_with_stealing_beats_neither(self):
+        big = geometric_graph(300, degree=5, long_edge_fraction=0.08, seed=3)
+        plain = run_sssp(8, big, SSSPConfig(copies=1, steal=False))
+        replicated = run_sssp(8, big, SSSPConfig(copies=4, steal=True))
+        assert replicated.distances == plain.distances
+        assert replicated.cycles < plain.cycles
+
+    def test_utilization_collapses_without_replication(self):
+        big = geometric_graph(300, degree=5, long_edge_fraction=0.08, seed=3)
+        two = run_sssp(2, big, SSSPConfig(copies=1, steal=False)).report
+        sixteen = run_sssp(16, big, SSSPConfig(copies=1, steal=False)).report
+        assert sixteen.utilization() < two.utilization() * 0.7
+
+
+class TestDelayedMode:
+    def test_delayed_mode_matches_dijkstra(self):
+        result = run_sssp(
+            4, GRAPH, SSSPConfig(copies=2, sync_mode="delayed")
+        )
+        assert result.distances == REFERENCE
+
+    def test_delayed_mode_without_steal(self):
+        result = run_sssp(
+            4, GRAPH, SSSPConfig(copies=1, sync_mode="delayed", steal=False)
+        )
+        assert result.distances == REFERENCE
+
+    def test_delayed_helps_on_latency_bound_graphs(self):
+        remote_heavy = geometric_graph(
+            250, degree=6, long_edge_fraction=0.8, seed=3
+        )
+        reference = dijkstra(remote_heavy, 0)
+        blocking = run_sssp(
+            8, remote_heavy, SSSPConfig(copies=1, sync_mode="blocking")
+        )
+        delayed = run_sssp(
+            8, remote_heavy, SSSPConfig(copies=1, sync_mode="delayed")
+        )
+        assert blocking.distances == reference
+        assert delayed.distances == reference
+        assert delayed.cycles < blocking.cycles * 1.02
+
+    def test_unknown_sync_mode_rejected(self):
+        machine = PlusMachine(n_nodes=2)
+        with pytest.raises(ConfigError):
+            SSSPApp(machine, GRAPH, SSSPConfig(sync_mode="magic"))

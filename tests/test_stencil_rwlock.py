@@ -1,0 +1,150 @@
+"""Tests for the stencil application and the readers-writer lock."""
+
+import random
+
+import pytest
+
+from repro.apps.stencil import StencilConfig, run_stencil, stencil_reference
+from repro.errors import ConfigError
+from repro.machine import PlusMachine
+from repro.runtime.sync import ReadWriteLock
+
+from tests.helpers import run_threads
+
+
+def _cells(n, seed=3):
+    rng = random.Random(seed)
+    return [rng.randint(0, 900) for _ in range(n)]
+
+
+class TestStencil:
+    def test_reference_fixed_boundaries(self):
+        out = stencil_reference([9, 0, 0, 0, 9], iterations=1)
+        assert out[0] == 9 and out[-1] == 9
+        assert out[1] == 3 and out[3] == 3
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_parallel_matches_reference(self, n_nodes):
+        cells = _cells(48)
+        expected = stencil_reference(cells, iterations=6)
+        result = run_stencil(
+            n_nodes, cells, StencilConfig(iterations=6)
+        )
+        assert result.cells == expected
+
+    def test_without_halo_replication_still_correct(self):
+        cells = _cells(48)
+        expected = stencil_reference(cells, iterations=4)
+        result = run_stencil(
+            4,
+            cells,
+            StencilConfig(iterations=4, replicate_halo=False),
+        )
+        assert result.cells == expected
+
+    def test_halo_replication_is_faster_and_more_local(self):
+        cells = _cells(96, seed=5)
+        config_on = StencilConfig(iterations=6, replicate_halo=True)
+        config_off = StencilConfig(iterations=6, replicate_halo=False)
+        on = run_stencil(8, cells, config_on)
+        off = run_stencil(8, cells, config_off)
+        assert on.cells == off.cells
+        assert on.cycles < off.cycles
+        assert (
+            on.report.counters.remote_reads
+            < off.report.counters.remote_reads
+        )
+
+    def test_zero_iterations_is_identity(self):
+        cells = _cells(24)
+        result = run_stencil(2, cells, StencilConfig(iterations=0))
+        assert result.cells == cells
+
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(ConfigError):
+            run_stencil(4, [1, 2, 3, 4])
+
+
+class TestReadWriteLock:
+    def test_readers_overlap(self):
+        machine = PlusMachine(n_nodes=4)
+        lock = ReadWriteLock(machine, home=0)
+        active = {"now": 0, "peak": 0}
+
+        def reader(ctx):
+            yield from lock.acquire_read(ctx)
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            yield from ctx.compute(800)
+            active["now"] -= 1
+            yield from lock.release_read(ctx)
+
+        run_threads(machine, *[(n, reader) for n in range(4)])
+        assert active["peak"] >= 2  # genuine sharing
+
+    def test_writer_is_exclusive(self):
+        machine = PlusMachine(n_nodes=4)
+        lock = ReadWriteLock(machine, home=0)
+        shared = machine.shm.alloc(1, home=2)
+
+        def writer(ctx):
+            for _ in range(4):
+                yield from lock.acquire_write(ctx)
+                value = yield from ctx.read(shared.base)
+                yield from ctx.compute(60)
+                yield from ctx.write(shared.base, value + 1)
+                yield from lock.release_write(ctx)
+
+        run_threads(machine, *[(n, writer) for n in range(4)])
+        assert machine.peek(shared.base) == 16
+
+    def test_readers_exclude_writers(self):
+        machine = PlusMachine(n_nodes=2)
+        lock = ReadWriteLock(machine, home=0)
+        log = []
+
+        def reader(ctx):
+            yield from lock.acquire_read(ctx)
+            log.append(("r-in", machine.engine.now))
+            yield from ctx.compute(1500)
+            log.append(("r-out", machine.engine.now))
+            yield from lock.release_read(ctx)
+
+        def writer(ctx):
+            yield from ctx.compute(300)  # reader goes first
+            yield from lock.acquire_write(ctx)
+            log.append(("w-in", machine.engine.now))
+            yield from ctx.compute(100)
+            yield from lock.release_write(ctx)
+
+        run_threads(machine, (0, reader), (1, writer))
+        events = dict(log)
+        assert events["w-in"] >= events["r-out"]
+
+    def test_mixed_workload_consistency(self):
+        machine = PlusMachine(n_nodes=4)
+        lock = ReadWriteLock(machine, home=0)
+        seg = machine.shm.alloc(2, home=1)
+        snapshots = []
+
+        def writer(ctx):
+            for i in range(1, 6):
+                yield from lock.acquire_write(ctx)
+                yield from ctx.write(seg.base, i)
+                yield from ctx.compute(50)
+                yield from ctx.write(seg.base + 1, i)
+                yield from lock.release_write(ctx)
+                yield from ctx.compute(120)
+
+        def reader(ctx):
+            for _ in range(6):
+                yield from lock.acquire_read(ctx)
+                a = yield from ctx.read(seg.base)
+                b = yield from ctx.read(seg.base + 1)
+                snapshots.append((a, b))
+                yield from lock.release_read(ctx)
+                yield from ctx.compute(90)
+
+        run_threads(machine, (0, writer), (2, reader), (3, reader))
+        # The write lock + release fence make both words always agree.
+        assert all(a == b for a, b in snapshots)

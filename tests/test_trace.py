@@ -1,0 +1,177 @@
+"""Protocol-trace tests: assert the wire protocol does what §2.3 says."""
+
+from repro.machine import PlusMachine
+from repro.network.message import MsgKind
+from repro.stats.trace import ProtocolTrace
+
+from tests.helpers import run_threads
+
+
+def _traced_machine(n=4):
+    machine = PlusMachine(n_nodes=n)
+    trace = ProtocolTrace().install(machine)
+    return machine, trace
+
+
+class TestWriteProtocolSequence:
+    def test_remote_write_goes_master_first_then_chain_then_ack(self):
+        machine, trace = _traced_machine()
+        # Master on 0, copies on 1 and 2; writer on 3 holds no copy, and
+        # maps the page to its *closest* copy (Section 2.3: "the remote
+        # node might not be the master"), which forwards to the master.
+        seg = machine.shm.alloc(1, home=0, replicas=[1, 2])
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 5)
+            yield from ctx.fence()
+
+        run_threads(machine, (3, writer))
+        kinds = [e.kind for e in trace]
+        n_copies = 3
+        # Requests (1 or 2, depending on which copy node 3 mapped), then
+        # updates covering the remaining copies, then the final ack.
+        n_reqs = kinds.count(MsgKind.WRITE_REQ)
+        assert 1 <= n_reqs <= 2
+        assert kinds[:n_reqs] == [MsgKind.WRITE_REQ] * n_reqs
+        assert kinds[n_reqs:] == (
+            [MsgKind.UPDATE] * (n_copies - 1) + [MsgKind.WRITE_ACK]
+        )
+        # The last request lands on the master; the ack returns home.
+        assert trace.of_kind(MsgKind.WRITE_REQ)[-1].dst == 0
+        assert trace.entries[-1].dst == 3
+        # The chain visits the copy-list in its exact order.
+        chain = machine.os.copylist(seg.vpages[0]).nodes
+        updates = trace.of_kind(MsgKind.UPDATE)
+        assert [e.dst for e in updates] == chain[1:]
+
+    def test_updates_walk_the_copy_list_in_order(self):
+        machine, trace = _traced_machine(8)
+        seg = machine.shm.alloc(1, home=0)
+        for node in range(1, 5):
+            machine.os.replicate(seg.vpages[0], node, after=node - 1)
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 1)
+            yield from ctx.fence()
+
+        run_threads(machine, (0, writer))
+        updates = trace.of_kind(MsgKind.UPDATE)
+        assert [(e.src, e.dst) for e in updates] == [
+            (0, 1), (1, 2), (2, 3), (3, 4)
+        ]
+        # Times strictly increase down the chain.
+        times = [e.time for e in updates]
+        assert times == sorted(times) and len(set(times)) == len(times)
+
+    def test_local_master_write_without_copies_is_silent(self):
+        machine, trace = _traced_machine()
+        seg = machine.shm.alloc(1, home=2)
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 1)
+            yield from ctx.fence()
+
+        run_threads(machine, (2, writer))
+        assert len(trace) == 0
+
+    def test_transaction_filter_groups_one_write(self):
+        machine, trace = _traced_machine()
+        seg = machine.shm.alloc(2, home=0, replicas=[1])
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 1)
+            yield from ctx.write(seg.base + 1, 2)
+            yield from ctx.fence()
+
+        run_threads(machine, (2, writer))
+        reqs = trace.of_kind(MsgKind.WRITE_REQ)
+        assert len(reqs) == 2
+        tx = trace.transaction(reqs[0].xid, origin=2)
+        assert tx[0].kind is MsgKind.WRITE_REQ
+        assert tx[-1].kind is MsgKind.UPDATE  # tail copy is the writer\'s
+        assert all(
+            e.kind in (MsgKind.WRITE_REQ, MsgKind.UPDATE) for e in tx
+        )
+
+
+class TestRMWProtocolSequence:
+    def test_remote_rmw_response_comes_from_master(self):
+        machine, trace = _traced_machine()
+        seg = machine.shm.alloc(1, home=1, replicas=[2])
+
+        def worker(ctx):
+            yield from ctx.fetch_add(seg.base, 1)
+            yield from ctx.fence()
+
+        run_threads(machine, (3, worker))
+        kinds = [e.kind for e in trace]
+        assert kinds == [
+            MsgKind.RMW_REQ,    # 3 -> master 1
+            MsgKind.RMW_RESP,   # 1 -> 3 (old value, before chain ends)
+            MsgKind.UPDATE,     # 1 -> copy 2
+            MsgKind.WRITE_ACK,  # 2 -> 3 (chain completion)
+        ] or kinds == [
+            MsgKind.RMW_REQ,
+            MsgKind.UPDATE,
+            MsgKind.RMW_RESP,
+            MsgKind.WRITE_ACK,
+        ]
+        resp = trace.of_kind(MsgKind.RMW_RESP)[0]
+        assert (resp.src, resp.dst) == (1, 3)
+
+    def test_request_to_non_master_copy_is_forwarded(self):
+        # A line mesh makes the distances unambiguous: the worker on
+        # node 6 is adjacent to the copy on node 5 and far from the
+        # master on node 1.
+        machine = PlusMachine(n_nodes=8, width=8, height=1)
+        trace = ProtocolTrace().install(machine)
+        seg = machine.shm.alloc(1, home=1, replicas=[5])
+
+        def worker(ctx):
+            yield from ctx.fetch_add(seg.base, 1)
+            yield from ctx.fence()
+
+        run_threads(machine, (6, worker))
+        reqs = trace.of_kind(MsgKind.RMW_REQ)
+        assert [(e.src, e.dst) for e in reqs] == [(6, 5), (5, 1)]
+
+
+class TestTraceMechanics:
+    def test_capacity_limits_and_counts_drops(self):
+        machine = PlusMachine(n_nodes=2)
+        trace = ProtocolTrace(capacity=3).install(machine)
+        seg = machine.shm.alloc(8, home=1)
+
+        def writer(ctx):
+            for i in range(8):
+                yield from ctx.write(seg.base + i, i)
+            yield from ctx.fence()
+
+        run_threads(machine, (0, writer))
+        assert len(trace) == 3
+        assert trace.dropped > 0
+
+    def test_dump_is_readable(self):
+        machine, trace = _traced_machine()
+        seg = machine.shm.alloc(1, home=1)
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 1)
+            yield from ctx.fence()
+
+        run_threads(machine, (0, writer))
+        text = trace.dump()
+        assert "write-req" in text
+        assert "0->1" in text
+
+    def test_between_filter(self):
+        machine, trace = _traced_machine()
+        seg = machine.shm.alloc(1, home=1)
+
+        def reader(ctx):
+            yield from ctx.read(seg.base)
+
+        run_threads(machine, (0, reader))
+        assert len(trace.between(0, 1)) == 1
+        assert len(trace.between(1, 0)) == 1
+        assert trace.matching(lambda e: e.kind is MsgKind.READ_RESP)
