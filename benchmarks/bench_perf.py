@@ -1,0 +1,174 @@
+"""Simulator performance-regression harness (host wall-clock, not paper data).
+
+Unlike the other benchmarks in this directory, this one measures the
+*simulator itself*: how fast the discrete-event engine retires events on
+two fixed workloads.  It exists to catch hot-path regressions — a change
+that slows ``Engine.run``, ``Fabric.send``, or the coherence manager
+shows up here long before it becomes an annoyance in the paper
+reproductions.
+
+Workloads (both deterministic, so cycles/messages double as a
+behavioural checksum):
+
+* **sssp** — 16 nodes, 800-vertex geometric graph (seed 7), 3 copies
+  with replicated queues: the Table 2-1 midpoint configuration.
+* **beam** — 16 nodes, 12x128 lattice (seed 5), beam 60, delayed
+  operations: the Figure 3-1 hot configuration.
+
+Run directly to produce ``BENCH_perf.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke  # CI-sized
+
+Under pytest the module runs the smoke-sized workloads once and checks
+the measurement machinery, not the throughput (wall-clock assertions
+would be flaky on shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.apps.beam import BeamConfig, BeamSearchApp, params_for
+from repro.apps.graphs import dijkstra, geometric_graph, layered_lattice
+from repro.apps.sssp import SSSPApp, SSSPConfig
+from repro.machine import PlusMachine
+
+#: cycles/messages expected from the full-size workloads; a mismatch
+#: means a change altered simulated behaviour, not just speed.
+FULL_CHECKSUMS = {
+    "sssp": {"cycles": 145626, "messages": 41415},
+}
+
+
+def _run_sssp(n_vertices: int) -> PlusMachine:
+    graph = geometric_graph(
+        n_vertices, degree=5, long_edge_fraction=0.08, max_weight=20, seed=7
+    )
+    reference = dijkstra(graph, 0)
+    machine = PlusMachine(n_nodes=16)
+    app = SSSPApp(
+        machine, graph, SSSPConfig(copies=3, replicate_queues=True)
+    )
+    app.spawn_workers()
+    machine.run()
+    if app.distances() != reference:
+        raise AssertionError("perf workload diverged from Dijkstra")
+    return machine
+
+
+def _run_beam(n_layers: int, width: int) -> PlusMachine:
+    lattice = layered_lattice(
+        n_layers=n_layers, width=width, branching=3, seed=5, hot_fraction=0.6
+    )
+    config = BeamConfig(beam=60, sync_mode="delayed")
+    machine = PlusMachine(n_nodes=16, params=params_for(config))
+    app = BeamSearchApp(machine, lattice, config)
+    app.spawn_workers()
+    machine.run()
+    return machine
+
+
+def measure(build_and_run: Callable[[], PlusMachine], repeats: int = 3) -> Dict:
+    """Best-of-``repeats`` wall time and events/sec for one workload."""
+    best = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        machine = build_and_run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, machine)
+    wall, machine = best
+    events = machine.engine.events_fired
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "cycles": machine.engine.now,
+        "messages": machine.fabric.stats.total_messages,
+    }
+
+
+def run_suite(smoke: bool = False, repeats: int = 3) -> Dict:
+    if smoke:
+        workloads = {
+            "sssp": lambda: _run_sssp(200),
+            "beam": lambda: _run_beam(6, 48),
+        }
+        repeats = 1
+    else:
+        workloads = {
+            "sssp": lambda: _run_sssp(800),
+            "beam": lambda: _run_beam(12, 128),
+        }
+    results = {"smoke": smoke}
+    for name, fn in workloads.items():
+        results[name] = measure(fn, repeats=repeats)
+        if not smoke and name in FULL_CHECKSUMS:
+            expected = FULL_CHECKSUMS[name]
+            got = {k: results[name][k] for k in expected}
+            if got != expected:
+                raise AssertionError(
+                    f"{name} behavioural checksum changed: "
+                    f"expected {expected}, got {got}"
+                )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workloads, one repeat, no checksum enforcement",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(smoke=args.smoke, repeats=args.repeats)
+    for name in ("sssp", "beam"):
+        r = results[name]
+        print(
+            f"{name:>5}: {r['wall_s']:8.3f}s wall, "
+            f"{r['events']:>8} events, {r['events_per_sec']:>7} events/s, "
+            f"{r['cycles']} cycles, {r['messages']} messages"
+        )
+    Path(args.out).write_text(json.dumps(results, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke-sized: correctness of the harness, not speed)
+# ----------------------------------------------------------------------
+def test_perf_harness_smoke():
+    results = run_suite(smoke=True)
+    for name in ("sssp", "beam"):
+        r = results[name]
+        assert r["events"] > 0
+        assert r["events_per_sec"] > 0
+        assert r["cycles"] > 0
+        assert r["messages"] > 0
+
+
+def test_perf_workloads_are_deterministic():
+    a = _run_sssp(200)
+    b = _run_sssp(200)
+    assert a.engine.now == b.engine.now
+    assert a.fabric.stats.total_messages == b.fabric.stats.total_messages
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -308,8 +308,7 @@ class CoherenceManager:
         op: Optional[OpCode],
     ) -> None:
         """Apply word writes at the local master copy and propagate."""
-        for offset, value in writes:
-            self._write_word(page, offset, value)
+        self._write_words(page, writes)
         self.counters.masters_written += 1
         nxt = self.tables.next_of(page)
         if nxt is None:
@@ -339,6 +338,25 @@ class CoherenceManager:
         if dirty is not None:
             dirty.add(offset)
         self.snoop(page, offset, value)
+
+    def _write_words(self, page: int, writes: List[Tuple[int, int]]) -> None:
+        """Apply one message's word writes to a local page (hot path).
+
+        The per-page state (frame, invalid-word set, live-copy filter,
+        snoop hook) is resolved once per batch instead of once per word.
+        """
+        self.memory.write_batch(page, writes)
+        invalid = self._invalid_words.get(page)
+        dirty = self._copy_filters.get(page)
+        if invalid is not None or dirty is not None:
+            for offset, _value in writes:
+                if invalid is not None:
+                    invalid.discard(offset)
+                if dirty is not None:
+                    dirty.add(offset)
+        snoop = self.snoop
+        for offset, value in writes:
+            snoop(page, offset, value)
 
     # ------------------------------------------------------------------
     # Word validity (invalidate-protocol variant).
@@ -469,8 +487,7 @@ class CoherenceManager:
         )
         chain_done = True
         if outcome.writes:
-            for offset, value in outcome.writes:
-                self._write_word(page, offset, value)
+            self._write_words(page, outcome.writes)
             self.counters.masters_written += 1
             nxt = self.tables.next_of(page)
             if nxt is not None:
@@ -681,8 +698,7 @@ class CoherenceManager:
     def _apply_update(self, msg: Message) -> None:
         assert msg.addr is not None
         page = msg.addr.page
-        for offset, value in msg.writes:
-            self._write_word(page, offset, value)
+        self._write_words(page, msg.writes)
         self.counters.updates_applied += 1
         nxt = self.tables.next_of(page)
         if nxt is None:

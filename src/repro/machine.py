@@ -150,7 +150,14 @@ class PlusMachine:
         unfinished = [line for n in self.nodes for line in n.cpu.blocked_report()]
         if unfinished:
             detail = "\n  ".join(unfinished)
-            if max_cycles is not None and self.engine.now >= max_cycles:
+            # The engine clock always ends at max_cycles, so distinguish
+            # a timeout (events still queued past the horizon) from a
+            # genuine deadlock (the queue drained with threads blocked).
+            if (
+                max_cycles is not None
+                and self.engine.now >= max_cycles
+                and self.engine.pending_events > 0
+            ):
                 raise SimulationError(
                     f"hit max_cycles={max_cycles} with threads unfinished:\n"
                     f"  {detail}"

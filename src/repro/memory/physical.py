@@ -98,6 +98,17 @@ class LocalMemory:
         """Write one word to frame ``page`` at ``offset``."""
         self._frame(page).write(offset, value)
 
+    def write_batch(self, page: int, writes) -> None:
+        """Apply ``(offset, value)`` pairs to one frame, resolved once.
+
+        The coherence manager's update path applies every message's word
+        writes through here so the frame lookup happens once per message
+        rather than once per word.
+        """
+        words = self._frame(page).words
+        for offset, value in writes:
+            words[offset] = value & WORD_MASK
+
     def load_page(self, page: int, values: List[int]) -> None:
         """Overwrite an entire frame (used by the page-copy engine)."""
         self._frame(page).load(values)

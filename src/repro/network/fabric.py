@@ -4,17 +4,23 @@ The fabric owns the topology and the link timing model, preserves
 point-to-point FIFO order (a property of dimension-order wormhole routing
 that the copy-list update protocol depends on), and keeps machine-wide
 traffic statistics.
+
+This module sits on the simulator's hottest path — every protocol
+message of every benchmark crosses ``Fabric.send`` — so it avoids
+per-message allocation beyond one slotted delivery event: routes and hop
+counts come from a per-pair cache, receivers are resolved by list index,
+and the tracing hook costs a single ``is None`` test when disabled.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.params import TimingParams
 from repro.errors import ConfigError
 from repro.network.message import Message, MsgKind
 from repro.network.router import LinkModel
-from repro.network.topology import Mesh
+from repro.network.topology import Link, Mesh
 from repro.sim.engine import Engine
 
 Receiver = Callable[[Message], None]
@@ -22,6 +28,8 @@ Receiver = Callable[[Message], None]
 
 class FabricStats:
     """Machine-wide network traffic counters."""
+
+    __slots__ = ("messages_by_kind", "total_messages", "total_hops", "total_bytes")
 
     def __init__(self) -> None:
         self.messages_by_kind: Dict[MsgKind, int] = {k: 0 for k in MsgKind}
@@ -46,6 +54,32 @@ class FabricStats:
         return sum(self.messages_by_kind[k] for k in kinds)
 
 
+class _Delivery:
+    """One scheduled message delivery (the fabric's only per-send event)."""
+
+    __slots__ = ("receiver", "msg")
+
+    def __init__(self, receiver: Receiver, msg: Message) -> None:
+        self.receiver = receiver
+        self.msg = msg
+
+    def __call__(self) -> None:
+        self.receiver(self.msg)
+
+
+class _PairState:
+    """Per-(src, dst) routing state resolved once and reused per send."""
+
+    __slots__ = ("path", "hops", "next_floor")
+
+    def __init__(self, path: List[Link]) -> None:
+        self.path = path
+        self.hops = len(path)
+        #: Earliest cycle the next same-pair message may be delivered
+        #: (point-to-point FIFO: one past the last delivery time).
+        self.next_floor = 0
+
+
 class Fabric:
     """Routes and times messages between coherence managers."""
 
@@ -55,38 +89,58 @@ class Fabric:
         self.params = params
         self.links = LinkModel(params)
         self.stats = FabricStats()
-        self._receivers: Dict[int, Receiver] = {}
-        self._last_delivery: Dict[Tuple[int, int], int] = {}
+        #: Receiver per node id, resolved once at attach time.
+        self._receivers: List[Optional[Receiver]] = [None] * mesh.n_nodes
+        self._pairs: Dict[Tuple[int, int], _PairState] = {}
+        #: Installed :class:`~repro.stats.trace.ProtocolTrace`, or None.
+        #: When None (the default) tracing costs one ``is None`` test.
+        self._trace = None
 
     # ------------------------------------------------------------------
     def attach(self, node: int, receiver: Receiver) -> None:
         """Register the coherence manager that receives traffic for ``node``."""
-        if node in self._receivers:
+        if not 0 <= node < len(self._receivers):
+            raise ConfigError(f"node {node} outside this fabric's mesh")
+        if self._receivers[node] is not None:
             raise ConfigError(f"node {node} already attached to fabric")
         self._receivers[node] = receiver
 
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> int:
         """Inject ``msg`` now; returns its (scheduled) delivery time."""
-        if msg.src == msg.dst:
+        dst = msg.dst
+        if msg.src == dst:
             raise ConfigError(f"fabric cannot route a self-message: {msg}")
-        receiver = self._receivers.get(msg.dst)
+        receiver = (
+            self._receivers[dst] if 0 <= dst < len(self._receivers) else None
+        )
         if receiver is None:
-            raise ConfigError(f"no receiver attached for node {msg.dst}")
+            raise ConfigError(f"no receiver attached for node {dst}")
+        pair = (msg.src, dst)
+        state = self._pairs.get(pair)
+        if state is None:
+            state = self._pairs[pair] = _PairState(self.mesh.route(msg.src, dst))
 
-        path = self.mesh.route(msg.src, msg.dst)
-        arrive = self.links.traverse(path, self.engine.now, msg.size_bytes)
+        if self._trace is not None:
+            self._trace.record(self.engine.now, msg)
 
+        size = msg.size_bytes
         # Dimension-order wormhole routing delivers same-pair messages in
-        # injection order; enforce that explicitly so protocol ordering
-        # never depends on floating details of the timing model.
-        pair = (msg.src, msg.dst)
-        floor = self._last_delivery.get(pair, -1) + 1
-        arrive = max(arrive, floor)
-        self._last_delivery[pair] = arrive
+        # injection order; the link model enforces that floor explicitly
+        # (and charges it to the final link) so protocol ordering never
+        # depends on floating details of the timing model.
+        arrive = self.links.traverse(
+            state.path, self.engine.now, size, not_before=state.next_floor
+        )
+        state.next_floor = arrive + 1
 
-        self.stats.record(msg, len(path))
-        self.engine.at(arrive, lambda: receiver(msg))
+        stats = self.stats
+        stats.messages_by_kind[msg.kind] += 1
+        stats.total_messages += 1
+        stats.total_hops += state.hops
+        stats.total_bytes += size
+
+        self.engine.at(arrive, _Delivery(receiver, msg))
         return arrive
 
     # ------------------------------------------------------------------

@@ -71,10 +71,16 @@ MESSAGE_BYTES = {
     MsgKind.TLB_SHOOTDOWN_ACK: 12,
 }
 
+#: Wire size resolved through the enum member itself (no dict hashing on
+#: the per-message path).
+for _kind, _bytes in MESSAGE_BYTES.items():
+    _kind.base_bytes = _bytes
+del _kind, _bytes
+
 _msg_ids = count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One coherence-manager-to-coherence-manager network message."""
 
@@ -103,12 +109,13 @@ class Message:
     @property
     def size_bytes(self) -> int:
         """Bytes this message occupies on each link it crosses."""
-        base = MESSAGE_BYTES[self.kind]
-        if self.kind is MsgKind.PAGE_COPY_DATA:
+        kind = self.kind
+        base = kind.base_bytes
+        if kind is MsgKind.PAGE_COPY_DATA:
             return base + 4 * len(self.words)
-        if self.kind is MsgKind.UPDATE and len(self.writes) > 1:
+        if kind is MsgKind.UPDATE and len(self.writes) > 1:
             return base + 8 * (len(self.writes) - 1)
-        if self.kind is MsgKind.INVALIDATE and len(self.writes) > 1:
+        if kind is MsgKind.INVALIDATE and len(self.writes) > 1:
             return base + 4 * (len(self.writes) - 1)
         return base
 

@@ -32,9 +32,14 @@ class LinkState:
 class LinkModel:
     """Computes message delivery times across a sequence of links."""
 
+    __slots__ = ("params", "_links", "_occupancy_cache")
+
     def __init__(self, params: TimingParams) -> None:
         self.params = params
         self._links: Dict[Link, LinkState] = {}
+        #: Memoized link_occupancy_cycles per message size (the size
+        #: vocabulary is tiny, and this sits on the per-message path).
+        self._occupancy_cache: Dict[int, int] = {}
 
     def _state(self, link: Link) -> LinkState:
         state = self._links.get(link)
@@ -42,25 +47,59 @@ class LinkModel:
             state = self._links[link] = LinkState()
         return state
 
-    def traverse(self, path: List[Link], depart: int, size_bytes: int) -> int:
+    def occupancy_cycles(self, size_bytes: int) -> int:
+        """Cached ``params.link_occupancy_cycles`` for ``size_bytes``."""
+        cached = self._occupancy_cache.get(size_bytes)
+        if cached is None:
+            cached = self.params.link_occupancy_cycles(size_bytes)
+            self._occupancy_cache[size_bytes] = cached
+        return cached
+
+    def traverse(
+        self,
+        path: List[Link],
+        depart: int,
+        size_bytes: int,
+        not_before: int = 0,
+    ) -> int:
         """Arrival time of a message leaving at ``depart`` along ``path``.
 
         The head of the message advances one hop per ``net_hop_cycles``
         but may stall waiting for a link that is still draining an
         earlier message; the tail then occupies each link for the
         serialisation time.
+
+        ``not_before`` is a delivery-order floor (point-to-point FIFO):
+        if the computed arrival lands earlier, the message is held on its
+        final link until ``not_before``, and that link's occupancy and
+        busy-cycle accounting reflect the extra hold — so contention
+        statistics always agree with actual delivery times.
         """
-        params = self.params
-        occupancy = params.link_occupancy_cycles(size_bytes)
-        t = depart + params.net_fixed_cycles
+        occupancy = self._occupancy_cache.get(size_bytes)
+        if occupancy is None:
+            occupancy = self.occupancy_cycles(size_bytes)
+        links = self._links
+        hop_cycles = self.params.net_hop_cycles
+        t = depart + self.params.net_fixed_cycles
+        state = None
         for link in path:
-            state = self._state(link)
-            start = max(t, state.next_free)
-            waited = start - t
-            t = start + params.net_hop_cycles
+            state = links.get(link)
+            if state is None:
+                state = links[link] = LinkState()
+            start = state.next_free
+            if t > start:
+                start = t
+            state.busy_cycles += occupancy + start - t
+            t = start + hop_cycles
             state.next_free = start + occupancy
-            state.busy_cycles += occupancy + waited
             state.messages += 1
+        if t < not_before and state is not None:
+            # FIFO floor: the message waits behind its predecessor on the
+            # final link; charge the hold to that link.
+            hold = not_before - t
+            state.next_free += hold
+            state.busy_cycles += hold
+            t = not_before
         return t
 
     # -- instrumentation -------------------------------------------------

@@ -10,7 +10,7 @@ the coherence protocol relies on that to keep copy-list updates ordered.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import ConfigError
 
@@ -36,6 +36,11 @@ class Mesh:
         self.n_nodes = n_nodes
         self.width = width
         self.height = height
+        # Dimension-order routes are deterministic and the pair space is
+        # small (<= n_nodes^2), so routes and hop counts are memoized.
+        # Cached paths are shared: callers must treat them as immutable.
+        self._route_cache: Dict[Tuple[int, int], List[Link]] = {}
+        self._hops_cache: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # The router grid spans the full width x height rectangle; when
@@ -70,12 +75,31 @@ class Mesh:
     # ------------------------------------------------------------------
     def hops(self, a: int, b: int) -> int:
         """Manhattan distance between nodes ``a`` and ``b``."""
+        key = (a, b)
+        cached = self._hops_cache.get(key)
+        if cached is not None:
+            return cached
         ax, ay = self.coord(a)
         bx, by = self.coord(b)
-        return abs(ax - bx) + abs(ay - by)
+        distance = abs(ax - bx) + abs(ay - by)
+        self._hops_cache[key] = distance
+        return distance
 
     def route(self, src: int, dst: int) -> List[Link]:
-        """Dimension-order (X then Y) path as a list of directed links."""
+        """Dimension-order (X then Y) path as a list of directed links.
+
+        The returned list is cached and shared between calls: callers
+        must not mutate it.
+        """
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._compute_route(src, dst)
+        self._route_cache[key] = path
+        return path
+
+    def _compute_route(self, src: int, dst: int) -> List[Link]:
         self._check(src)
         self._check(dst)
         links: List[Link] = []

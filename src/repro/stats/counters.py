@@ -24,7 +24,7 @@ from typing import Dict, List
 from repro.core.params import OpCode
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeCounters:
     """Event counts for one node."""
 
@@ -84,7 +84,7 @@ class NodeCounters:
         return self.rmw_local + self.rmw_remote
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineCounters:
     """Aggregation of every node's counters plus machine-wide ratios."""
 

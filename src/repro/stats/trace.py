@@ -14,7 +14,7 @@ from typing import Callable, Iterable, List, Optional
 from repro.network.message import Message, MsgKind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One recorded message send."""
 
@@ -40,26 +40,51 @@ class TraceEntry:
 
 
 class ProtocolTrace:
-    """Attach with :meth:`install`; entries accumulate per send."""
+    """Attach with :meth:`install`; entries accumulate per send.
+
+    The fabric carries a single trace slot that its send path checks with
+    one ``is None`` test, so tracing costs nothing while disabled.
+    Installing is idempotent (re-installing the same trace is a no-op
+    rather than double-recording), and :meth:`uninstall` detaches cleanly.
+    """
 
     def __init__(self, capacity: int = 100_000) -> None:
         self.capacity = capacity
         self.entries: List[TraceEntry] = []
         self.dropped = 0
+        self._fabric = None
 
     # ------------------------------------------------------------------
     def install(self, machine) -> "ProtocolTrace":
-        """Hook this trace into ``machine``'s fabric; returns self."""
+        """Hook this trace into ``machine``'s fabric; returns self.
+
+        Idempotent: installing an already-installed trace changes
+        nothing.  Installing over a *different* trace replaces it (the
+        fabric records into at most one trace at a time).
+        """
         fabric = machine.fabric
-        original_send = fabric.send
-        engine = machine.engine
-
-        def traced_send(msg: Message) -> int:
-            self.record(engine.now, msg)
-            return original_send(msg)
-
-        fabric.send = traced_send
+        previous = fabric._trace
+        if previous is self:
+            return self
+        if previous is not None:
+            previous._fabric = None
+        fabric._trace = self
+        self._fabric = fabric
         return self
+
+    def uninstall(self) -> "ProtocolTrace":
+        """Detach from the fabric; recorded entries are kept."""
+        fabric = self._fabric
+        if fabric is not None and fabric._trace is self:
+            fabric._trace = None
+        self._fabric = None
+        return self
+
+    @property
+    def installed(self) -> bool:
+        """True while this trace is the one the fabric records into."""
+        fabric = self._fabric
+        return fabric is not None and fabric._trace is self
 
     def record(self, time: int, msg: Message) -> None:
         if len(self.entries) >= self.capacity:

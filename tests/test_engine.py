@@ -66,6 +66,43 @@ class TestEngine:
         engine.run()
         assert seen == [1, 2]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        # Regression: the early-break path set now = until, but a queue
+        # that drained *before* until left the clock stale at the last
+        # event time.
+        engine = Engine()
+        seen = []
+        engine.at(10, lambda: seen.append(1))
+        end = engine.run(until=50)
+        assert seen == [1]
+        assert end == 50
+        assert engine.now == 50
+        assert engine.pending_events == 0
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        engine = Engine()
+        assert engine.run(until=30) == 30
+        assert engine.now == 30
+
+    def test_run_until_never_rewinds_the_clock(self):
+        engine = Engine()
+        engine.at(50, lambda: None)
+        engine.run()
+        assert engine.now == 50
+        assert engine.run(until=10) == 50
+        assert engine.now == 50
+
+    def test_run_until_then_resume_preserves_order(self):
+        engine = Engine()
+        seen = []
+        engine.at(10, lambda: seen.append(1))
+        engine.at(100, lambda: seen.append(2))
+        assert engine.run(until=60) == 60
+        assert seen == [1]
+        engine.run()
+        assert seen == [1, 2]
+        assert engine.now == 100
+
     def test_scheduling_in_the_past_raises(self):
         engine = Engine()
         engine.at(50, lambda: None)

@@ -175,3 +175,64 @@ class TestTraceMechanics:
         assert len(trace.between(0, 1)) == 1
         assert len(trace.between(1, 0)) == 1
         assert trace.matching(lambda e: e.kind is MsgKind.READ_RESP)
+
+
+class TestInstallLifecycle:
+    def test_install_is_idempotent(self):
+        # Regression: re-installing the same trace used to stack a second
+        # fabric hook, double-recording every message.
+        machine = PlusMachine(n_nodes=2)
+        trace = ProtocolTrace()
+        trace.install(machine)
+        trace.install(machine)
+        trace.install(machine)
+        seg = machine.shm.alloc(1, home=1)
+
+        def reader(ctx):
+            yield from ctx.read(seg.base)
+
+        run_threads(machine, (0, reader))
+        # Exactly one READ_REQ and one READ_RESP — each recorded once.
+        assert [e.kind for e in trace] == [
+            MsgKind.READ_REQ, MsgKind.READ_RESP
+        ]
+
+    def test_uninstall_stops_recording(self):
+        machine, trace = _traced_machine(2)
+        seg = machine.shm.alloc(1, home=1)
+
+        def reader(ctx):
+            yield from ctx.read(seg.base)
+
+        run_threads(machine, (0, reader))
+        recorded = len(trace)
+        assert recorded == 2
+        assert trace.installed
+        trace.uninstall()
+        assert not trace.installed
+
+        run_threads(machine, (0, reader))
+        assert len(trace) == recorded  # entries kept, nothing new
+
+    def test_uninstall_is_safe_when_not_installed(self):
+        trace = ProtocolTrace()
+        assert not trace.installed
+        assert trace.uninstall() is trace  # no-op, no error
+
+    def test_installing_a_second_trace_replaces_the_first(self):
+        machine = PlusMachine(n_nodes=2)
+        first = ProtocolTrace().install(machine)
+        second = ProtocolTrace().install(machine)
+        assert not first.installed
+        assert second.installed
+        seg = machine.shm.alloc(1, home=1)
+
+        def reader(ctx):
+            yield from ctx.read(seg.base)
+
+        run_threads(machine, (0, reader))
+        assert len(first) == 0
+        assert len(second) == 2
+        # Uninstalling the stale first trace must not detach the second.
+        first.uninstall()
+        assert second.installed
