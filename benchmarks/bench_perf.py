@@ -43,7 +43,21 @@ from repro.machine import PlusMachine
 #: means a change altered simulated behaviour, not just speed.
 FULL_CHECKSUMS = {
     "sssp": {"cycles": 145626, "messages": 41415},
+    "beam": {"cycles": 122761, "messages": 12792},
 }
+
+#: Repo-root report; the full run records the smoke-sized checksums here
+#: and ``--smoke`` (the CI path) verifies against them.
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _smoke_baseline() -> Dict:
+    """The committed smoke checksums, or {} when not recorded yet."""
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError):
+        return {}
+    return baseline.get("smoke_checksums", {})
 
 
 def _run_sssp(n_vertices: int) -> PlusMachine:
@@ -107,6 +121,7 @@ def run_suite(smoke: bool = False, repeats: int = 3) -> Dict:
             "beam": lambda: _run_beam(12, 128),
         }
     results = {"smoke": smoke}
+    baseline = _smoke_baseline() if smoke else {}
     for name, fn in workloads.items():
         results[name] = measure(fn, repeats=repeats)
         if not smoke and name in FULL_CHECKSUMS:
@@ -117,6 +132,29 @@ def run_suite(smoke: bool = False, repeats: int = 3) -> Dict:
                     f"{name} behavioural checksum changed: "
                     f"expected {expected}, got {got}"
                 )
+        if smoke and name in baseline:
+            expected = baseline[name]
+            got = {k: results[name][k] for k in expected}
+            if got != expected:
+                raise AssertionError(
+                    f"{name} smoke checksum drifted from BENCH_perf.json: "
+                    f"expected {expected}, got {got} — if the behaviour "
+                    "change is intended, regenerate with "
+                    "`python benchmarks/bench_perf.py`"
+                )
+    if not smoke:
+        # Record the smoke-sized checksums so CI's --smoke run can
+        # verify behaviour without paying for the full workloads.
+        results["smoke_checksums"] = {}
+        for name, fn in (
+            ("sssp", lambda: _run_sssp(200)),
+            ("beam", lambda: _run_beam(6, 48)),
+        ):
+            machine = fn()
+            results["smoke_checksums"][name] = {
+                "cycles": machine.engine.now,
+                "messages": machine.fabric.stats.total_messages,
+            }
     return results
 
 

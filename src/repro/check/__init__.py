@@ -1,0 +1,38 @@
+"""Correctness checking: coherence oracle, live invariants, stress harness.
+
+This package model-checks the simulator against itself:
+
+* :mod:`repro.check.oracle` — a sequential reference model that replays
+  a :class:`~repro.stats.trace.ProtocolTrace` capture and verifies the
+  paper's *general coherence* claim after a full drain.
+* :mod:`repro.check.invariants` — live checkers installed through the
+  fabric trace hook that fail the run at the first protocol violation.
+* :mod:`repro.check.stress` — a seeded random workload generator with
+  fault-injection knobs (link-latency jitter, randomized same-cycle
+  event ordering, deliberate protocol mutations), driven by
+  ``python -m repro check``.
+"""
+
+from repro.check.invariants import InvariantMonitor
+from repro.check.oracle import CoherenceOracle, OracleReport, Violation
+from repro.check.stress import (
+    JitteredLinkModel,
+    StressConfig,
+    StressResult,
+    inject_skip_last_hop,
+    run_seeds,
+    run_stress,
+)
+
+__all__ = [
+    "CoherenceOracle",
+    "InvariantMonitor",
+    "JitteredLinkModel",
+    "OracleReport",
+    "StressConfig",
+    "StressResult",
+    "Violation",
+    "inject_skip_last_hop",
+    "run_seeds",
+    "run_stress",
+]

@@ -1,0 +1,197 @@
+"""Live protocol invariant checking through the fabric trace hook.
+
+Where the oracle (:mod:`repro.check.oracle`) judges a *finished* run,
+:class:`InvariantMonitor` rides along **during** the run: it is a
+:class:`~repro.stats.trace.ProtocolTrace` whose :meth:`record` hook also
+evaluates a set of protocol invariants on every message the fabric
+accepts, and fails the simulation at the first violation — with the
+cycle, the offending message and a transcript excerpt — instead of
+letting a corrupted state propagate for thousands of cycles.
+
+Checked live:
+
+* **One ack per transaction** — a second ``WRITE_ACK`` (or second
+  ``RMW_RESP``) for the same originator/xid is flagged at delivery of
+  the duplicate.
+* **No update past the final ack** — once a chain's tail has
+  acknowledged, any further update for that chain is a protocol bug.
+* **Bounded hardware caches** — the pending-writes cache and the
+  delayed-operations cache never exceed their configured capacity
+  (8 entries each in the paper's machine).
+* **Reads block on pending writes** — the CPU model reports every read
+  that proceeds (:meth:`on_read_proceed`); a read proceeding while its
+  issuer still has a pending write to that address breaks the
+  per-processor strong ordering of Section 2.3.
+
+The monitor doubles as the run's trace capture, so a stress run installs
+one object and gets both live checking and an oracle-replayable record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CoherenceViolation
+from repro.network.message import Message, MsgKind
+from repro.stats.trace import ProtocolTrace
+
+
+class InvariantMonitor(ProtocolTrace):
+    """A trace capture that also enforces live protocol invariants.
+
+    With ``strict=True`` (default) the first violation raises
+    :class:`CoherenceViolation` from inside the fabric's send path,
+    aborting the run at the exact cycle of the bug.  With
+    ``strict=False`` violations accumulate in :attr:`violations` and the
+    run continues (useful for counting how often a fault fires).
+    """
+
+    def __init__(self, capacity: int = 100_000, strict: bool = True) -> None:
+        super().__init__(capacity)
+        self.strict = strict
+        self.violations: List[str] = []
+        self._machine = None
+        #: Chains whose final ack has been sent: (class, origin, xid).
+        self._closed: Set[Tuple[str, int, int]] = set()
+        #: Ack/response counts per chain, for exactly-once checking.
+        self._acks: Dict[Tuple[str, int, int], int] = {}
+        self._resps: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def install(self, machine) -> "InvariantMonitor":
+        """Attach to ``machine``'s fabric and CPU read path."""
+        super().install(machine)
+        self._machine = machine
+        machine.invariant_monitor = self
+        return self
+
+    def uninstall(self) -> "InvariantMonitor":
+        machine = self._machine
+        if machine is not None and machine.invariant_monitor is self:
+            machine.invariant_monitor = None
+        self._machine = None
+        super().uninstall()
+        return self
+
+    # ------------------------------------------------------------------
+    def _fail(
+        self,
+        rule: str,
+        detail: str,
+        *,
+        cycle: Optional[int] = None,
+        node: Optional[int] = None,
+        msg: object = None,
+    ) -> None:
+        text = f"[{rule}] {detail}"
+        self.violations.append(text)
+        if self.strict:
+            raise CoherenceViolation(
+                text,
+                cycle=cycle,
+                node=node,
+                msg=msg,
+                excerpt=self.tail(),
+            )
+
+    @staticmethod
+    def _chain_key(msg: Message, origin: int) -> Tuple[str, int, int]:
+        cls = "w" if msg.op is None else "r"
+        return (cls, origin, msg.xid)
+
+    # ------------------------------------------------------------------
+    def record(self, time: int, msg: Message, arrive: int = -1) -> None:
+        super().record(time, msg, arrive)
+        kind = msg.kind
+        if kind is MsgKind.WRITE_ACK:
+            # Acks carry no origin field; their destination is the
+            # originator that the tail copy is releasing.
+            key = self._chain_key(msg, msg.dst)
+            count = self._acks.get(key, 0) + 1
+            self._acks[key] = count
+            self._closed.add(key)
+            if count > 1:
+                cls, origin, xid = key
+                label = "write" if cls == "w" else "RMW"
+                self._fail(
+                    "ack-exactly-once",
+                    f"{label} chain origin={origin} xid={xid} "
+                    f"acknowledged {count} times",
+                    cycle=time,
+                    node=msg.src,
+                    msg=msg,
+                )
+        elif kind is MsgKind.RMW_RESP:
+            key = (msg.dst, msg.xid)
+            count = self._resps.get(key, 0) + 1
+            self._resps[key] = count
+            if count > 1:
+                self._fail(
+                    "rmw-exactly-once",
+                    f"RMW origin={msg.dst} xid={msg.xid} answered "
+                    f"{count} times",
+                    cycle=time,
+                    node=msg.src,
+                    msg=msg,
+                )
+        elif kind in (MsgKind.UPDATE, MsgKind.INVALIDATE):
+            key = self._chain_key(msg, msg.origin)
+            if key in self._closed:
+                cls, origin, xid = key
+                label = "write" if cls == "w" else "RMW"
+                self._fail(
+                    "update-after-ack",
+                    f"{label} chain origin={origin} xid={xid} sent an "
+                    f"update after its final ack",
+                    cycle=time,
+                    node=msg.src,
+                    msg=msg,
+                )
+        self._check_cache_bounds(time)
+
+    def _check_cache_bounds(self, time: int) -> None:
+        machine = self._machine
+        if machine is None:
+            return
+        for node in machine.nodes:
+            cm = node.cm
+            if len(cm.pending) > cm.pending.capacity:
+                self._fail(
+                    "pending-bound",
+                    f"pending-writes cache on node {node.node_id} holds "
+                    f"{len(cm.pending)} entries "
+                    f"(capacity {cm.pending.capacity})",
+                    cycle=time,
+                    node=node.node_id,
+                )
+            slots = machine.params.delayed_slots
+            if cm.delayed.in_flight > slots:
+                self._fail(
+                    "delayed-bound",
+                    f"delayed-operations cache on node {node.node_id} "
+                    f"holds {cm.delayed.in_flight} operations "
+                    f"(capacity {slots})",
+                    cycle=time,
+                    node=node.node_id,
+                )
+
+    # ------------------------------------------------------------------
+    def on_read_proceed(self, node_id: int, paddr) -> None:
+        """CPU hook: a read is about to be served on ``node_id``.
+
+        Called by the CPU model after its pending-write gate; a read
+        reaching this point while the issuer still has an in-flight
+        write to the same address means the gate is broken.
+        """
+        machine = self._machine
+        if machine is None:
+            return
+        cm = machine.nodes[node_id].cm
+        if cm.pending.pending_at(paddr):
+            self._fail(
+                "read-blocks-on-pending",
+                f"node {node_id} served a read of {paddr} while its own "
+                f"write to that address was still unacknowledged",
+                cycle=machine.engine.now,
+                node=node_id,
+            )

@@ -1,0 +1,413 @@
+"""Seeded stress runs: random machines, random programs, fault injection.
+
+Each seed deterministically derives a whole experiment — mesh shape,
+page size, coherence protocol variant, copy-list layouts, per-thread
+programs mixing reads, writes, fences and all eight delayed operations —
+runs it under a live :class:`~repro.check.invariants.InvariantMonitor`,
+and judges the drained machine with the
+:class:`~repro.check.oracle.CoherenceOracle`.
+
+Two fault-injection knobs widen the schedule space without changing
+what the protocol must guarantee:
+
+* **Link-latency jitter** (:class:`JitteredLinkModel`) perturbs every
+  delivery time by a seeded random hold, preserving point-to-point FIFO
+  (the jitter lands after the fabric's ordering floor).
+* **Randomized tie-breaking** (the engine's ``tie_break_rng``) scrambles
+  the execution order of same-cycle events.
+
+A third knob, :func:`inject_skip_last_hop`, plants a *deliberate
+protocol bug* — the second-to-last copy in an update chain acks the
+originator without forwarding to the tail — to prove the oracle catches
+real coherence violations (mutation testing for the checker itself).
+
+Every stream of randomness is seeded from the run's seed alone, so any
+failure reproduces exactly with ``python -m repro check --seed N``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.invariants import InvariantMonitor
+from repro.check.oracle import CoherenceOracle, OracleReport
+from repro.core.params import OpCode, TimingParams
+from repro.errors import PlusError
+from repro.machine import PlusMachine
+from repro.network.router import LinkModel
+
+#: Delayed operations issued against plain data words (QUEUE/DEQUEUE are
+#: issued through their queue handle, completing the set of eight).
+_DATA_OPS = (
+    OpCode.XCHNG,
+    OpCode.COND_XCHNG,
+    OpCode.FETCH_ADD,
+    OpCode.FETCH_SET,
+    OpCode.MIN_XCHNG,
+    OpCode.DELAYED_READ,
+)
+
+#: (width, height) mesh shapes the generator samples from.
+_MESH_SHAPES = ((2, 2), (4, 1), (3, 2), (2, 3), (4, 2), (3, 3))
+
+
+class JitteredLinkModel(LinkModel):
+    """A :class:`LinkModel` that adds seeded random delivery jitter.
+
+    The jitter is added *after* the base model has applied the fabric's
+    FIFO ordering floor, and is never negative, so same-pair messages
+    still deliver in injection order — the protocol's one hard ordering
+    assumption survives; only the schedule gets shaken.
+    """
+
+    __slots__ = ("rng", "amplitude")
+
+    def __init__(
+        self, params: TimingParams, rng: random.Random, amplitude: int
+    ) -> None:
+        super().__init__(params)
+        self.rng = rng
+        self.amplitude = amplitude
+
+    def traverse(self, path, depart, size_bytes, not_before=0):
+        arrive = super().traverse(path, depart, size_bytes, not_before)
+        if self.amplitude:
+            arrive += self.rng.randrange(self.amplitude + 1)
+        return arrive
+
+
+def inject_skip_last_hop(machine: PlusMachine) -> None:
+    """Plant a protocol bug: drop the final hop of every update chain.
+
+    Every coherence manager's update handler is replaced by a version
+    that, on receiving an update whose *next* hop is the chain's tail,
+    applies the writes locally and acknowledges the originator directly
+    — the tail copy silently never learns about the write.  The chain
+    still completes (no deadlock), so only a coherence check can tell
+    the run went wrong.  Fires on copy-lists with three or more copies.
+    """
+    for node in machine.nodes:
+        cm = node.cm
+        orig = cm._apply_update
+
+        def buggy(msg, cm=cm, orig=orig, machine=machine):
+            page = msg.addr.page
+            nxt = cm.tables.next_of(page)
+            if (
+                nxt is not None
+                and machine.nodes[nxt.node].cm.tables.next_of(nxt.page)
+                is None
+            ):
+                # BUG under test: ack without forwarding to the tail.
+                cm._write_words(page, msg.writes)
+                cm.counters.updates_applied += 1
+                cm._complete_chain(msg.origin, msg.xid, msg.op)
+                return
+            orig(msg)
+
+        cm._apply_update = buggy
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StressConfig:
+    """Deterministic experiment shape derived from one seed."""
+
+    seed: int
+    width: int
+    height: int
+    page_words: int
+    protocol: str
+    jitter: int
+    random_ties: bool
+    n_segments: int
+    n_threads: int
+    ops_per_thread: int
+    inject_bug: bool = False
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    @classmethod
+    def from_seed(cls, seed: int, inject_bug: bool = False) -> "StressConfig":
+        rng = random.Random(f"{seed}:shape")
+        width, height = rng.choice(_MESH_SHAPES)
+        n_nodes = width * height
+        return cls(
+            seed=seed,
+            width=width,
+            height=height,
+            page_words=rng.choice((16, 32, 64)),
+            # The planted bug lives in the UPDATE path; force the update
+            # protocol for mutation runs so every write can expose it.
+            protocol=(
+                "update"
+                if inject_bug
+                else rng.choice(("update", "update", "invalidate"))
+            ),
+            jitter=rng.choice((0, 1, 3, 7)),
+            random_ties=rng.random() < 0.75,
+            n_segments=rng.randint(2, 3),
+            n_threads=rng.randint(n_nodes, 2 * n_nodes),
+            ops_per_thread=rng.randint(8, 24),
+            inject_bug=inject_bug,
+        )
+
+    def describe(self) -> str:
+        knobs = []
+        if self.jitter:
+            knobs.append(f"jitter<={self.jitter}")
+        if self.random_ties:
+            knobs.append("random-ties")
+        if self.inject_bug:
+            knobs.append("BUG:skip-last-hop")
+        extra = f" [{', '.join(knobs)}]" if knobs else ""
+        return (
+            f"{self.width}x{self.height} mesh, {self.page_words}-word "
+            f"pages, {self.protocol} protocol, {self.n_threads} threads x "
+            f"{self.ops_per_thread} ops{extra}"
+        )
+
+
+@dataclass
+class StressResult:
+    """Outcome of one seeded stress run."""
+
+    seed: int
+    config: StressConfig
+    cycles: int = 0
+    messages: int = 0
+    report: Optional[OracleReport] = None
+    live_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """The run drained cleanly and every coherence check passed."""
+        return (
+            self.live_error is None
+            and self.report is not None
+            and self.report.ok
+        )
+
+    @property
+    def caught(self) -> bool:
+        """A checker flagged the run (what fault injection hopes for)."""
+        return not self.ok
+
+    def describe(self) -> str:
+        state = "ok" if self.ok else "FAILED"
+        lines = [
+            f"seed {self.seed}: {state} — {self.config.describe()}; "
+            f"{self.cycles} cycles, {self.messages} messages"
+        ]
+        if self.live_error is not None:
+            lines.append(f"  live: {self.live_error}")
+        if self.report is not None and not self.report.ok:
+            lines.extend(
+                f"  {v.describe()}" for v in self.report.violations
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _make_program(plan: List[tuple], queue):
+    """Turn a declarative op ``plan`` into a thread generator function."""
+
+    def program(ctx):
+        tokens = []
+        for step in plan:
+            kind = step[0]
+            if kind == "read":
+                yield from ctx.read(step[1])
+            elif kind == "write":
+                yield from ctx.write(step[1], step[2])
+            elif kind == "write_read":
+                # Immediately read the word back: exercises the
+                # read-blocks-on-pending gate the monitor watches.
+                yield from ctx.write(step[1], step[2])
+                yield from ctx.read(step[1])
+            elif kind == "fence":
+                yield from ctx.fence()
+            elif kind == "compute":
+                yield from ctx.compute(step[1])
+            elif kind == "rmw":
+                _, op, vaddr, operand = step
+                token = yield from ctx.issue(op, vaddr, operand)
+                yield from ctx.result(token)
+            elif kind == "rmw_split":
+                _, op, vaddr, operand, depth = step
+                tokens.append((yield from ctx.issue(op, vaddr, operand)))
+                if len(tokens) >= depth:
+                    while tokens:
+                        yield from ctx.result(tokens.pop())
+            elif kind == "enqueue":
+                yield from ctx.enqueue(queue, step[1])
+            elif kind == "dequeue":
+                yield from ctx.dequeue(queue)
+        while tokens:
+            yield from ctx.result(tokens.pop())
+        yield from ctx.fence()
+
+    return program
+
+
+def _build_plan(
+    rng: random.Random, pools: List[List[int]], ops: int
+) -> List[tuple]:
+    """One thread's op list.  Always opens with a write to segment 0 —
+    the segment guaranteed three copies — so update chains long enough
+    to exercise every hop (and the planted bug) occur on every seed."""
+
+    def addr() -> int:
+        return rng.choice(rng.choice(pools))
+
+    plan: List[tuple] = [
+        ("write", rng.choice(pools[0]), rng.randrange(1, 1 << 20))
+    ]
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.20:
+            plan.append(("read", addr()))
+        elif roll < 0.42:
+            plan.append(("write", addr(), rng.randrange(1, 1 << 20)))
+        elif roll < 0.52:
+            plan.append(("write_read", addr(), rng.randrange(1, 1 << 20)))
+        elif roll < 0.60:
+            plan.append(("fence",))
+        elif roll < 0.67:
+            plan.append(("compute", rng.randint(1, 40)))
+        elif roll < 0.78:
+            plan.append(
+                ("rmw", rng.choice(_DATA_OPS), addr(), rng.randrange(1 << 16))
+            )
+        elif roll < 0.88:
+            plan.append(
+                (
+                    "rmw_split",
+                    rng.choice(_DATA_OPS),
+                    addr(),
+                    rng.randrange(1 << 16),
+                    rng.randint(2, 3),
+                )
+            )
+        elif roll < 0.95:
+            plan.append(("enqueue", rng.randrange(1, 1 << 16)))
+        else:
+            plan.append(("dequeue",))
+    return plan
+
+
+def build_machine(config: StressConfig):
+    """Construct the machine, layout and monitor for one config.
+
+    Returns ``(machine, monitor, spawn_plans)`` where ``spawn_plans`` is
+    a list of ``(node_id, program)`` ready for ``machine.spawn``.
+    """
+    seed = config.seed
+    params = TimingParams(
+        page_words=config.page_words,
+        queue_ring_base=8,
+        tlb_entries=8,
+        coherence_protocol=config.protocol,
+    )
+    machine = PlusMachine(
+        config.n_nodes,
+        params=params,
+        width=config.width,
+        height=config.height,
+        tie_break_rng=(
+            random.Random(f"{seed}:ties") if config.random_ties else None
+        ),
+    )
+    if config.jitter:
+        machine.fabric.links = JitteredLinkModel(
+            params, random.Random(f"{seed}:jitter"), config.jitter
+        )
+    monitor = InvariantMonitor(capacity=500_000).install(machine)
+    if config.inject_bug:
+        inject_skip_last_hop(machine)
+
+    layout = random.Random(f"{seed}:layout")
+    n = config.n_nodes
+    pools: List[List[int]] = []
+    for i in range(config.n_segments):
+        home = layout.randrange(n)
+        others = [node for node in range(n) if node != home]
+        if i == 0:
+            # Segment 0 always has >= 3 copies: long update chains.
+            n_replicas = layout.randint(2, len(others))
+        else:
+            n_replicas = layout.randint(0, len(others))
+        replicas = layout.sample(others, n_replicas)
+        nwords = layout.randint(4, config.page_words)
+        seg = machine.shm.alloc(
+            nwords, home=home, replicas=replicas, name=f"stress{i}"
+        )
+        pool_size = min(nwords, 6)
+        pools.append(
+            [seg.addr(j) for j in layout.sample(range(nwords), pool_size)]
+        )
+    qhome = layout.randrange(n)
+    qothers = [node for node in range(n) if node != qhome]
+    queue = machine.shm.alloc_queue(
+        home=qhome,
+        replicas=layout.sample(qothers, layout.randint(0, len(qothers))),
+    )
+
+    program_rng = random.Random(f"{seed}:programs")
+    slots = list(range(n)) * 2
+    program_rng.shuffle(slots)
+    spawn_plans = []
+    for t in range(config.n_threads):
+        plan = _build_plan(program_rng, pools, config.ops_per_thread)
+        spawn_plans.append((slots[t], _make_program(plan, queue)))
+    return machine, monitor, spawn_plans
+
+
+def run_stress(
+    seed: int, inject_bug: bool = False, max_events: int = 5_000_000
+) -> StressResult:
+    """Run one seeded stress experiment and judge it with the oracle."""
+    config = StressConfig.from_seed(seed, inject_bug=inject_bug)
+    result = StressResult(seed=seed, config=config)
+    machine, monitor, spawn_plans = build_machine(config)
+    try:
+        for node_id, program in spawn_plans:
+            machine.spawn(node_id, program, name=f"stress-{seed}")
+        machine.run(max_events=max_events)
+    except PlusError as exc:
+        result.live_error = f"{type(exc).__name__}: {exc}"
+        result.cycles = machine.engine.now
+        result.messages = machine.fabric.stats.total_messages
+        return result
+    finally:
+        monitor.uninstall()
+    result.cycles = machine.engine.now
+    result.messages = machine.fabric.stats.total_messages
+    result.report = CoherenceOracle(machine, monitor).check()
+    return result
+
+
+def run_seeds(
+    count: int,
+    base_seed: int = 0,
+    inject_bug: bool = False,
+    keep_going: bool = False,
+    on_result: Optional[Callable[[StressResult], None]] = None,
+) -> List[StressResult]:
+    """Run ``count`` consecutive seeds; stop at the first failure unless
+    ``keep_going`` (a *failure* means a bug-injection run the checkers
+    missed, or a clean run they flagged)."""
+    results: List[StressResult] = []
+    for seed in range(base_seed, base_seed + count):
+        result = run_stress(seed, inject_bug=inject_bug)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+        failed = not result.caught if inject_bug else not result.ok
+        if failed and not keep_going:
+            break
+    return results

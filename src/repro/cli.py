@@ -273,12 +273,71 @@ def _cmd_costs(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import run_seeds, run_stress
+
+    if args.seed is not None:
+        # Reproduce one seed with a full transcript of any failure.
+        result = run_stress(args.seed, inject_bug=args.inject_bug)
+        print(result.describe())
+        if result.report is not None:
+            print(result.report.summary())
+        if args.inject_bug:
+            return 0 if result.caught else 1
+        return 0 if result.ok else 1
+
+    failures = 0
+
+    def show(result) -> None:
+        nonlocal failures
+        bad = not result.caught if args.inject_bug else not result.ok
+        if bad:
+            failures += 1
+        if args.verbose or bad:
+            print(result.describe())
+
+    results = run_seeds(
+        args.seeds,
+        base_seed=args.base_seed,
+        inject_bug=args.inject_bug,
+        keep_going=args.keep_going,
+        on_result=show,
+    )
+    cycles = sum(r.cycles for r in results)
+    messages = sum(r.messages for r in results)
+    if args.inject_bug:
+        caught = sum(1 for r in results if r.caught)
+        print(
+            f"fault injection: {caught}/{len(results)} mutated runs "
+            f"caught by the checkers ({cycles:,} cycles, "
+            f"{messages:,} messages simulated)"
+        )
+    else:
+        print(
+            f"{len(results)} seed(s) checked, {failures} failure(s) "
+            f"({cycles:,} cycles, {messages:,} messages simulated)"
+        )
+    if failures:
+        bad_seeds = [
+            r.seed
+            for r in results
+            if (not r.caught if args.inject_bug else not r.ok)
+        ]
+        print(
+            "reproduce with: python -m repro check --seed "
+            + " / --seed ".join(str(s) for s in bad_seeds[:5])
+        )
+        return 1
+    return 0
+
+
 COMMANDS = {
     "table-2-1": (_cmd_table_2_1, "Table 2-1: replication vs messages"),
     "fig-2-1": (_cmd_fig_2_1, "Figure 2-1: SSSP efficiency/utilization"),
     "table-3-1": (_cmd_table_3_1, "Table 3-1: delayed-operation costs"),
     "fig-3-1": (_cmd_fig_3_1, "Figure 3-1: beam-search sync styles"),
     "costs": (_cmd_costs, "Section 3.1 latency budget"),
+    "check": (_cmd_check, "coherence oracle over seeded stress runs"),
 }
 
 
@@ -300,6 +359,41 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--vertices", type=int, default=800)
         elif name == "fig-3-1":
             p.add_argument("--nodes", type=int, default=8)
+        elif name == "check":
+            p.add_argument(
+                "--seeds",
+                type=int,
+                default=50,
+                help="number of consecutive seeds to run (default 50)",
+            )
+            p.add_argument(
+                "--base-seed",
+                type=int,
+                default=0,
+                help="first seed of the range",
+            )
+            p.add_argument(
+                "--seed",
+                type=int,
+                default=None,
+                help="reproduce a single seed instead of a range",
+            )
+            p.add_argument(
+                "--inject-bug",
+                action="store_true",
+                help="plant the skip-last-hop protocol bug; exit 0 only "
+                "if every mutated run is caught",
+            )
+            p.add_argument(
+                "--keep-going",
+                action="store_true",
+                help="do not stop at the first failing seed",
+            )
+            p.add_argument(
+                "--verbose",
+                action="store_true",
+                help="print every seed's outcome, not just failures",
+            )
     return parser
 
 

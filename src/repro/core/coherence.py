@@ -160,7 +160,11 @@ class CoherenceManager:
         top of the network round trip.
         """
         if addr.node == self.node_id:
-            raise ProtocolError(f"cpu_read_remote on local address {addr}")
+            raise ProtocolError(
+                f"cpu_read_remote on local address {addr}",
+                cycle=self.engine.now,
+                node=self.node_id,
+            )
         self.counters.remote_reads += 1
         xid = next(self._xids)
         self._read_waiters[xid] = on_value
@@ -395,7 +399,9 @@ class CoherenceManager:
         master = self.tables.master_of(addr.page)
         if master.node == self.node_id:
             raise ProtocolError(
-                f"master copy of page {addr.page} cannot be invalid"
+                f"master copy of page {addr.page} cannot be invalid",
+                cycle=self.engine.now,
+                node=self.node_id,
             )
 
         def revalidate(value: int) -> None:
@@ -421,7 +427,11 @@ class CoherenceManager:
 
     def _retire_chain(self) -> None:
         if self._rmw_chains <= 0:
-            raise ProtocolError("RMW chain underflow")
+            raise ProtocolError(
+                "RMW chain underflow",
+                cycle=self.engine.now,
+                node=self.node_id,
+            )
         self._rmw_chains -= 1
         if self._rmw_chains == 0:
             self._chain_waiters.wake_all()
@@ -475,7 +485,9 @@ class CoherenceManager:
         page = addr.page
         if not self.tables.is_master(page):
             raise ProtocolError(
-                f"node {self.node_id} executing RMW on non-master page {page}"
+                f"node {self.node_id} executing RMW on non-master page {page}",
+                cycle=self.engine.now,
+                node=self.node_id,
             )
         outcome = execute_op(
             op,
@@ -518,7 +530,11 @@ class CoherenceManager:
     ) -> None:
         token = self._rmw_tokens.pop(xid, None)
         if token is None:
-            raise ProtocolError(f"RMW response for unknown xid {xid}")
+            raise ProtocolError(
+                f"RMW response for unknown xid {xid}",
+                cycle=self.engine.now,
+                node=self.node_id,
+            )
         self.delayed.fill(token, value)
         if chain_done:
             self._retire_chain()
@@ -577,7 +593,12 @@ class CoherenceManager:
         elif kind is MsgKind.READ_RESP:
             waiter = self._read_waiters.pop(msg.xid, None)
             if waiter is None:
-                raise ProtocolError(f"read response for unknown xid {msg.xid}")
+                raise ProtocolError(
+                    f"read response for unknown xid {msg.xid}",
+                    cycle=self.engine.now,
+                    node=self.node_id,
+                    msg=msg,
+                )
             waiter(msg.value)
         elif kind is MsgKind.WRITE_REQ:
             self._receive_write_req(msg)
@@ -604,7 +625,10 @@ class CoherenceManager:
             handler = self._copy_handlers.get(msg.xid)
             if handler is None:
                 raise ProtocolError(
-                    f"page-copy data for unknown transfer {msg.xid}"
+                    f"page-copy data for unknown transfer {msg.xid}",
+                    cycle=self.engine.now,
+                    node=self.node_id,
+                    msg=msg,
                 )
             handler(msg)
         elif kind is MsgKind.TLB_SHOOTDOWN:
@@ -616,11 +640,19 @@ class CoherenceManager:
             handler = self._copy_handlers.get(msg.xid)
             if handler is None:
                 raise ProtocolError(
-                    f"shootdown ack for unknown transaction {msg.xid}"
+                    f"shootdown ack for unknown transaction {msg.xid}",
+                    cycle=self.engine.now,
+                    node=self.node_id,
+                    msg=msg,
                 )
             handler(msg)
         else:  # pragma: no cover - exhaustive over MsgKind
-            raise ProtocolError(f"unhandled message kind {kind}")
+            raise ProtocolError(
+                f"unhandled message kind {kind}",
+                cycle=self.engine.now,
+                node=self.node_id,
+                msg=msg,
+            )
 
     def _serve_read(self, msg: Message) -> None:
         assert msg.addr is not None

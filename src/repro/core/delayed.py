@@ -87,7 +87,9 @@ class DelayedOpsCache:
     def allocate(self, op: OpCode) -> Token:
         """Claim a slot for a newly-issued operation."""
         if not self._free:
-            raise ProtocolError("delayed-operations cache overflow")
+            raise ProtocolError(
+                "delayed-operations cache overflow", node=self.node_id
+            )
         slot = self._slots[self._free.pop()]
         slot.gen += 1
         slot.state = SlotState.WAITING
@@ -114,7 +116,9 @@ class DelayedOpsCache:
         """Deposit the result returned by the master copy."""
         slot = self._slot_for(token)
         if slot.state is SlotState.READY:
-            raise ProtocolError(f"duplicate result for {token}")
+            raise ProtocolError(
+                f"duplicate result for {token}", node=self.node_id
+            )
         slot.state = SlotState.READY
         slot.result = value
         if slot.waiter is not None:
@@ -135,7 +139,9 @@ class DelayedOpsCache:
         """Consume a READY result, freeing the slot."""
         slot = self._slot_for(token)
         if slot.state is not SlotState.READY:
-            raise ProtocolError(f"take() on unready slot for {token}")
+            raise ProtocolError(
+                f"take() on unready slot for {token}", node=self.node_id
+            )
         value = slot.result
         slot.state = SlotState.FREE
         slot.op = None

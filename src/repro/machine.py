@@ -47,12 +47,13 @@ class PlusMachine:
         competitive_threshold: int = 64,
         competitive_max_copies: int = 4,
         enable_profiling: bool = False,
+        tie_break_rng=None,
     ) -> None:
         if n_nodes < 1:
             raise ConfigError("a machine needs at least one node")
         self.params = params
         self.snoop_policy = snoop_policy
-        self.engine = Engine()
+        self.engine = Engine(tie_break_rng=tie_break_rng)
         self.mesh = Mesh(n_nodes, width, height)
         self.fabric = Fabric(self.engine, self.mesh, params)
         self.os = ReplicationManager(self)
@@ -72,6 +73,9 @@ class PlusMachine:
         self.profiler: Optional[AccessProfiler] = (
             AccessProfiler() if enable_profiling else None
         )
+        #: Optional live :class:`~repro.check.invariants.InvariantMonitor`
+        #: (set by its ``install``); the CPU read path notifies it.
+        self.invariant_monitor = None
         # Imported here to avoid a module-level cycle (shm uses machine).
         from repro.runtime.shm import SharedMemory
 

@@ -121,9 +121,6 @@ class Fabric:
         if state is None:
             state = self._pairs[pair] = _PairState(self.mesh.route(msg.src, dst))
 
-        if self._trace is not None:
-            self._trace.record(self.engine.now, msg)
-
         size = msg.size_bytes
         # Dimension-order wormhole routing delivers same-pair messages in
         # injection order; the link model enforces that floor explicitly
@@ -133,6 +130,9 @@ class Fabric:
             state.path, self.engine.now, size, not_before=state.next_floor
         )
         state.next_floor = arrive + 1
+
+        if self._trace is not None:
+            self._trace.record(self.engine.now, msg, arrive)
 
         stats = self.stats
         stats.messages_by_kind[msg.kind] += 1

@@ -263,6 +263,11 @@ class CPU:
         cm = self.node.cm
 
         def proceed() -> None:
+            monitor = self.node.machine.invariant_monitor
+            if monitor is not None:
+                # Weak-ordering read-block rule: a read must never proceed
+                # while the issuer still has a pending write to the target.
+                monitor.on_read_proceed(self.node.node_id, paddr)
             if paddr.node == self.node.node_id:
                 if not cm.word_valid(paddr):
                     # Invalidate-protocol miss: the local copy is stale;
@@ -288,12 +293,15 @@ class CPU:
                 )
 
         def after_mmu() -> None:
+            # Re-check after every wake-up: another thread on this node
+            # can issue a fresh write to the same address between the
+            # old write's ack and this thread being dispatched again.
             if cm.pending.pending_at(paddr):
                 self._await(
                     thread,
                     "read",
                     lambda cb: cm.when_safe_to_read(paddr, cb),
-                    proceed,
+                    after_mmu,
                 )
             else:
                 proceed()

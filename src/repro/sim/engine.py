@@ -27,11 +27,17 @@ class Engine:
     in timestamp order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tie_break_rng=None) -> None:
         self._now = 0
         self._heap: List[Tuple[int, int, Callback]] = []
         self._seq = count()
         self._events_fired = 0
+        #: Optional ``random.Random``: when set, events scheduled for the
+        #: same cycle fire in a seeded-random (still deterministic) order
+        #: instead of scheduling order.  The coherence protocol must be
+        #: correct under *any* same-cycle ordering, so the stress harness
+        #: uses this to explore orderings the default never produces.
+        self._tie_rng = tie_break_rng
 
     # ------------------------------------------------------------------
     @property
@@ -60,7 +66,13 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time}, now is {self._now}"
             )
-        heapq.heappush(self._heap, (time, next(self._seq), fn))
+        seq = next(self._seq)
+        if self._tie_rng is not None:
+            # Random high bits scramble same-cycle ordering; the unique
+            # low bits keep the heap keys totally ordered (fn is never
+            # compared), so every run is still reproducible per seed.
+            seq |= self._tie_rng.getrandbits(32) << 40
+        heapq.heappush(self._heap, (time, seq, fn))
 
     def after(self, delay: int, fn: Callback) -> None:
         """Schedule ``fn`` to run ``delay`` cycles from now."""

@@ -3,14 +3,22 @@
 A :class:`ProtocolTrace` attached to a machine's fabric records one
 entry per message send.  Tests use it to assert protocol properties
 (writes reach the master first, updates walk the copy-list in order);
-users can dump a readable transcript of a run's coherence traffic.
+users can dump a readable transcript of a run's coherence traffic; and
+the coherence oracle (:mod:`repro.check.oracle`) replays a full capture
+against a sequential reference model.
+
+Each entry carries both the *send* time and the *scheduled arrival*
+time, the carried word writes, the operation code of delayed-operation
+chains and the ``chain_done`` flag — enough to reconstruct every
+write/RMW transaction off-line.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.core.params import OpCode
 from repro.network.message import Message, MsgKind
 
 
@@ -27,15 +35,25 @@ class TraceEntry:
     origin: int
     xid: int
     value: int
+    #: Cycle the fabric scheduled the delivery for (send time plus
+    #: routing, contention and FIFO-ordering delays).
+    arrive: int = -1
+    #: Operation code for delayed-operation chains (None for plain writes).
+    op: Optional[OpCode] = None
+    #: Word writes (page offset, value) carried by UPDATE/INVALIDATE.
+    writes: Tuple[Tuple[int, int], ...] = ()
+    #: RMW_RESP flag: no copy-list updates were generated.
+    chain_done: bool = False
 
     def describe(self) -> str:
         where = (
             f" p{self.page}+{self.offset}" if self.page is not None else ""
         )
+        what = f" op={self.op.value}" if self.op is not None else ""
         return (
-            f"[{self.time:>8}] {self.kind.value:<14} "
+            f"[{self.time:>8}->{self.arrive:>8}] {self.kind.value:<14} "
             f"{self.src}->{self.dst}{where} origin={self.origin} "
-            f"xid={self.xid}"
+            f"xid={self.xid}{what}"
         )
 
 
@@ -86,7 +104,7 @@ class ProtocolTrace:
         fabric = self._fabric
         return fabric is not None and fabric._trace is self
 
-    def record(self, time: int, msg: Message) -> None:
+    def record(self, time: int, msg: Message, arrive: int = -1) -> None:
         if len(self.entries) >= self.capacity:
             self.dropped += 1
             return
@@ -102,6 +120,10 @@ class ProtocolTrace:
                 origin=msg.origin,
                 xid=msg.xid,
                 value=msg.value,
+                arrive=arrive,
+                op=msg.op,
+                writes=tuple(msg.writes),
+                chain_done=msg.chain_done,
             )
         )
 
@@ -130,6 +152,10 @@ class ProtocolTrace:
             for e in self.entries
             if e.xid == xid and e.origin == origin
         ]
+
+    def tail(self, count: int = 8) -> List[str]:
+        """The last ``count`` entries, formatted (error excerpts)."""
+        return [e.describe() for e in self.entries[-count:]]
 
     def dump(self, entries: Optional[Iterable[TraceEntry]] = None) -> str:
         """Readable transcript (optionally of a filtered subset)."""

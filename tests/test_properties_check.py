@@ -1,0 +1,128 @@
+"""Property-based tests for the hardware cache bounds and fence drain.
+
+The paper fixes both per-node caches at 8 entries: the pending-writes
+cache (Section 2.3) and the delayed-operations cache (Section 3.1).  No
+program, however adversarial, may push either past its capacity — the
+hardware stalls the processor instead.  And ``cpu_fence`` must not fire
+its callback until *both* are drained for the issuing processor.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.check import run_stress
+from repro.core.params import OpCode, TimingParams
+from repro.machine import PlusMachine
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SMALL = TimingParams(page_words=32, queue_ring_base=8, tlb_entries=8)
+
+_RMW_OPS = (
+    OpCode.XCHNG,
+    OpCode.COND_XCHNG,
+    OpCode.FETCH_ADD,
+    OpCode.FETCH_SET,
+    OpCode.MIN_XCHNG,
+    OpCode.DELAYED_READ,
+)
+
+#: One program step: ("write", offset, value) | ("rmw", op-index, offset)
+#: | ("fence",) | ("read", offset).
+_step = st.one_of(
+    st.tuples(
+        st.just("write"),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=1 << 20),
+    ),
+    st.tuples(
+        st.just("rmw"),
+        st.integers(min_value=0, max_value=len(_RMW_OPS) - 1),
+        st.integers(min_value=0, max_value=7),
+    ),
+    st.tuples(st.just("fence")),
+    st.tuples(st.just("read"), st.integers(min_value=0, max_value=7)),
+)
+
+
+def _run_program(steps, home=1, replicas=(0, 2)):
+    """Run ``steps`` on node 0 of a 2x2 machine; returns the machine."""
+    machine = PlusMachine(n_nodes=4, params=SMALL)
+    seg = machine.shm.alloc(8, home=home, replicas=list(replicas))
+    cm = machine.nodes[0].cm
+    capacity = cm.pending.capacity
+    slots = machine.params.delayed_slots
+
+    def program(ctx):
+        tokens = []
+        for step in steps:
+            # The caches may never exceed their hardware size, no matter
+            # how fast the program issues.
+            assert len(cm.pending) <= capacity
+            assert cm.delayed.in_flight <= slots
+            if step[0] == "write":
+                yield from ctx.write(seg.addr(step[1]), step[2])
+            elif step[0] == "rmw":
+                tokens.append(
+                    (
+                        yield from ctx.issue(
+                            _RMW_OPS[step[1]], seg.addr(step[2]), 3
+                        )
+                    )
+                )
+                if len(tokens) >= 3:
+                    while tokens:
+                        yield from ctx.result(tokens.pop())
+            elif step[0] == "fence":
+                yield from ctx.fence()
+                # The fence contract: both in-flight pools drained.
+                assert cm.pending.is_empty
+                assert cm.outstanding_chains == 0
+            else:
+                yield from ctx.read(seg.addr(step[1]))
+        while tokens:
+            yield from ctx.result(tokens.pop())
+        yield from ctx.fence()
+        assert cm.pending.is_empty
+        assert cm.outstanding_chains == 0
+
+    machine.spawn(0, program)
+    machine.run()
+    return machine
+
+
+@SLOW
+@given(steps=st.lists(_step, min_size=1, max_size=40))
+def test_caches_never_exceed_capacity(steps):
+    machine = _run_program(steps)
+    cm = machine.nodes[0].cm
+    assert cm.pending.peak_occupancy <= cm.pending.capacity
+    assert cm.delayed.peak_in_flight <= machine.params.delayed_slots
+
+
+@SLOW
+@given(
+    writes=st.integers(min_value=9, max_value=24),
+    rmw=st.integers(min_value=0, max_value=len(_RMW_OPS) - 1),
+)
+def test_fence_drains_after_saturating_the_write_cache(writes, rmw):
+    """More back-to-back writes than cache entries force a stall; the
+    fence afterwards must still drain everything before continuing."""
+    steps = [("write", i % 8, i) for i in range(writes)]
+    steps.append(("rmw", rmw, 0))
+    steps.append(("fence",))
+    machine = _run_program(steps)
+    cm = machine.nodes[0].cm
+    assert cm.pending.peak_occupancy == cm.pending.capacity
+    assert cm.pending.stall_events > 0
+    assert cm.idle()
+
+
+@SLOW
+@given(seed=st.integers(min_value=1000, max_value=100_000))
+def test_oracle_accepts_arbitrary_seeds(seed):
+    result = run_stress(seed)
+    assert result.ok, result.describe()
