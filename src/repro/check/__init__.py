@@ -9,8 +9,9 @@ This package model-checks the simulator against itself:
   fabric trace hook that fail the run at the first protocol violation.
 * :mod:`repro.check.stress` — a seeded random workload generator with
   fault-injection knobs (link-latency jitter, randomized same-cycle
-  event ordering, deliberate protocol mutations), driven by
-  ``python -m repro check``.
+  event ordering, deliberate protocol mutations, and — with
+  ``--faults`` — a fully unreliable mesh that the recovery layer must
+  hide), driven by ``python -m repro check``.
 """
 
 from repro.check.invariants import InvariantMonitor

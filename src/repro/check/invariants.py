@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CoherenceViolation
+from repro.network.faults import FaultPlan
 from repro.network.message import Message, MsgKind
 from repro.stats.trace import ProtocolTrace
 
@@ -44,11 +45,28 @@ class InvariantMonitor(ProtocolTrace):
     aborting the run at the exact cycle of the bug.  With
     ``strict=False`` violations accumulate in :attr:`violations` and the
     run continues (useful for counting how often a fault fires).
+
+    Under a :class:`~repro.network.faults.FaultPlan` the exactly-once
+    invariants hold at the *application* layer, not on the wire: the
+    recovery layer legitimately retransmits acks and updates.  A wire
+    retransmission reuses the Message object (same ``msg_id``), while a
+    protocol bug produces a *new* message duplicating a chain key — so
+    with a plan installed (passed here, or picked up from the fabric at
+    :meth:`install` time, or set by ``PlusMachine.install_faults``) the
+    monitor skips repeats of an already-seen msg_id and still fails hard
+    on distinct-identity duplicates.  With no plan the wire itself must
+    be exactly-once and the original strict per-send checks apply.
     """
 
-    def __init__(self, capacity: int = 100_000, strict: bool = True) -> None:
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        strict: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         super().__init__(capacity)
         self.strict = strict
+        self.fault_plan = fault_plan
         self.violations: List[str] = []
         self._machine = None
         #: Chains whose final ack has been sent: (class, origin, xid).
@@ -56,13 +74,23 @@ class InvariantMonitor(ProtocolTrace):
         #: Ack/response counts per chain, for exactly-once checking.
         self._acks: Dict[Tuple[str, int, int], int] = {}
         self._resps: Dict[Tuple[int, int], int] = {}
+        #: msg_ids already counted per invariant key (fault runs only):
+        #: a repeat of one of these is a wire retransmission, not a bug.
+        self._seen_ids: Dict[Tuple, Set[int]] = {}
 
     # ------------------------------------------------------------------
     def install(self, machine) -> "InvariantMonitor":
-        """Attach to ``machine``'s fabric and CPU read path."""
+        """Attach to ``machine``'s fabric and CPU read path.
+
+        Adopts the fabric's fault plan (if one is already installed and
+        none was passed to the constructor) so retransmission legality
+        matches what the wire is actually allowed to do.
+        """
         super().install(machine)
         self._machine = machine
         machine.invariant_monitor = self
+        if self.fault_plan is None:
+            self.fault_plan = machine.fabric.fault_plan
         return self
 
     def uninstall(self) -> "InvariantMonitor":
@@ -99,14 +127,35 @@ class InvariantMonitor(ProtocolTrace):
         cls = "w" if msg.op is None else "r"
         return (cls, origin, msg.xid)
 
+    def _is_retransmit(self, tag: str, key: Tuple, msg_id: int) -> bool:
+        """True when this send repeats an already-seen logical message.
+
+        Only meaningful under a fault plan: the recovery layer resends
+        the *same* Message object, so a repeated msg_id per invariant
+        key is wire-legal.  Without a plan nothing may repeat and every
+        send counts.
+        """
+        if self.fault_plan is None:
+            return False
+        seen = self._seen_ids.setdefault((tag, key), set())
+        if msg_id in seen:
+            return True
+        seen.add(msg_id)
+        return False
+
     # ------------------------------------------------------------------
-    def record(self, time: int, msg: Message, arrive: int = -1) -> None:
-        super().record(time, msg, arrive)
+    def record(
+        self, time: int, msg: Message, arrive: int = -1, fate: str = "sent"
+    ) -> None:
+        super().record(time, msg, arrive, fate)
         kind = msg.kind
         if kind is MsgKind.WRITE_ACK:
             # Acks carry no origin field; their destination is the
             # originator that the tail copy is releasing.
             key = self._chain_key(msg, msg.dst)
+            if self._is_retransmit("ack", key, msg.msg_id):
+                self._check_cache_bounds(time)
+                return
             count = self._acks.get(key, 0) + 1
             self._acks[key] = count
             self._closed.add(key)
@@ -123,6 +172,9 @@ class InvariantMonitor(ProtocolTrace):
                 )
         elif kind is MsgKind.RMW_RESP:
             key = (msg.dst, msg.xid)
+            if self._is_retransmit("resp", key, msg.msg_id):
+                self._check_cache_bounds(time)
+                return
             count = self._resps.get(key, 0) + 1
             self._resps[key] = count
             if count > 1:
@@ -136,6 +188,9 @@ class InvariantMonitor(ProtocolTrace):
                 )
         elif kind in (MsgKind.UPDATE, MsgKind.INVALIDATE):
             key = self._chain_key(msg, msg.origin)
+            if self._is_retransmit("upd", key, msg.msg_id):
+                self._check_cache_bounds(time)
+                return
             if key in self._closed:
                 cls, origin, xid = key
                 label = "write" if cls == "w" else "RMW"

@@ -34,12 +34,22 @@ The oracle assumes a *static* page layout.  Runs that replicate, migrate
 or delete pages live (``PAGE_COPY``/``TLB`` traffic in the capture) get
 the layout-independent checks only — convergence, acknowledgement
 uniqueness and read pairing.
+
+Fault-injected runs are checked against the **application** view of the
+capture, not the raw wire: when the trace recorded recovery-layer
+acceptances (:attr:`~repro.stats.trace.ProtocolTrace.applied`), the
+oracle collapses each logical message to one entry — the first wire
+send, with ``arrive`` replaced by the cycle the receiver actually
+accepted and dispatched it — and ignores NET_ACKs and copies the wire
+lost.  Every claim above must then hold *word for word* exactly as on a
+lossless mesh: retransmission may repeat wire traffic, but application
+stays exactly-once, in order.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CoherenceViolation
@@ -130,6 +140,10 @@ class CoherenceOracle:
     def __init__(self, machine, trace: ProtocolTrace) -> None:
         self.machine = machine
         self.trace = trace
+        #: The entries the checks run over: the raw capture on a lossless
+        #: run, or the exactly-once application view on a fault run (one
+        #: entry per applied logical message, at its application time).
+        self._entries = self._applied_view(trace)
         # Post-run layout: copy-list per virtual page and the reverse
         # (node, physical page) -> virtual page map.
         self._clists = {
@@ -140,6 +154,32 @@ class CoherenceOracle:
         for vpage, clist in self._clists.items():
             for copy in clist.copies:
                 self._phys[(copy.node, copy.page)] = vpage
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _applied_view(trace: ProtocolTrace) -> List[TraceEntry]:
+        """Collapse a faulty wire capture to its application stream.
+
+        A lossless capture (``trace.applied`` empty) is used verbatim.
+        Otherwise each logical message keeps one entry — its first wire
+        send, re-timed to the cycle the recovery layer accepted it — and
+        retransmissions, duplicates, lost copies and NET_ACKs vanish,
+        which is exactly what the protocol saw.
+        """
+        applied = trace.applied
+        if not applied:
+            return list(trace.entries)
+        entries: List[TraceEntry] = []
+        seen = set()
+        for e in trace:
+            if e.kind is MsgKind.NET_ACK or e.msg_id in seen:
+                continue
+            when = applied.get(e.msg_id)
+            if when is None:
+                continue  # the wire ate every copy; nothing was applied
+            seen.add(e.msg_id)
+            entries.append(e if e.arrive == when else replace(e, arrive=when))
+        return entries
 
     # ------------------------------------------------------------------
     def check(self) -> OracleReport:
@@ -157,7 +197,7 @@ class CoherenceOracle:
             )
             return report
         report.layout_static = not any(
-            e.kind in _DYNAMIC_KINDS for e in self.trace
+            e.kind in _DYNAMIC_KINDS for e in self._entries
         )
         self._check_drained(report)
         self._check_convergence(report)
@@ -272,7 +312,7 @@ class CoherenceOracle:
         """
         chains: Dict[tuple, List[TraceEntry]] = defaultdict(list)
         reads: Dict[tuple, List[TraceEntry]] = defaultdict(list)
-        for e in self.trace:
+        for e in self._entries:
             kind = e.kind
             if kind is MsgKind.READ_REQ:
                 reads[(e.origin, e.xid)].append(e)
@@ -473,7 +513,7 @@ class CoherenceOracle:
         must emit update chains with strictly increasing xids.
         """
         last: Dict[Tuple[int, int], TraceEntry] = {}
-        for e in self.trace:
+        for e in self._entries:
             if e.kind not in (MsgKind.UPDATE, MsgKind.INVALIDATE):
                 continue
             if e.op is not None:
@@ -513,7 +553,7 @@ class CoherenceOracle:
         (local writes never touch the fabric), so they are skipped.
         """
         apply_events: Dict[Tuple[int, int], List[tuple]] = defaultdict(list)
-        for idx, e in enumerate(self.trace):
+        for idx, e in enumerate(self._entries):
             if e.kind not in (MsgKind.UPDATE, MsgKind.INVALIDATE):
                 continue
             vpage = self._phys.get((e.dst, e.page))

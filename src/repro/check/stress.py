@@ -16,6 +16,15 @@ what the protocol must guarantee:
 * **Randomized tie-breaking** (the engine's ``tie_break_rng``) scrambles
   the execution order of same-cycle events.
 
+With ``--faults`` the mesh itself turns hostile: a seeded
+:class:`~repro.network.faults.FaultPlan` (knobs derived per seed, or
+pinned from the command line) drops, duplicates, reorders and
+blacks-out messages, and the run must *still* satisfy every oracle and
+invariant check word for word — the recovery layer is expected to hide
+all of it.  The per-run fault counters (drops, dups, retransmits,
+recovered) ride along in :class:`StressResult` so a sweep can also
+assert the faults actually fired.
+
 A third knob, :func:`inject_skip_last_hop`, plants a *deliberate
 protocol bug* — the second-to-last copy in an update chain acks the
 originator without forwarding to the tail — to prove the oracle catches
@@ -28,14 +37,15 @@ failure reproduces exactly with ``python -m repro check --seed N``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.check.invariants import InvariantMonitor
 from repro.check.oracle import CoherenceOracle, OracleReport
 from repro.core.params import OpCode, TimingParams
 from repro.errors import PlusError
 from repro.machine import PlusMachine
+from repro.network.faults import FaultPlan
 from repro.network.router import LinkModel
 
 #: Delayed operations issued against plain data words (QUEUE/DEQUEUE are
@@ -126,17 +136,61 @@ class StressConfig:
     n_threads: int
     ops_per_thread: int
     inject_bug: bool = False
+    #: Wire-level fault knobs (all zero = the paper's lossless mesh).
+    #: ``fault_jitter`` is the FaultPlan's reordering amplitude, distinct
+    #: from ``jitter`` (link-model jitter, which preserves FIFO).
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    fault_jitter: int = 0
+    outage_rate: float = 0.0
+    outage_cycles: int = 0
 
     @property
     def n_nodes(self) -> int:
         return self.width * self.height
 
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.drop_prob
+            or self.dup_prob
+            or self.fault_jitter
+            or self.outage_rate
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The run's :class:`FaultPlan`, or None on a lossless mesh."""
+        if not self.has_faults:
+            return None
+        return FaultPlan(
+            self.seed,
+            drop_prob=self.drop_prob,
+            dup_prob=self.dup_prob,
+            jitter=self.fault_jitter,
+            outage_rate=self.outage_rate,
+            outage_cycles=self.outage_cycles,
+        )
+
     @classmethod
-    def from_seed(cls, seed: int, inject_bug: bool = False) -> "StressConfig":
+    def from_seed(
+        cls,
+        seed: int,
+        inject_bug: bool = False,
+        faults: bool = False,
+        overrides: Optional[Dict[str, object]] = None,
+    ) -> "StressConfig":
+        """Derive one experiment from ``seed``.
+
+        ``faults=True`` additionally derives wire-fault knobs from their
+        own seeded stream (so fault sweeps cover mild to vicious meshes
+        without changing the experiment shapes of fault-free seeds).
+        ``overrides`` pins individual config fields — typically fault
+        knobs given explicitly on the command line.
+        """
         rng = random.Random(f"{seed}:shape")
         width, height = rng.choice(_MESH_SHAPES)
         n_nodes = width * height
-        return cls(
+        config = cls(
             seed=seed,
             width=width,
             height=height,
@@ -155,6 +209,20 @@ class StressConfig:
             ops_per_thread=rng.randint(8, 24),
             inject_bug=inject_bug,
         )
+        if faults:
+            frng = random.Random(f"{seed}:faults")
+            fault_fields: Dict[str, object] = {
+                "drop_prob": frng.choice((0.002, 0.01, 0.03)),
+                "dup_prob": frng.choice((0.002, 0.01, 0.03)),
+                "fault_jitter": frng.choice((0, 4, 16)),
+            }
+            if frng.random() < 0.5:
+                fault_fields["outage_rate"] = 1 / 20_000
+                fault_fields["outage_cycles"] = frng.choice((200, 800))
+            config = replace(config, **fault_fields)
+        if overrides:
+            config = replace(config, **overrides)
+        return config
 
     def describe(self) -> str:
         knobs = []
@@ -164,6 +232,16 @@ class StressConfig:
             knobs.append("random-ties")
         if self.inject_bug:
             knobs.append("BUG:skip-last-hop")
+        if self.drop_prob:
+            knobs.append(f"drop={self.drop_prob:g}")
+        if self.dup_prob:
+            knobs.append(f"dup={self.dup_prob:g}")
+        if self.fault_jitter:
+            knobs.append(f"reorder<={self.fault_jitter}")
+        if self.outage_rate:
+            knobs.append(
+                f"outage={self.outage_rate:g}/cyc x{self.outage_cycles}"
+            )
         extra = f" [{', '.join(knobs)}]" if knobs else ""
         return (
             f"{self.width}x{self.height} mesh, {self.page_words}-word "
@@ -182,6 +260,11 @@ class StressResult:
     messages: int = 0
     report: Optional[OracleReport] = None
     live_error: Optional[str] = None
+    #: Wire-fault counters from the run's fabric (zero on lossless runs).
+    drops: int = 0
+    dups: int = 0
+    retransmits: int = 0
+    recovered: int = 0
 
     @property
     def ok(self) -> bool:
@@ -199,9 +282,15 @@ class StressResult:
 
     def describe(self) -> str:
         state = "ok" if self.ok else "FAILED"
+        wire = (
+            f" (drops={self.drops} dups={self.dups} "
+            f"retx={self.retransmits} recovered={self.recovered})"
+            if self.config.has_faults
+            else ""
+        )
         lines = [
             f"seed {self.seed}: {state} — {self.config.describe()}; "
-            f"{self.cycles} cycles, {self.messages} messages"
+            f"{self.cycles} cycles, {self.messages} messages{wire}"
         ]
         if self.live_error is not None:
             lines.append(f"  live: {self.live_error}")
@@ -326,7 +415,16 @@ def build_machine(config: StressConfig):
         machine.fabric.links = JitteredLinkModel(
             params, random.Random(f"{seed}:jitter"), config.jitter
         )
-    monitor = InvariantMonitor(capacity=500_000).install(machine)
+    # Faults before the monitor (it adopts the plan at install time) and
+    # before any traffic (sequence numbering must cover every message).
+    plan = config.fault_plan()
+    if plan is not None:
+        machine.install_faults(plan)
+    # Retransmissions and NET_ACKs inflate faulty captures well past a
+    # lossless run's traffic, so give those runs a deeper buffer.
+    monitor = InvariantMonitor(
+        capacity=1_000_000 if plan is not None else 500_000
+    ).install(machine)
     if config.inject_bug:
         inject_skip_last_hop(machine)
 
@@ -367,11 +465,27 @@ def build_machine(config: StressConfig):
     return machine, monitor, spawn_plans
 
 
+def _harvest(result: StressResult, machine: PlusMachine) -> None:
+    stats = machine.fabric.stats
+    result.cycles = machine.engine.now
+    result.messages = stats.total_messages
+    result.drops = stats.drops
+    result.dups = stats.dups
+    result.retransmits = stats.retransmits
+    result.recovered = stats.recovered
+
+
 def run_stress(
-    seed: int, inject_bug: bool = False, max_events: int = 5_000_000
+    seed: int,
+    inject_bug: bool = False,
+    max_events: int = 5_000_000,
+    faults: bool = False,
+    fault_overrides: Optional[Dict[str, object]] = None,
 ) -> StressResult:
     """Run one seeded stress experiment and judge it with the oracle."""
-    config = StressConfig.from_seed(seed, inject_bug=inject_bug)
+    config = StressConfig.from_seed(
+        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+    )
     result = StressResult(seed=seed, config=config)
     machine, monitor, spawn_plans = build_machine(config)
     try:
@@ -380,13 +494,11 @@ def run_stress(
         machine.run(max_events=max_events)
     except PlusError as exc:
         result.live_error = f"{type(exc).__name__}: {exc}"
-        result.cycles = machine.engine.now
-        result.messages = machine.fabric.stats.total_messages
+        _harvest(result, machine)
         return result
     finally:
         monitor.uninstall()
-    result.cycles = machine.engine.now
-    result.messages = machine.fabric.stats.total_messages
+    _harvest(result, machine)
     result.report = CoherenceOracle(machine, monitor).check()
     return result
 
@@ -397,13 +509,20 @@ def run_seeds(
     inject_bug: bool = False,
     keep_going: bool = False,
     on_result: Optional[Callable[[StressResult], None]] = None,
+    faults: bool = False,
+    fault_overrides: Optional[Dict[str, object]] = None,
 ) -> List[StressResult]:
     """Run ``count`` consecutive seeds; stop at the first failure unless
     ``keep_going`` (a *failure* means a bug-injection run the checkers
     missed, or a clean run they flagged)."""
     results: List[StressResult] = []
     for seed in range(base_seed, base_seed + count):
-        result = run_stress(seed, inject_bug=inject_bug)
+        result = run_stress(
+            seed,
+            inject_bug=inject_bug,
+            faults=faults,
+            fault_overrides=fault_overrides,
+        )
         results.append(result)
         if on_result is not None:
             on_result(result)

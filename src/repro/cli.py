@@ -273,12 +273,39 @@ def _cmd_costs(args) -> int:
     return 0
 
 
+def _fault_args(args):
+    """(faults_enabled, overrides) from the check command's fault flags.
+
+    Any explicit knob implies fault mode; ``--faults`` alone derives all
+    knobs per seed from the seed's own fault stream.
+    """
+    overrides = {
+        field: value
+        for field, value in (
+            ("drop_prob", args.drop_prob),
+            ("dup_prob", args.dup_prob),
+            ("fault_jitter", args.fault_jitter),
+            ("outage_rate", args.outage_rate),
+            ("outage_cycles", args.outage_cycles),
+        )
+        if value is not None
+    }
+    return bool(args.faults or overrides), overrides
+
+
 def _cmd_check(args) -> int:
     from repro.check import run_seeds, run_stress
 
+    faults, overrides = _fault_args(args)
+
     if args.seed is not None:
         # Reproduce one seed with a full transcript of any failure.
-        result = run_stress(args.seed, inject_bug=args.inject_bug)
+        result = run_stress(
+            args.seed,
+            inject_bug=args.inject_bug,
+            faults=faults,
+            fault_overrides=overrides,
+        )
         print(result.describe())
         if result.report is not None:
             print(result.report.summary())
@@ -302,6 +329,8 @@ def _cmd_check(args) -> int:
         inject_bug=args.inject_bug,
         keep_going=args.keep_going,
         on_result=show,
+        faults=faults,
+        fault_overrides=overrides,
     )
     cycles = sum(r.cycles for r in results)
     messages = sum(r.messages for r in results)
@@ -317,16 +346,40 @@ def _cmd_check(args) -> int:
             f"{len(results)} seed(s) checked, {failures} failure(s) "
             f"({cycles:,} cycles, {messages:,} messages simulated)"
         )
-    if failures:
-        bad_seeds = [
-            r.seed
-            for r in results
-            if (not r.caught if args.inject_bug else not r.ok)
-        ]
+    if faults:
+        drops = sum(r.drops for r in results)
+        dups = sum(r.dups for r in results)
+        retransmits = sum(r.retransmits for r in results)
+        recovered = sum(r.recovered for r in results)
         print(
-            "reproduce with: python -m repro check --seed "
-            + " / --seed ".join(str(s) for s in bad_seeds[:5])
+            f"wire faults: {drops:,} drops, {dups:,} dups, "
+            f"{retransmits:,} retransmits, {recovered:,} messages "
+            f"recovered after loss"
         )
+        if retransmits == 0:
+            # A fault sweep where nothing was ever retransmitted did not
+            # actually exercise the recovery layer — treat it as a
+            # harness failure, not a pass.
+            print("fault sweep exercised no retransmissions; failing")
+            failures += 1
+    bad_seeds = [
+        r.seed
+        for r in results
+        if (not r.caught if args.inject_bug else not r.ok)
+    ]
+    if args.transcript and bad_seeds:
+        with open(args.transcript, "w", encoding="utf-8") as fh:
+            for r in results:
+                if r.seed in bad_seeds:
+                    fh.write(r.describe() + "\n\n")
+        print(f"failing-seed transcript written to {args.transcript}")
+    if failures:
+        if bad_seeds:
+            flags = " --faults" if args.faults else ""
+            print(
+                f"reproduce with: python -m repro check{flags} --seed "
+                + f" / --seed ".join(str(s) for s in bad_seeds[:5])
+            )
         return 1
     return 0
 
@@ -393,6 +446,53 @@ def build_parser() -> argparse.ArgumentParser:
                 "--verbose",
                 action="store_true",
                 help="print every seed's outcome, not just failures",
+            )
+            p.add_argument(
+                "--faults",
+                action="store_true",
+                help="run each seed on an unreliable mesh (seeded drop/"
+                "dup/reorder/outage plan) and require every check to "
+                "still pass; fails if no retransmission ever happened",
+            )
+            p.add_argument(
+                "--drop-prob",
+                type=float,
+                default=None,
+                help="pin the per-send drop probability (implies faults)",
+            )
+            p.add_argument(
+                "--dup-prob",
+                type=float,
+                default=None,
+                help="pin the per-send duplication probability "
+                "(implies faults)",
+            )
+            p.add_argument(
+                "--fault-jitter",
+                type=int,
+                default=None,
+                help="pin the wire reordering amplitude in cycles "
+                "(implies faults)",
+            )
+            p.add_argument(
+                "--outage-rate",
+                type=float,
+                default=None,
+                help="pin the per-cycle link outage rate (implies faults)",
+            )
+            p.add_argument(
+                "--outage-cycles",
+                type=int,
+                default=None,
+                help="pin the length of each link outage window "
+                "(implies faults)",
+            )
+            p.add_argument(
+                "--transcript",
+                type=str,
+                default=None,
+                help="write failing seeds' transcripts to this file "
+                "(CI artifact)",
             )
     return parser
 

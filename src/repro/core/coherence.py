@@ -34,6 +34,7 @@ from repro.core.delayed import DelayedOpsCache, Token
 from repro.core.ops import execute_op
 from repro.core.params import OpCode, TimingParams
 from repro.core.pending import PendingWrites
+from repro.core.reliable import ReliableChannels
 from repro.errors import ProtocolError
 from repro.memory.address import PhysAddr
 from repro.memory.physical import LocalMemory
@@ -99,7 +100,50 @@ class CoherenceManager:
         self._copy_filters: Dict[int, Set[int]] = {}
         self._copy_handlers: Dict[int, Callable[[Message], None]] = {}
 
+        #: Reliable-delivery sublayer (:mod:`repro.core.reliable`),
+        #: armed by :meth:`enable_reliability` when the machine installs
+        #: a fault plan.  None on the lossless fast path.
+        self._reliable: Optional[ReliableChannels] = None
+
         fabric.attach(node_id, self.receive)
+
+    # ------------------------------------------------------------------
+    # Reliable delivery (fault-injected runs only).
+    # ------------------------------------------------------------------
+    def enable_reliability(self) -> None:
+        """Arm the reliable-delivery sublayer for this CM.
+
+        Every outgoing protocol message is then sequenced, acknowledged
+        and retransmitted on loss, and every incoming one is deduplicated
+        and reordered back into per-pair FIFO order before dispatch.
+        Must be called before any traffic flows (the machine does this
+        as part of ``install_faults``)."""
+        if self._reliable is None:
+            self._reliable = ReliableChannels(self)
+
+    @property
+    def reliable(self) -> Optional[ReliableChannels]:
+        """The reliable-delivery sublayer, or None when not armed."""
+        return self._reliable
+
+    def transmit(self, msg: Message) -> None:
+        """Send one protocol message through this CM's outgoing stack.
+
+        The single egress point for CM traffic: with reliability armed
+        the message is sequenced and tracked for retransmission;
+        otherwise it goes straight to the fabric.  Subsystems that build
+        their own :class:`Message` objects (the replication manager's
+        page-copy and shootdown traffic) must use this instead of raw
+        ``fabric.send`` so their messages survive an unreliable mesh
+        too."""
+        if self._reliable is None:
+            self.fabric.send(msg)
+        else:
+            self._reliable.send(msg)
+
+    def recovery_report(self) -> List[str]:
+        """Reliable-layer stuck-state lines (empty when quiet/disarmed)."""
+        return [] if self._reliable is None else self._reliable.describe()
 
     # ------------------------------------------------------------------
     # CM service queue: one protocol action at a time.
@@ -124,7 +168,7 @@ class CoherenceManager:
         words: Optional[List[int]] = None,
         chain_done: bool = False,
     ) -> None:
-        self.fabric.send(
+        self.transmit(
             Message(
                 kind=kind,
                 src=self.node_id,
@@ -584,7 +628,27 @@ class CoherenceManager:
     # Network receive path.
     # ------------------------------------------------------------------
     def receive(self, msg: Message) -> None:
-        """Entry point for every message delivered by the fabric."""
+        """Entry point for every message delivered by the fabric.
+
+        With reliability armed this is the wire side: NET_ACKs feed the
+        retransmission queues, sequenced messages pass through the dedup
+        window and reorder buffer, and only the exactly-once, in-order
+        survivors reach :meth:`dispatch`.  Unsequenced messages (none are
+        sent while reliability is armed, but a guard beats silent
+        misordering) and the entire disarmed fast path dispatch directly.
+        """
+        reliable = self._reliable
+        if reliable is not None:
+            if msg.kind is MsgKind.NET_ACK:
+                reliable.on_net_ack(msg)
+                return
+            if msg.seq >= 0:
+                reliable.on_wire(msg)
+                return
+        self.dispatch(msg)
+
+    def dispatch(self, msg: Message) -> None:
+        """Act on one protocol message (post-recovery-layer)."""
         kind = msg.kind
         if kind is MsgKind.READ_REQ:
             self._work(
@@ -795,4 +859,5 @@ class CoherenceManager:
             and self._rmw_chains == 0
             and not self._read_waiters
             and not self._rmw_tokens
+            and (self._reliable is None or self._reliable.idle())
         )

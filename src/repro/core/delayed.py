@@ -113,7 +113,13 @@ class DelayedOpsCache:
 
     # ------------------------------------------------------------------
     def fill(self, token: Token, value: int) -> None:
-        """Deposit the result returned by the master copy."""
+        """Deposit the result returned by the master copy.
+
+        A duplicate result stays a hard error even on an unreliable
+        mesh: the reliable-delivery sublayer deduplicates retransmitted
+        RMW_RESP messages before dispatch, so a second fill can only
+        mean a protocol bug (two responses with distinct identities).
+        """
         slot = self._slot_for(token)
         if slot.state is SlotState.READY:
             raise ProtocolError(

@@ -119,6 +119,17 @@ class TimingParams:
     # scale knob exists for ablations (0 disables contention).
     link_bytes_per_cycle: float = 0.8
 
+    # -- reliable delivery (fault recovery) -------------------------------
+    # These only matter when a FaultPlan is installed on the fabric; with
+    # faults off the recovery layer is bypassed entirely and none of them
+    # affect timing.  The base timeout must comfortably exceed the worst
+    # expected delivery time (route latency + contention + fault jitter),
+    # since a premature retransmission is harmless (the receiver's dedup
+    # window drops it) but wastes bandwidth.
+    ack_timeout_cycles: int = 400       # base retransmission timeout
+    ack_backoff_max_cycles: int = 6_400  # exponential backoff ceiling
+    net_max_retries: int = 8            # retry budget -> NodeUnreachable
+
     # -- coherence protocol -------------------------------------------------
     # PLUS uses a write-update protocol (Section 2.2: in a distributed
     # machine, updating copies avoids the remote misses that invalidation
@@ -150,6 +161,14 @@ class TimingParams:
             raise ConfigError(
                 f"unknown coherence protocol {self.coherence_protocol!r}"
             )
+        if self.ack_timeout_cycles < 1:
+            raise ConfigError("ack_timeout_cycles must be >= 1")
+        if self.ack_backoff_max_cycles < self.ack_timeout_cycles:
+            raise ConfigError(
+                "ack_backoff_max_cycles must be >= ack_timeout_cycles"
+            )
+        if self.net_max_retries < 1:
+            raise ConfigError("net_max_retries must be >= 1")
 
     # -- derived quantities ------------------------------------------------
     @property

@@ -1,0 +1,265 @@
+"""Reliable exactly-once, in-order delivery over an unreliable mesh.
+
+The PLUS coherence protocol assumes the fabric delivers every message
+exactly once and in per-pair FIFO order.  When a
+:class:`~repro.network.faults.FaultPlan` breaks that assumption, this
+module restores it *underneath* the protocol: each coherence manager
+owns one :class:`ReliableChannels` object that
+
+* stamps every outgoing protocol message with a per-(src, dst) sequence
+  number and keeps it on a retransmission queue until the destination
+  acknowledges it (cumulative ``NET_ACK``),
+* retransmits on an ack timeout with bounded exponential backoff
+  (``TimingParams.ack_timeout_cycles`` doubling per silent round up to
+  ``ack_backoff_max_cycles``), driven by the engine's cancellable
+  timers,
+* raises :class:`~repro.errors.NodeUnreachable` — with cycle, node and
+  a wire-transcript excerpt — once a message has been retransmitted
+  ``net_max_retries`` times without an ack, instead of hanging the run,
+* and on the receive side reconstructs the exactly-once, in-order
+  stream: duplicates (wire dups *and* retransmissions) are absorbed by
+  the dedup window, out-of-order arrivals wait in a reorder buffer
+  until the gap fills, and only then is each message handed to the
+  protocol — so every protocol receive path (mid-chain copy-list
+  updates, delayed-operation results, acks) stays naturally idempotent
+  without per-handler guards.
+
+"Exactly once" is therefore a per-layer statement: the *wire* may carry
+a message several times (and NET_ACKs may repeat freely), but the
+*application* — the coherence protocol — sees it exactly once.  The
+protocol's own WRITE_ACK/RMW_RESP exactly-once property rides on top
+unchanged, which is what the coherence oracle checks.
+
+With no fault plan installed none of this exists: the coherence manager
+bypasses the channels entirely and the wire itself is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NodeUnreachable
+from repro.network.message import Message, MsgKind
+
+
+class _Pending:
+    """One unacknowledged outgoing message."""
+
+    __slots__ = ("seq", "msg", "retries", "sent_at")
+
+    def __init__(self, seq: int, msg: Message, sent_at: int) -> None:
+        self.seq = seq
+        self.msg = msg
+        self.retries = 0
+        self.sent_at = sent_at
+
+
+class _OutChannel:
+    """Sender half of one (src, dst) reliable connection."""
+
+    __slots__ = ("dst", "next_seq", "unacked", "timer", "attempts")
+
+    def __init__(self, dst: int) -> None:
+        self.dst = dst
+        self.next_seq = 0
+        self.unacked: Deque[_Pending] = deque()
+        self.timer = None
+        #: Consecutive timeout rounds with no ack progress (backoff level).
+        self.attempts = 0
+
+
+class _InChannel:
+    """Receiver half: dedup window + reorder buffer for one source.
+
+    ``expected`` is the cursor of the in-order stream; everything below
+    it has been delivered exactly once.  Arrivals above it wait in
+    ``buffer`` until the gap fills (the wire's reordering is bounded by
+    the fault plan's jitter, so the buffer stays small).
+    """
+
+    __slots__ = ("src", "expected", "buffer", "duplicates")
+
+    def __init__(self, src: int) -> None:
+        self.src = src
+        self.expected = 0
+        self.buffer: Dict[int, Message] = {}
+        self.duplicates = 0
+
+    def offer(self, msg: Message) -> Optional[List[Message]]:
+        """Accept one wire arrival.
+
+        Returns the (possibly empty) list of messages that just became
+        deliverable in order, or None when the arrival was a duplicate
+        the dedup window absorbed.
+        """
+        seq = msg.seq
+        if seq < self.expected or seq in self.buffer:
+            self.duplicates += 1
+            return None
+        self.buffer[seq] = msg
+        ready: List[Message] = []
+        while self.expected in self.buffer:
+            ready.append(self.buffer.pop(self.expected))
+            self.expected += 1
+        return ready
+
+
+class ReliableChannels:
+    """All reliable connections of one coherence manager."""
+
+    def __init__(self, cm) -> None:
+        self.cm = cm
+        self.engine = cm.engine
+        self.fabric = cm.fabric
+        self.node_id = cm.node_id
+        params = cm.params
+        self.base_timeout = params.ack_timeout_cycles
+        self.max_timeout = params.ack_backoff_max_cycles
+        self.max_retries = params.net_max_retries
+        self._out: Dict[int, _OutChannel] = {}
+        self._in: Dict[int, _InChannel] = {}
+
+    # ------------------------------------------------------------------
+    # Sender side.
+    # ------------------------------------------------------------------
+    def _timeout(self, ch: _OutChannel) -> int:
+        return min(self.base_timeout << ch.attempts, self.max_timeout)
+
+    def send(self, msg: Message) -> None:
+        """Stamp ``msg`` with the next sequence number and transmit it,
+        keeping it queued until the destination acknowledges."""
+        ch = self._out.get(msg.dst)
+        if ch is None:
+            ch = self._out[msg.dst] = _OutChannel(msg.dst)
+        msg.seq = ch.next_seq
+        ch.next_seq += 1
+        ch.unacked.append(_Pending(msg.seq, msg, self.engine.now))
+        self.fabric.send(msg)
+        if ch.timer is None:
+            ch.timer = self.engine.timer(
+                self._timeout(ch), lambda: self._on_timeout(ch)
+            )
+
+    def _on_timeout(self, ch: _OutChannel) -> None:
+        ch.timer = None
+        if not ch.unacked:
+            return
+        now = self.engine.now
+        timeout = self._timeout(ch)
+        due = ch.unacked[0].sent_at + timeout
+        if now < due:
+            # Acks advanced the queue since the timer was armed; nothing
+            # has been waiting a full timeout yet.  Re-check at ``due``.
+            ch.timer = self.engine.timer(due - now, lambda: self._on_timeout(ch))
+            return
+        stats = self.fabric.stats
+        for pending in ch.unacked:
+            pending.retries += 1
+            if pending.retries > self.max_retries:
+                raise NodeUnreachable(
+                    f"node {self.node_id} -> {ch.dst}: "
+                    f"{pending.msg.kind.value} seq={pending.seq} unacked "
+                    f"after {self.max_retries} retransmissions "
+                    f"({len(ch.unacked)} message(s) outstanding)",
+                    cycle=now,
+                    node=ch.dst,
+                    msg=pending.msg,
+                    excerpt=self._excerpt(),
+                )
+            stats.retransmits += 1
+            pending.sent_at = now
+            self.fabric.send(pending.msg)
+        ch.attempts += 1
+        ch.timer = self.engine.timer(
+            self._timeout(ch), lambda: self._on_timeout(ch)
+        )
+
+    def _excerpt(self) -> Tuple[str, ...]:
+        trace = self.fabric._trace
+        return tuple(trace.tail()) if trace is not None else ()
+
+    def on_net_ack(self, msg: Message) -> None:
+        """Cumulative acknowledgement from ``msg.src``: everything up to
+        and including sequence number ``msg.value`` arrived."""
+        ch = self._out.get(msg.src)
+        if ch is None:
+            return
+        cum = msg.value
+        unacked = ch.unacked
+        stats = self.fabric.stats
+        progressed = False
+        while unacked and unacked[0].seq <= cum:
+            pending = unacked.popleft()
+            progressed = True
+            if pending.retries:
+                stats.recovered += 1
+        if progressed:
+            ch.attempts = 0
+        if not unacked and ch.timer is not None:
+            ch.timer.cancel()
+            ch.timer = None
+
+    # ------------------------------------------------------------------
+    # Receiver side.
+    # ------------------------------------------------------------------
+    def on_wire(self, msg: Message) -> None:
+        """Entry point for every sequenced message the fabric delivers.
+
+        Accepted messages are reported to the trace (for the oracle's
+        exactly-once-application view) and dispatched to the protocol in
+        sequence order; duplicates are dropped here.  Every arrival is
+        (re-)acknowledged — re-acking a duplicate is what heals a lost
+        NET_ACK.
+        """
+        ch = self._in.get(msg.src)
+        if ch is None:
+            ch = self._in[msg.src] = _InChannel(msg.src)
+        ready = ch.offer(msg)
+        if ready:
+            fabric = self.fabric
+            dispatch = self.cm.dispatch
+            for accepted in ready:
+                fabric.note_applied(accepted)
+                dispatch(accepted)
+        self.fabric.send(
+            Message(
+                kind=MsgKind.NET_ACK,
+                src=self.node_id,
+                dst=msg.src,
+                value=ch.expected - 1,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics.
+    # ------------------------------------------------------------------
+    def idle(self) -> bool:
+        """True when nothing is awaiting acknowledgement or reordering."""
+        return all(not ch.unacked for ch in self._out.values()) and all(
+            not ch.buffer for ch in self._in.values()
+        )
+
+    @property
+    def duplicates_absorbed(self) -> int:
+        """Wire arrivals the dedup windows dropped (dups + retransmits)."""
+        return sum(ch.duplicates for ch in self._in.values())
+
+    def describe(self) -> List[str]:
+        """Stuck-state report for the machine watchdog."""
+        lines = []
+        for dst, ch in sorted(self._out.items()):
+            if ch.unacked:
+                head = ch.unacked[0]
+                lines.append(
+                    f"node {self.node_id} -> {dst}: {len(ch.unacked)} "
+                    f"unacked (head seq={head.seq} "
+                    f"{head.msg.kind.value}, {head.retries} retries)"
+                )
+        for src, ch in sorted(self._in.items()):
+            if ch.buffer:
+                lines.append(
+                    f"node {self.node_id} <- {src}: waiting for seq "
+                    f"{ch.expected}, {len(ch.buffer)} buffered"
+                )
+        return lines

@@ -88,6 +88,19 @@ class CoherenceViolation(ProtocolError):
     """
 
 
+class NodeUnreachable(PlusError):
+    """A reliable channel exhausted its retry budget towards one node.
+
+    Raised by the coherence manager's recovery layer when a message has
+    been retransmitted ``TimingParams.net_max_retries`` times without an
+    acknowledgement — the destination (or every route to it) is down for
+    longer than the retry budget covers.  Carries the usual event
+    context: ``cycle`` is when the budget ran out, ``node`` is the
+    unreachable destination, and ``excerpt`` holds the recent wire
+    transcript when a trace is installed.
+    """
+
+
 class SimulationError(PlusError):
     """The discrete-event simulation failed (e.g. ran past its horizon)."""
 

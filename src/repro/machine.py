@@ -24,6 +24,7 @@ from repro.memory.competitive import CompetitiveReplicator
 from repro.memory.profiling import AccessProfiler
 from repro.memory.replication import ReplicationManager
 from repro.network.fabric import Fabric
+from repro.network.faults import FaultPlan
 from repro.network.topology import Mesh
 from repro.node.cpu import SimThread
 from repro.node.node import Node
@@ -86,6 +87,28 @@ class PlusMachine:
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Fault injection.
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Make the mesh unreliable per ``plan`` and arm recovery.
+
+        Installs the plan on the fabric and enables the reliable-delivery
+        sublayer of every coherence manager, so the protocol still sees
+        exactly-once, in-order delivery — just later, and with
+        retransmission traffic on the wire.  Must be called before any
+        traffic flows.  An already-installed
+        :class:`~repro.check.invariants.InvariantMonitor` is told about
+        the plan so it can tell wire retransmissions from protocol bugs.
+        """
+        self.fabric.install_faults(plan)
+        for node in self.nodes:
+            node.cm.enable_reliability()
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.fault_plan = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Program loading.
@@ -166,9 +189,35 @@ class PlusMachine:
                     f"hit max_cycles={max_cycles} with threads unfinished:\n"
                     f"  {detail}"
                 )
+            # Watchdog: the system went quiescent without completing.
+            # On a lossless mesh that is an application-level deadlock;
+            # under a fault plan it usually means a message or ack was
+            # lost and nothing retried it (the lost-ack deadlock the
+            # recovery layer exists to prevent), so name the suspect
+            # wire state and recent transcript in the report.
+            lines = [
+                "event queue drained with threads still blocked:",
+                f"  {detail}",
+            ]
+            if self.fabric.fault_plan is not None:
+                stats = self.fabric.stats
+                lines.append(
+                    f"  fault plan active ({self.fabric.fault_plan.describe()}): "
+                    f"{stats.drops} drops, {stats.dups} dups, "
+                    f"{stats.retransmits} retransmits — quiescence without "
+                    "completion suggests a lost message nobody retried"
+                )
+                stuck = [
+                    line for n in self.nodes for line in n.cm.recovery_report()
+                ]
+                if stuck:
+                    lines.append("  reliable-channel state:")
+                    lines.extend(f"    {line}" for line in stuck)
+            trace = self.fabric._trace
             raise DeadlockError(
-                "event queue drained with threads still blocked:\n"
-                f"  {detail}"
+                "\n".join(lines),
+                cycle=self.engine.now,
+                excerpt=trace.tail() if trace is not None else (),
             )
         return self.report()
 

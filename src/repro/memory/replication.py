@@ -210,7 +210,9 @@ class ReplicationManager:
         self.live_copies_started += 1
 
         def request(start: int) -> None:
-            machine.fabric.send(
+            # Through the CM's outgoing stack (not raw fabric.send) so
+            # the request is retransmitted if an unreliable mesh eats it.
+            cm.transmit(
                 Message(
                     kind=MsgKind.PAGE_COPY_REQ,
                     src=node_id,
@@ -349,7 +351,7 @@ class ReplicationManager:
                 machine.nodes[target].page_table.invalidate(vpage)
                 continue
             pending["count"] += 1
-            machine.fabric.send(
+            machine.nodes[via_node].cm.transmit(
                 Message(
                     kind=MsgKind.TLB_SHOOTDOWN,
                     src=via_node,

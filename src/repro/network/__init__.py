@@ -1,7 +1,9 @@
-"""Mesh interconnect: topology, link timing, and message delivery."""
+"""Mesh interconnect: topology, link timing, message delivery — and,
+optionally, seeded fault injection making all of it unreliable."""
 
 from repro.network.fabric import Fabric, FabricStats
+from repro.network.faults import FaultPlan
 from repro.network.message import Message, MsgKind
 from repro.network.topology import Mesh
 
-__all__ = ["Fabric", "FabricStats", "Message", "MsgKind", "Mesh"]
+__all__ = ["Fabric", "FabricStats", "FaultPlan", "Message", "MsgKind", "Mesh"]

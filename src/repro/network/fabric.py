@@ -10,6 +10,15 @@ message of every benchmark crosses ``Fabric.send`` — so it avoids
 per-message allocation beyond one slotted delivery event: routes and hop
 counts come from a per-pair cache, receivers are resolved by list index,
 and the tracing hook costs a single ``is None`` test when disabled.
+
+An optional :class:`~repro.network.faults.FaultPlan` turns the perfect
+mesh into an unreliable one: installed with :meth:`Fabric.install_faults`
+(usually via ``PlusMachine.install_faults``, which also arms the
+recovery layer in every coherence manager), it is consulted once per
+send and may drop, duplicate, or delay-and-reorder the message, or take
+whole links down transiently.  With no plan installed the send path is
+exactly the lossless fast path — zero extra messages, zero timing
+change, one ``is None`` test.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.params import TimingParams
 from repro.errors import ConfigError
+from repro.network.faults import FaultPlan
 from repro.network.message import Message, MsgKind
 from repro.network.router import LinkModel
 from repro.network.topology import Link, Mesh
@@ -27,17 +37,43 @@ Receiver = Callable[[Message], None]
 
 
 class FabricStats:
-    """Machine-wide network traffic counters."""
+    """Machine-wide network traffic counters.
 
-    __slots__ = ("messages_by_kind", "total_messages", "total_hops", "total_bytes")
+    :meth:`record` is the single implementation of per-send accounting;
+    ``Fabric.send`` routes every path (lossless, faulty, retransmitted)
+    through it so the counters cannot drift from the send logic.  Sends
+    the fault plan swallows still count as wire traffic (the sender paid
+    for them); the fault counters then say what the wire did on top:
+
+    * ``drops`` — messages lost (random drops, outages, blackholes).
+    * ``dups`` — extra deliveries the wire created.
+    * ``retransmits`` — sends that were recovery-layer retransmissions.
+    * ``recovered`` — messages acknowledged only after retransmission.
+    """
+
+    __slots__ = (
+        "messages_by_kind",
+        "total_messages",
+        "total_hops",
+        "total_bytes",
+        "drops",
+        "dups",
+        "retransmits",
+        "recovered",
+    )
 
     def __init__(self) -> None:
         self.messages_by_kind: Dict[MsgKind, int] = {k: 0 for k in MsgKind}
         self.total_messages = 0
         self.total_hops = 0
         self.total_bytes = 0
+        self.drops = 0
+        self.dups = 0
+        self.retransmits = 0
+        self.recovered = 0
 
     def record(self, msg: Message, hops: int) -> None:
+        """Account one send attempt (the only traffic-counting path)."""
         self.messages_by_kind[msg.kind] += 1
         self.total_messages += 1
         self.total_hops += hops
@@ -95,6 +131,9 @@ class Fabric:
         #: Installed :class:`~repro.stats.trace.ProtocolTrace`, or None.
         #: When None (the default) tracing costs one ``is None`` test.
         self._trace = None
+        #: Installed :class:`~repro.network.faults.FaultPlan`, or None
+        #: for the paper's lossless mesh.
+        self.fault_plan: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------
     def attach(self, node: int, receiver: Receiver) -> None:
@@ -106,8 +145,30 @@ class Fabric:
         self._receivers[node] = receiver
 
     # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Make the mesh unreliable according to ``plan``.
+
+        Must happen before any traffic flows: the recovery layer's
+        sequence numbering has to cover a connection from its first
+        message.  Use ``PlusMachine.install_faults``, which also enables
+        the reliable channels of every coherence manager — a fault plan
+        without the recovery layer loses messages with no retry, which
+        is only useful for testing the watchdog.
+        """
+        if self.stats.total_messages:
+            raise ConfigError(
+                "cannot install a fault plan after traffic has flowed"
+            )
+        self.fault_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------
     def send(self, msg: Message) -> int:
-        """Inject ``msg`` now; returns its (scheduled) delivery time."""
+        """Inject ``msg`` now; returns its (scheduled) delivery time.
+
+        With a fault plan installed the return value is the primary
+        copy's delivery time, or -1 when the wire lost the message.
+        """
         dst = msg.dst
         if msg.src == dst:
             raise ConfigError(f"fabric cannot route a self-message: {msg}")
@@ -120,6 +181,9 @@ class Fabric:
         state = self._pairs.get(pair)
         if state is None:
             state = self._pairs[pair] = _PairState(self.mesh.route(msg.src, dst))
+
+        if self.fault_plan is not None:
+            return self._send_faulty(msg, receiver, state)
 
         size = msg.size_bytes
         # Dimension-order wormhole routing delivers same-pair messages in
@@ -134,14 +198,48 @@ class Fabric:
         if self._trace is not None:
             self._trace.record(self.engine.now, msg, arrive)
 
-        stats = self.stats
-        stats.messages_by_kind[msg.kind] += 1
-        stats.total_messages += 1
-        stats.total_hops += state.hops
-        stats.total_bytes += size
-
+        self.stats.record(msg, state.hops)
         self.engine.at(arrive, _Delivery(receiver, msg))
         return arrive
+
+    def _send_faulty(
+        self, msg: Message, receiver: Receiver, state: _PairState
+    ) -> int:
+        """The fault-plan send path: consult the plan, then deliver 0, 1
+        or 2 copies.  Per-delivery jitter lands *outside* the FIFO floor,
+        so same-pair messages can reorder within the jitter bound — the
+        sequence numbers of the reliable sublayer put them back in order.
+        """
+        now = self.engine.now
+        stats = self.stats
+        stats.record(msg, state.hops)
+        fate, delays = self.fault_plan.judge(msg, now, state.path)
+        if not delays:
+            stats.drops += 1
+            if self._trace is not None:
+                self._trace.record(now, msg, -1, fate=fate)
+            return -1
+        arrive = self.links.traverse(
+            state.path, now, msg.size_bytes, not_before=state.next_floor
+        )
+        state.next_floor = arrive + 1
+        primary = arrive + delays[0]
+        if len(delays) > 1:
+            stats.dups += 1
+        if self._trace is not None:
+            self._trace.record(now, msg, primary, fate=fate)
+        engine_at = self.engine.at
+        for delay in delays:
+            engine_at(arrive + delay, _Delivery(receiver, msg))
+        return primary
+
+    # ------------------------------------------------------------------
+    def note_applied(self, msg: Message) -> None:
+        """Recovery-layer hook: ``msg`` was just accepted (exactly once,
+        in order) and handed to the protocol.  Forwards to the installed
+        trace so the oracle can separate wire traffic from application."""
+        if self._trace is not None:
+            self._trace.note_applied(self.engine.now, msg)
 
     # ------------------------------------------------------------------
     def hops(self, a: int, b: int) -> int:

@@ -1,0 +1,186 @@
+"""Seeded, deterministic fault injection for the mesh fabric.
+
+The PLUS paper assumes the Caltech mesh delivers every message exactly
+once; this module drops that assumption so the recovery layer in the
+coherence manager (:mod:`repro.core.reliable`) has something to recover
+from.  A :class:`FaultPlan` installed on the fabric is consulted once
+per ``Fabric.send`` and decides, deterministically from the plan's seed,
+what the wire does to the message:
+
+* **drop** — the message silently disappears (probability ``drop_prob``
+  per send, plus every message addressed to a ``blackholes`` node).
+* **duplicate** — a second copy of the message is delivered a little
+  later (probability ``dup_prob``).
+* **reorder-within-jitter** — each delivered copy is held up to
+  ``jitter`` extra cycles *outside* the fabric's FIFO-ordering floor, so
+  same-pair messages can genuinely arrive out of order (bounded by the
+  jitter amplitude).  With faults off the fabric preserves strict
+  point-to-point FIFO; under a plan the sequence numbers of the reliable
+  sublayer restore order above the wire.
+* **transient link outages** — each directed mesh link alternates
+  between long up periods (exponentially distributed with rate
+  ``outage_rate`` per cycle) and down windows of ``outage_cycles``;
+  every message whose route crosses a down link at send time is lost.
+
+Every random stream is derived from the plan's seed alone — the per-send
+stream from ``seed`` and each link's outage schedule from
+``(seed, link)`` — so a faulty run replays exactly, independent of how
+many links are queried or in what order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.errors import ConfigError
+from repro.network.message import Message
+from repro.network.topology import Link
+
+#: What the wire did to one send: "sent" (delivered, possibly late),
+#: "sent+dup" (delivered twice), "drop" (random loss) or "outage" (a
+#: link on the route was down, or the destination is blackholed).
+Fate = str
+
+
+class _LinkOutages:
+    """Lazy up/down schedule of one directed link.
+
+    Windows are generated on demand from a link-private RNG: alternating
+    exponentially-distributed up gaps and fixed-length down windows.
+    Queries must come with non-decreasing ``now`` (simulation time only
+    moves forward), which lets the schedule advance a cursor instead of
+    storing the whole timeline.
+    """
+
+    __slots__ = ("_rng", "_rate", "_length", "start", "end")
+
+    def __init__(self, rng: random.Random, rate: float, length: int) -> None:
+        self._rng = rng
+        self._rate = rate
+        self._length = length
+        self.start = 1 + int(rng.expovariate(rate))
+        self.end = self.start + length
+
+    def down(self, now: int) -> bool:
+        while now > self.end:
+            gap = 1 + int(self._rng.expovariate(self._rate))
+            self.start = self.end + gap
+            self.end = self.start + self._length
+        return self.start <= now
+
+    def windows_until(self, horizon: int) -> List[Tuple[int, int]]:
+        """The outage windows starting before ``horizon`` (diagnostics).
+
+        Consumes the schedule up to ``horizon``; meant for inspection in
+        tests, not for use alongside live ``down()`` queries.
+        """
+        windows = []
+        while self.start < horizon:
+            windows.append((self.start, self.end))
+            self.down(self.end + 1)
+        return windows
+
+
+class FaultPlan:
+    """Deterministic per-send fault decisions for one run.
+
+    All probabilities are per ``Fabric.send`` call (retransmissions roll
+    again — the wire does not know a retry from a fresh message).
+    ``blackholes`` lists node ids whose *inbound* messages always drop:
+    a scheduled, targeted fault used to prove the retry budget surfaces
+    :class:`~repro.errors.NodeUnreachable` instead of hanging.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        jitter: int = 0,
+        outage_rate: float = 0.0,
+        outage_cycles: int = 0,
+        blackholes: Iterable[int] = (),
+    ) -> None:
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ConfigError(f"drop_prob {drop_prob} outside [0, 1]")
+        if not 0.0 <= dup_prob <= 1.0:
+            raise ConfigError(f"dup_prob {dup_prob} outside [0, 1]")
+        if jitter < 0:
+            raise ConfigError(f"negative jitter {jitter}")
+        if outage_rate < 0.0:
+            raise ConfigError(f"negative outage_rate {outage_rate}")
+        if outage_rate and outage_cycles < 1:
+            raise ConfigError("outage_rate needs outage_cycles >= 1")
+        self.seed = seed
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.jitter = jitter
+        self.outage_rate = outage_rate
+        self.outage_cycles = outage_cycles
+        self.blackholes: FrozenSet[int] = frozenset(blackholes)
+        self._roll = random.Random(f"{seed}:faults:roll")
+        self._outages: Dict[Link, _LinkOutages] = {}
+
+    # ------------------------------------------------------------------
+    def link_outages(self, link: Link) -> _LinkOutages:
+        """The (lazily created) outage schedule of one directed link."""
+        sched = self._outages.get(link)
+        if sched is None:
+            sched = self._outages[link] = _LinkOutages(
+                random.Random(f"{self.seed}:faults:link:{link}"),
+                self.outage_rate,
+                self.outage_cycles,
+            )
+        return sched
+
+    def _route_down(self, path: List[Link], now: int) -> bool:
+        if not self.outage_rate:
+            return False
+        for link in path:
+            if self.link_outages(link).down(now):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def judge(
+        self, msg: Message, now: int, path: List[Link]
+    ) -> Tuple[Fate, Tuple[int, ...]]:
+        """Decide one send's fate: ``(fate, extra delay per delivery)``.
+
+        An empty delay tuple means the message is lost; one entry is a
+        normal (possibly jittered) delivery; two entries mean the wire
+        duplicated it.  Delays are *added to* the fabric's computed
+        arrival time, outside the FIFO floor.
+        """
+        if msg.dst in self.blackholes or self._route_down(path, now):
+            return "outage", ()
+        roll = self._roll
+        if self.drop_prob and roll.random() < self.drop_prob:
+            return "drop", ()
+        jitter = self.jitter
+        first = roll.randrange(jitter + 1) if jitter else 0
+        if self.dup_prob and roll.random() < self.dup_prob:
+            # The duplicate trails the original by at least one cycle so
+            # the two deliveries are distinct events.
+            second = first + 1 + (roll.randrange(jitter + 1) if jitter else 0)
+            return "sent+dup", (first, second)
+        return "sent", (first,)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        knobs = []
+        if self.drop_prob:
+            knobs.append(f"drop={self.drop_prob:g}")
+        if self.dup_prob:
+            knobs.append(f"dup={self.dup_prob:g}")
+        if self.jitter:
+            knobs.append(f"jitter<={self.jitter}")
+        if self.outage_rate:
+            knobs.append(
+                f"outage={self.outage_rate:g}/cyc x{self.outage_cycles}"
+            )
+        if self.blackholes:
+            knobs.append(f"blackholes={sorted(self.blackholes)}")
+        return f"faults(seed={self.seed}: {', '.join(knobs) or 'none'})"

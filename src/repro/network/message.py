@@ -22,6 +22,12 @@ of these message kinds:
   every node drop its mapping of a page copy being deleted (Section
   2.4: "all the nodes that have a copy of the page must update their
   address translation tables and flush their TLBs").
+* ``NET_ACK`` — the reliable-delivery sublayer's cumulative
+  acknowledgement (not part of the paper's protocol, which assumes a
+  lossless mesh).  ``value`` carries the highest in-order sequence
+  number received from the destination; it is itself unsequenced and
+  unacknowledged (a lost NET_ACK just causes a retransmission, which
+  the receiver's dedup window absorbs).
 
 Sizes are bytes on the wire and drive the link-occupancy (contention)
 model; they assume a small routing header plus the fields listed.
@@ -53,6 +59,7 @@ class MsgKind(Enum):
     PAGE_COPY_DATA = "page-copy-data"
     TLB_SHOOTDOWN = "tlb-shootdown"
     TLB_SHOOTDOWN_ACK = "tlb-shootdown-ack"
+    NET_ACK = "net-ack"
 
 
 #: Wire size in bytes per message kind (header + payload fields).
@@ -69,6 +76,7 @@ MESSAGE_BYTES = {
     MsgKind.PAGE_COPY_DATA: 16,  # + 4 bytes per carried word, see size_bytes
     MsgKind.TLB_SHOOTDOWN: 12,
     MsgKind.TLB_SHOOTDOWN_ACK: 12,
+    MsgKind.NET_ACK: 12,  # header + (src, dst, cumulative seq)
 }
 
 #: Wire size resolved through the enum member itself (no dict hashing on
@@ -104,6 +112,10 @@ class Message:
     #: On RMW_RESP: True when no copy-list updates were generated, so the
     #: operation is already complete (saves a separate ack message).
     chain_done: bool = False
+    #: Per-(src, dst) sequence number stamped by the reliable-delivery
+    #: sublayer when a FaultPlan is installed; -1 means unsequenced (the
+    #: lossless-mesh fast path, and NET_ACK messages themselves).
+    seq: int = -1
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     @property
@@ -120,7 +132,9 @@ class Message:
         return base
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        seq = f" seq={self.seq}" if self.seq >= 0 else ""
         return (
             f"{self.kind.value}#{self.msg_id} {self.src}->{self.dst} "
-            f"addr={self.addr} val={self.value} origin={self.origin} xid={self.xid}"
+            f"addr={self.addr} val={self.value} origin={self.origin} "
+            f"xid={self.xid}{seq}"
         )

@@ -8,6 +8,14 @@ serialisation only against link availability, which reproduces both the
 uncontended numbers of Section 3.1 (24-cycle adjacent round trip, 4 cycles
 per extra hop) and the congestion collapse the paper warns about when
 uncontrolled replication floods the network with updates (Section 2.5).
+
+Fault injection layers *above* this model: a
+:class:`~repro.network.faults.FaultPlan` decides whether a send is
+delivered at all and how much extra per-delivery jitter it suffers, but
+link occupancy, hop latency and the FIFO floor are always computed here
+— lost messages are dropped before they occupy links (the flit never
+completes, so no occupancy is charged), and jitter is added after the
+floor so reordering stays bounded.
 """
 
 from __future__ import annotations

@@ -18,6 +18,30 @@ from repro.errors import SimulationError
 Callback = Callable[[], None]
 
 
+class Timer:
+    """A cancellable scheduled callback (see :meth:`Engine.timer`).
+
+    Cancellation is lazy: the heap entry stays scheduled and fires as a
+    no-op, so the engine's hot event loop needs no extra bookkeeping.
+    The retransmission timers of the fault-recovery layer are the main
+    client; they are cancelled far more often than they fire.
+    """
+
+    __slots__ = ("_fn", "cancelled")
+
+    def __init__(self, fn: Callback) -> None:
+        self._fn = fn
+        self.cancelled = False
+
+    def __call__(self) -> None:
+        if not self.cancelled:
+            self._fn()
+
+    def cancel(self) -> None:
+        """Make the timer a no-op when it fires.  Idempotent."""
+        self.cancelled = True
+
+
 class Engine:
     """A deterministic event-driven simulation clock.
 
@@ -79,6 +103,14 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self.at(self._now + delay, fn)
+
+    def timer(self, delay: int, fn: Callback) -> Timer:
+        """Schedule ``fn`` after ``delay`` cycles; returns a cancellable
+        :class:`Timer` handle.  A cancelled timer still occupies its heap
+        slot but fires as a no-op (lazy cancellation)."""
+        handle = Timer(fn)
+        self.after(delay, handle)
+        return handle
 
     # ------------------------------------------------------------------
     def step(self) -> bool:

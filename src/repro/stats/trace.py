@@ -11,12 +11,20 @@ Each entry carries both the *send* time and the *scheduled arrival*
 time, the carried word writes, the operation code of delayed-operation
 chains and the ``chain_done`` flag — enough to reconstruct every
 write/RMW transaction off-line.
+
+Under a fault plan the capture separates the *wire* from the
+*application*: every send attempt is recorded with its ``fate`` (sent,
+sent+dup, drop, outage) and the message's reliable-layer sequence
+number, and the recovery layer reports each message it accepts through
+:meth:`ProtocolTrace.note_applied` — so a retransmitted update shows up
+as several wire entries but exactly one application, which is what the
+coherence oracle checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.params import OpCode
 from repro.network.message import Message, MsgKind
@@ -44,16 +52,26 @@ class TraceEntry:
     writes: Tuple[Tuple[int, int], ...] = ()
     #: RMW_RESP flag: no copy-list updates were generated.
     chain_done: bool = False
+    #: Reliable-layer sequence number (-1 when unsequenced).
+    seq: int = -1
+    #: Identity of the Message object; retransmissions of one logical
+    #: message share it, which is how the checkers tell a wire-level
+    #: retransmit from a protocol-level duplicate.
+    msg_id: int = -1
+    #: What the wire did: "sent", "sent+dup", "drop" or "outage".
+    fate: str = "sent"
 
     def describe(self) -> str:
         where = (
             f" p{self.page}+{self.offset}" if self.page is not None else ""
         )
         what = f" op={self.op.value}" if self.op is not None else ""
+        seq = f" seq={self.seq}" if self.seq >= 0 else ""
+        fate = f" [{self.fate}]" if self.fate != "sent" else ""
         return (
             f"[{self.time:>8}->{self.arrive:>8}] {self.kind.value:<14} "
             f"{self.src}->{self.dst}{where} origin={self.origin} "
-            f"xid={self.xid}{what}"
+            f"xid={self.xid}{what}{seq}{fate}"
         )
 
 
@@ -70,6 +88,10 @@ class ProtocolTrace:
         self.capacity = capacity
         self.entries: List[TraceEntry] = []
         self.dropped = 0
+        #: msg_id -> cycle the recovery layer accepted the message and
+        #: handed it to the protocol (fault-injected runs only; empty on
+        #: the lossless fast path).
+        self.applied: Dict[int, int] = {}
         self._fabric = None
 
     # ------------------------------------------------------------------
@@ -104,7 +126,9 @@ class ProtocolTrace:
         fabric = self._fabric
         return fabric is not None and fabric._trace is self
 
-    def record(self, time: int, msg: Message, arrive: int = -1) -> None:
+    def record(
+        self, time: int, msg: Message, arrive: int = -1, fate: str = "sent"
+    ) -> None:
         if len(self.entries) >= self.capacity:
             self.dropped += 1
             return
@@ -124,8 +148,20 @@ class ProtocolTrace:
                 op=msg.op,
                 writes=tuple(msg.writes),
                 chain_done=msg.chain_done,
+                seq=msg.seq,
+                msg_id=msg.msg_id,
+                fate=fate,
             )
         )
+
+    def note_applied(self, time: int, msg: Message) -> None:
+        """The recovery layer accepted ``msg`` (exactly once, in order).
+
+        Recorded per ``msg_id``; the first acceptance wins, and the
+        oracle uses these times to order applications at each copy
+        instead of the wire's (possibly retransmitted) arrival times.
+        """
+        self.applied.setdefault(msg.msg_id, time)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
