@@ -19,6 +19,16 @@ Run directly to produce ``BENCH_perf.json``::
 
     PYTHONPATH=src python benchmarks/bench_perf.py
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke  # CI-sized
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 2 --repeats 5
+
+``--jobs N`` fans the workload matrix out across worker processes via
+:func:`repro.parallel.run_sweep`; timings stay per-workload medians over
+``--repeats`` runs (with p95 recorded alongside).  The full run also
+benchmarks the sweep executor itself — a 200-seed ``check`` at
+``--jobs 1`` vs ``--jobs 8`` — and records the wall times, speedup, and
+output-identity verdict under the report's ``sweep`` key.  Every direct
+run appends a timestamped line to ``BENCH_history.jsonl`` so throughput
+is trendable across commits.
 
 Under pytest the module runs the smoke-sized workloads once and checks
 the measurement machinery, not the throughput (wall-clock assertions
@@ -28,9 +38,14 @@ would be flaky on shared runners).
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import os
+import statistics
 import sys
 import time
+from contextlib import redirect_stderr, redirect_stdout
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict
 
@@ -38,6 +53,13 @@ from repro.apps.beam import BeamConfig, BeamSearchApp, params_for
 from repro.apps.graphs import dijkstra, geometric_graph, layered_lattice
 from repro.apps.sssp import SSSPApp, SSSPConfig
 from repro.machine import PlusMachine
+
+# Make this module importable as plain ``bench_perf`` from any cwd, so
+# SweepTask targets like "bench_perf:bench_point" resolve in worker
+# processes regardless of how the parent was launched.
+_BENCH_DIR = str(Path(__file__).resolve().parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
 
 #: cycles/messages expected from the full-size workloads; a mismatch
 #: means a change altered simulated behaviour, not just speed.
@@ -88,19 +110,36 @@ def _run_beam(n_layers: int, width: int) -> PlusMachine:
     return machine
 
 
+def _percentile(sorted_vals, frac: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    pos = frac * (len(sorted_vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (pos - lo)
+
+
 def measure(build_and_run: Callable[[], PlusMachine], repeats: int = 3) -> Dict:
-    """Best-of-``repeats`` wall time and events/sec for one workload."""
-    best = None
+    """Median (and p95) wall time and events/sec for one workload.
+
+    Median rather than best-of: the median is what a rerun actually
+    reproduces, and the p95 alongside it exposes jitter a best-of-N
+    would silently absorb.
+    """
+    walls = []
+    machine = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         machine = build_and_run()
-        wall = time.perf_counter() - t0
-        if best is None or wall < best[0]:
-            best = (wall, machine)
-    wall, machine = best
+        walls.append(time.perf_counter() - t0)
+    walls.sort()
+    wall = statistics.median(walls)
     events = machine.engine.events_fired
     return {
         "wall_s": round(wall, 4),
+        "wall_p95_s": round(_percentile(walls, 0.95), 4),
+        "repeats": len(walls),
         "events": events,
         "events_per_sec": round(events / wall) if wall else 0,
         "cycles": machine.engine.now,
@@ -108,22 +147,82 @@ def measure(build_and_run: Callable[[], PlusMachine], repeats: int = 3) -> Dict:
     }
 
 
-def run_suite(smoke: bool = False, repeats: int = 3) -> Dict:
+def bench_point(workload: str, smoke: bool = False, repeats: int = 3) -> Dict:
+    """SweepTask target: measure one named workload (picklable dict)."""
+    fns = {
+        ("sssp", False): lambda: _run_sssp(800),
+        ("sssp", True): lambda: _run_sssp(200),
+        ("beam", False): lambda: _run_beam(12, 128),
+        ("beam", True): lambda: _run_beam(6, 48),
+    }
+    return measure(fns[(workload, bool(smoke))], repeats=repeats)
+
+
+def benchmark_sweep(seeds: int = 200, jobs: int = 8) -> Dict:
+    """Time the sweep executor itself: ``check --seeds N`` serial vs
+    parallel, asserting the aggregate stdout is byte-identical."""
+    from repro import cli
+
+    walls = {}
+    outputs = {}
+    for j in (1, jobs):
+        out, err = io.StringIO(), io.StringIO()
+        t0 = time.perf_counter()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = cli.main(
+                ["check", "--seeds", str(seeds), "--jobs", str(j)]
+            )
+        walls[j] = time.perf_counter() - t0
+        outputs[j] = (code, out.getvalue())
+    identical = outputs[1] == outputs[jobs]
+    if not identical:
+        raise AssertionError(
+            f"check --jobs {jobs} output diverged from --jobs 1"
+        )
+    return {
+        "seeds": seeds,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "wall_serial_s": round(walls[1], 3),
+        "wall_parallel_s": round(walls[jobs], 3),
+        "speedup": round(walls[1] / walls[jobs], 2) if walls[jobs] else 0.0,
+        "identical_output": identical,
+        "exit_codes": [outputs[1][0], outputs[jobs][0]],
+    }
+
+
+def run_suite(
+    smoke: bool = False,
+    repeats: int = 3,
+    jobs: int = 1,
+    sweep_bench: bool = True,
+) -> Dict:
     if smoke:
-        workloads = {
-            "sssp": lambda: _run_sssp(200),
-            "beam": lambda: _run_beam(6, 48),
-        }
         repeats = 1
-    else:
-        workloads = {
-            "sssp": lambda: _run_sssp(800),
-            "beam": lambda: _run_beam(12, 128),
-        }
+    names = ("sssp", "beam")
     results = {"smoke": smoke}
     baseline = _smoke_baseline() if smoke else {}
-    for name, fn in workloads.items():
-        results[name] = measure(fn, repeats=repeats)
+    if jobs > 1:
+        from repro.parallel import SweepTask, run_sweep
+
+        tasks = [
+            SweepTask.make(
+                i,
+                "bench_perf:bench_point",
+                {"workload": name, "smoke": smoke, "repeats": repeats},
+                label=name,
+            )
+            for i, name in enumerate(names)
+        ]
+        outcomes = run_sweep(tasks, jobs=jobs, label="bench")
+        for tr in outcomes:
+            if not tr.ok:
+                raise AssertionError(f"benchmark failed: {tr.describe()}")
+            results[tr.label] = tr.value
+    else:
+        for name in names:
+            results[name] = bench_point(name, smoke=smoke, repeats=repeats)
+    for name in names:
         if not smoke and name in FULL_CHECKSUMS:
             expected = FULL_CHECKSUMS[name]
             got = {k: results[name][k] for k in expected}
@@ -155,7 +254,33 @@ def run_suite(smoke: bool = False, repeats: int = 3) -> Dict:
                 "cycles": machine.engine.now,
                 "messages": machine.fabric.stats.total_messages,
             }
+        if sweep_bench:
+            # Benchmark the sweep executor itself (acceptance metric for
+            # the parallel fan-out); a single-core runner records an
+            # honest ~1x speedup along with its cpu_count.
+            results["sweep"] = benchmark_sweep()
     return results
+
+
+def append_history(results: Dict, path: Path) -> None:
+    """Append one timestamped JSON line so throughput trends across
+    commits are greppable without spelunking git history."""
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "smoke": results["smoke"],
+    }
+    for name in ("sssp", "beam"):
+        r = results[name]
+        entry[name] = {
+            k: r[k]
+            for k in ("wall_s", "wall_p95_s", "repeats", "events_per_sec")
+        }
+    if "sweep" in results:
+        entry["sweep"] = results["sweep"]
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
 
 
 def main(argv=None) -> int:
@@ -171,20 +296,59 @@ def main(argv=None) -> int:
         help="where to write the JSON report (default: repo root)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+        "--history",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+        ),
+        help="timestamped JSONL trend log to append to",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per workload (median reported, p95 recorded)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the workload matrix "
+        "(default 1 = in-process; 0 = one per core)",
+    )
+    parser.add_argument(
+        "--no-sweep-bench",
+        action="store_true",
+        help="skip the check --jobs 1-vs-8 executor benchmark on full runs",
     )
     args = parser.parse_args(argv)
 
-    results = run_suite(smoke=args.smoke, repeats=args.repeats)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    results = run_suite(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        jobs=jobs,
+        sweep_bench=not args.no_sweep_bench,
+    )
     for name in ("sssp", "beam"):
         r = results[name]
         print(
-            f"{name:>5}: {r['wall_s']:8.3f}s wall, "
+            f"{name:>5}: {r['wall_s']:8.3f}s wall (p95 {r['wall_p95_s']:.3f}s "
+            f"over {r['repeats']}), "
             f"{r['events']:>8} events, {r['events_per_sec']:>7} events/s, "
             f"{r['cycles']} cycles, {r['messages']} messages"
         )
+    if "sweep" in results:
+        s = results["sweep"]
+        print(
+            f"sweep: check --seeds {s['seeds']} --jobs {s['jobs']}: "
+            f"{s['wall_parallel_s']}s vs {s['wall_serial_s']}s serial "
+            f"({s['speedup']}x on {s['cpu_count']} core(s), "
+            f"identical output: {s['identical_output']})"
+        )
     Path(args.out).write_text(json.dumps(results, indent=1) + "\n")
     print(f"wrote {args.out}")
+    append_history(results, Path(args.history))
+    print(f"appended history to {args.history}")
     return 0
 
 

@@ -511,22 +511,72 @@ def run_seeds(
     on_result: Optional[Callable[[StressResult], None]] = None,
     faults: bool = False,
     fault_overrides: Optional[Dict[str, object]] = None,
+    jobs: int = 1,
+    shard: Optional[str] = None,
 ) -> List[StressResult]:
     """Run ``count`` consecutive seeds; stop at the first failure unless
     ``keep_going`` (a *failure* means a bug-injection run the checkers
-    missed, or a clean run they flagged)."""
-    results: List[StressResult] = []
-    for seed in range(base_seed, base_seed + count):
-        result = run_stress(
+    missed, or a clean run they flagged).
+
+    ``jobs`` fans the seeds out across worker processes through
+    :func:`repro.parallel.run_sweep`; results (and ``on_result`` calls)
+    arrive in seed order and are identical to the serial run for every
+    job count, including the truncation after a first failure when not
+    ``keep_going``.  ``shard="i/N"`` runs only that slice of the seed
+    range (for splitting one sweep across CI machines).
+    """
+    from repro.parallel import SweepTask, run_sweep, shard_tasks
+
+    common: Dict[str, object] = {
+        "inject_bug": inject_bug,
+        "faults": faults,
+        "fault_overrides": fault_overrides,
+    }
+    tasks = [
+        SweepTask.make(
             seed,
-            inject_bug=inject_bug,
-            faults=faults,
-            fault_overrides=fault_overrides,
+            "repro.check.stress:run_stress",
+            {"seed": seed, **common},
+            label=f"seed {seed}",
         )
+        for seed in range(base_seed, base_seed + count)
+    ]
+    tasks = shard_tasks(tasks, shard)
+
+    def unwrap(task_result) -> StressResult:
+        """TaskResult -> StressResult, synthesizing one for a run that
+        crashed its worker or raised outside the harness's control."""
+        if task_result.error is None:
+            return task_result.value
+        return StressResult(
+            seed=task_result.index,
+            config=StressConfig.from_seed(
+                task_result.index,
+                inject_bug=inject_bug,
+                faults=faults,
+                overrides=fault_overrides,
+            ),
+            live_error=task_result.error,
+        )
+
+    def seed_failed(result: StressResult) -> bool:
+        return not result.caught if inject_bug else not result.ok
+
+    results: List[StressResult] = []
+
+    def deliver(task_result) -> None:
+        result = unwrap(task_result)
         results.append(result)
         if on_result is not None:
             on_result(result)
-        failed = not result.caught if inject_bug else not result.ok
-        if failed and not keep_going:
-            break
+
+    run_sweep(
+        tasks,
+        jobs=jobs,
+        on_result=deliver,
+        # deliver() has already appended this task's StressResult.
+        stop=None if keep_going else (lambda tr: seed_failed(results[-1])),
+        failed=lambda tr: seed_failed(unwrap(tr)),
+        label="check",
+    )
     return results

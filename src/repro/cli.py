@@ -4,27 +4,39 @@ Usage::
 
     python -m repro list
     python -m repro table-2-1 [--nodes 16] [--vertices 800]
-    python -m repro fig-2-1   [--max-nodes 32]
+    python -m repro fig-2-1   [--max-nodes 32] [--jobs N]
     python -m repro table-3-1
-    python -m repro fig-3-1   [--nodes 8]
+    python -m repro fig-3-1   [--nodes 8] [--jobs N]
     python -m repro costs
+    python -m repro check     [--seeds 50] [--jobs N] [--shard i/N]
+    python -m repro sweep sssp --nodes 4,8,16 --copies 1,2,4 [--jobs N]
+    python -m repro sweep beam --nodes 8 --modes blocking,delayed [--jobs N]
 
 Each command builds the workload, runs the simulation(s), verifies the
 results against the sequential oracle, and prints the paper-style table.
-The pytest benchmark harness (``pytest benchmarks/ --benchmark-only``)
-runs the same experiments with assertions and wall-clock measurement;
-this CLI is the quick interactive path.
+Every sweep-shaped command takes ``--jobs N`` to fan its independent
+runs out across worker processes (``--jobs 0`` = all cores); output is
+byte-identical for every job count.  The pytest benchmark harness
+(``pytest benchmarks/ --benchmark-only``) runs the same experiments
+with assertions and wall-clock measurement; this CLI is the quick
+interactive path.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
 from repro.core.params import PAPER_PARAMS, OpCode
 from repro.machine import PlusMachine
 from repro.stats.report import format_table
+
+
+def _resolve_jobs(jobs: int) -> int:
+    """``--jobs 0`` means one worker per core."""
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
 
 
 def _cmd_table_2_1(args) -> int:
@@ -65,32 +77,39 @@ def _cmd_table_2_1(args) -> int:
 
 
 def _cmd_fig_2_1(args) -> int:
-    from repro.apps.graphs import dijkstra, geometric_graph
-    from repro.apps.sssp import SSSPConfig, run_sssp
+    from repro.parallel import SweepTask, run_sweep
 
-    graph = geometric_graph(
-        args.vertices, degree=5, long_edge_fraction=0.08, seed=7
-    )
-    reference = dijkstra(graph, 0)
     sweep = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= args.max_nodes]
-    rows: List[List[object]] = []
-    base = None
-    for n in sweep:
-        none = run_sssp(n, graph, SSSPConfig(copies=1, steal=False))
-        repl = run_sssp(n, graph, SSSPConfig(copies=min(4, n), steal=True))
-        assert none.distances == reference and repl.distances == reference
-        if base is None:
-            base = none.cycles
-        rows.append(
-            [
-                n,
-                base / (n * none.cycles),
-                none.report.utilization(),
-                base / (n * repl.cycles),
-                repl.report.utilization(),
-            ]
+    tasks = [
+        SweepTask.make(
+            n,
+            "repro.parallel.grid:fig21_point",
+            {"nodes": n, "vertices": args.vertices},
+            label=f"{n} node(s)",
         )
-        print(f"  {n} node(s): verified")
+        for n in sweep
+    ]
+    outcomes = run_sweep(
+        tasks,
+        jobs=_resolve_jobs(args.jobs),
+        on_result=lambda r: print(
+            f"  {r.label}: verified" if r.ok else f"  {r.describe()}"
+        ),
+        label="fig-2-1",
+    )
+    if not all(r.ok for r in outcomes):
+        return 1
+    base = outcomes[0].value["none_cycles"]
+    rows: List[List[object]] = [
+        [
+            p["nodes"],
+            base / (p["nodes"] * p["none_cycles"]),
+            p["none_util"],
+            base / (p["nodes"] * p["repl_cycles"]),
+            p["repl_util"],
+        ]
+        for p in (r.value for r in outcomes)
+    ]
     print()
     print(
         format_table(
@@ -157,65 +176,51 @@ def _cmd_table_3_1(args) -> int:
 
 
 def _cmd_fig_3_1(args) -> int:
-    from repro.apps.beam import BeamConfig, run_beam
-    from repro.apps.graphs import (
-        beam_search_reference,
-        initial_costs,
-        layered_lattice,
-    )
+    from repro.parallel import SweepTask, run_sweep
+    from repro.parallel.grid import BEAM_MODES
 
-    lattice = layered_lattice(
-        n_layers=12, width=128, branching=3, seed=5, hot_fraction=0.6
-    )
     beam = 60
-    initial = initial_costs(lattice, seed=1)
-    reference = beam_search_reference(lattice, beam=beam, initial=initial)
-    modes = [
-        ("blocking", BeamConfig(beam=beam)),
-        ("delayed", BeamConfig(sync_mode="delayed", beam=beam)),
-        (
-            "ctx16",
-            BeamConfig(
-                sync_mode="context",
-                threads_per_node=2,
-                context_switch_cycles=16,
-                beam=beam,
-            ),
-        ),
-        (
-            "ctx40",
-            BeamConfig(
-                sync_mode="context",
-                threads_per_node=2,
-                context_switch_cycles=40,
-                beam=beam,
-            ),
-        ),
-        (
-            "ctx140",
-            BeamConfig(
-                sync_mode="context",
-                threads_per_node=2,
-                context_switch_cycles=140,
-                beam=beam,
-            ),
-        ),
-    ]
-    base = run_beam(1, lattice, BeamConfig(beam=beam)).cycles
-    rows = []
-    for label, config in modes:
-        result = run_beam(args.nodes, lattice, config)
-        for state, cost in reference.items():
-            assert result.scores.get(state) == cost, label
-        rows.append(
-            [
-                label,
-                result.cycles,
-                base / (args.nodes * result.cycles),
-                result.report.utilization(),
-            ]
+    # Task 0 is the single-node blocking baseline the efficiency column
+    # divides by; the paper's five sync styles follow.
+    tasks = [
+        SweepTask.make(
+            0,
+            "repro.parallel.grid:beam_point",
+            {"mode": "blocking", "nodes": 1, "beam": beam},
+            label="base",
         )
-        print(f"  {label}: verified")
+    ]
+    tasks.extend(
+        SweepTask.make(
+            i + 1,
+            "repro.parallel.grid:beam_point",
+            {"mode": mode, "nodes": args.nodes, "beam": beam},
+            label=mode,
+        )
+        for i, mode in enumerate(BEAM_MODES)
+    )
+    outcomes = run_sweep(
+        tasks,
+        jobs=_resolve_jobs(args.jobs),
+        on_result=lambda r: print(
+            f"  {r.label}: verified" if r.ok else f"  {r.describe()}"
+        )
+        if r.label != "base"
+        else None,
+        label="fig-3-1",
+    )
+    if not all(r.ok for r in outcomes):
+        return 1
+    base = outcomes[0].value["cycles"]
+    rows = [
+        [
+            p["mode"],
+            p["cycles"],
+            base / (args.nodes * p["cycles"]),
+            p["utilization"],
+        ]
+        for p in (r.value for r in outcomes[1:])
+    ]
     print()
     print(
         format_table(
@@ -331,6 +336,8 @@ def _cmd_check(args) -> int:
         on_result=show,
         faults=faults,
         fault_overrides=overrides,
+        jobs=_resolve_jobs(args.jobs),
+        shard=args.shard,
     )
     cycles = sum(r.cycles for r in results)
     messages = sum(r.messages for r in results)
@@ -384,6 +391,64 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _cmd_sweep(args) -> int:
+    """Run a parameter grid across worker processes, print one table."""
+    from repro.parallel import SweepTask, expand_grid, run_sweep, shard_tasks
+
+    if args.experiment == "sssp":
+        axes = {"nodes": _int_list(args.nodes), "copies": _int_list(args.copies)}
+        fn = "repro.parallel.grid:sssp_point"
+        extra = {"vertices": args.vertices}
+        columns = [
+            "nodes",
+            "copies",
+            "cycles",
+            "messages",
+            "utilization",
+            "total_over_update",
+        ]
+        title = f"SSSP sweep ({args.vertices} vertices)"
+    else:  # beam
+        axes = {
+            "nodes": _int_list(args.nodes),
+            "mode": [m for m in args.modes.split(",") if m],
+        }
+        fn = "repro.parallel.grid:beam_point"
+        extra = {"beam": args.beam}
+        columns = ["nodes", "mode", "cycles", "utilization"]
+        title = f"Beam-search sweep (beam {args.beam})"
+
+    points = expand_grid(axes)
+    tasks = [
+        SweepTask.make(
+            i,
+            fn,
+            {**point, **extra},
+            label=", ".join(f"{k}={v}" for k, v in point.items()),
+        )
+        for i, point in enumerate(points)
+    ]
+    tasks = shard_tasks(tasks, args.shard)
+    outcomes = run_sweep(tasks, jobs=_resolve_jobs(args.jobs), label="sweep")
+    failures = [r for r in outcomes if not r.ok]
+    rows = [
+        [r.value[c] for c in columns] for r in outcomes if r.ok
+    ]
+    print(format_table(columns, rows, title=title))
+    print(
+        f"{len(outcomes)} configuration(s) swept, {len(failures)} failure(s)"
+    )
+    for r in failures:
+        print(f"  {r.describe()}")
+        if r.error_tb:
+            print("    " + "\n    ".join(r.error_tb.rstrip().splitlines()))
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "table-2-1": (_cmd_table_2_1, "Table 2-1: replication vs messages"),
     "fig-2-1": (_cmd_fig_2_1, "Figure 2-1: SSSP efficiency/utilization"),
@@ -391,6 +456,7 @@ COMMANDS = {
     "fig-3-1": (_cmd_fig_3_1, "Figure 3-1: beam-search sync styles"),
     "costs": (_cmd_costs, "Section 3.1 latency budget"),
     "check": (_cmd_check, "coherence oracle over seeded stress runs"),
+    "sweep": (_cmd_sweep, "parameter-grid sweep across worker processes"),
 }
 
 
@@ -402,6 +468,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
+
+    def add_jobs(p, shard=False):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for independent runs "
+            "(default 1 = in-process; 0 = one per core)",
+        )
+        if shard:
+            p.add_argument(
+                "--shard",
+                type=str,
+                default=None,
+                metavar="i/N",
+                help="run only the i-th of N interleaved task shards "
+                "(1-based); the union of all shards is the full sweep",
+            )
+
     for name, (_fn, help_) in COMMANDS.items():
         p = sub.add_parser(name, help=help_)
         if name == "table-2-1":
@@ -410,8 +496,48 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "fig-2-1":
             p.add_argument("--max-nodes", type=int, default=32)
             p.add_argument("--vertices", type=int, default=800)
+            add_jobs(p)
         elif name == "fig-3-1":
             p.add_argument("--nodes", type=int, default=8)
+            add_jobs(p)
+        elif name == "sweep":
+            p.add_argument(
+                "experiment",
+                choices=("sssp", "beam"),
+                help="which workload's parameter grid to sweep",
+            )
+            p.add_argument(
+                "--nodes",
+                type=str,
+                default="2,4,8",
+                help="comma-separated processor counts (default 2,4,8)",
+            )
+            p.add_argument(
+                "--copies",
+                type=str,
+                default="1,2",
+                help="sssp: comma-separated replication degrees "
+                "(default 1,2)",
+            )
+            p.add_argument(
+                "--vertices",
+                type=int,
+                default=800,
+                help="sssp: graph size (default 800)",
+            )
+            p.add_argument(
+                "--modes",
+                type=str,
+                default="blocking,delayed,ctx16,ctx40,ctx140",
+                help="beam: comma-separated sync styles",
+            )
+            p.add_argument(
+                "--beam",
+                type=int,
+                default=60,
+                help="beam: beam width (default 60)",
+            )
+            add_jobs(p, shard=True)
         elif name == "check":
             p.add_argument(
                 "--seeds",
@@ -494,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="write failing seeds' transcripts to this file "
                 "(CI artifact)",
             )
+            add_jobs(p, shard=True)
     return parser
 
 

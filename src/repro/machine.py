@@ -82,6 +82,20 @@ class PlusMachine:
 
         self.shm = SharedMemory(self)
         self._ran = False
+        # Machine-local id streams.  Thread ids (like message ids, which
+        # live on the fabric) must not come from process-global counters:
+        # they appear in transcripts and deadlock reports, and a sweep
+        # worker process runs many machines back to back — per-machine
+        # streams keep every run's output identical to a fresh process,
+        # which is what lets a parallel sweep be byte-for-byte
+        # deterministic regardless of job count (fork or spawn).
+        self._next_tid = 0
+
+    def next_tid(self) -> int:
+        """Allocate a machine-unique thread id (monotonic from 0)."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
 
     # ------------------------------------------------------------------
     @property

@@ -134,6 +134,11 @@ class Fabric:
         #: Installed :class:`~repro.network.faults.FaultPlan`, or None
         #: for the paper's lossless mesh.
         self.fault_plan: Optional[FaultPlan] = None
+        #: Next message id; ids are stamped at first injection so they
+        #: are a property of this fabric's traffic alone (a process that
+        #: runs many simulations — a sweep worker — reproduces the same
+        #: ids for the same run regardless of what ran before it).
+        self._next_msg_id = 0
 
     # ------------------------------------------------------------------
     def attach(self, node: int, receiver: Receiver) -> None:
@@ -181,6 +186,12 @@ class Fabric:
         state = self._pairs.get(pair)
         if state is None:
             state = self._pairs[pair] = _PairState(self.mesh.route(msg.src, dst))
+
+        if msg.msg_id < 0:
+            # First injection stamps the fabric-local identity; a
+            # retransmission re-sends the same object and keeps its id.
+            msg.msg_id = self._next_msg_id
+            self._next_msg_id += 1
 
         if self.fault_plan is not None:
             return self._send_faulty(msg, receiver, state)

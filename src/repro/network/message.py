@@ -37,7 +37,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from itertools import count
 from typing import List, Optional
 
 from repro.core.params import OpCode
@@ -85,9 +84,6 @@ for _kind, _bytes in MESSAGE_BYTES.items():
     _kind.base_bytes = _bytes
 del _kind, _bytes
 
-_msg_ids = count()
-
-
 @dataclass(slots=True)
 class Message:
     """One coherence-manager-to-coherence-manager network message."""
@@ -116,7 +112,13 @@ class Message:
     #: sublayer when a FaultPlan is installed; -1 means unsequenced (the
     #: lossless-mesh fast path, and NET_ACK messages themselves).
     seq: int = -1
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Machine-unique message identity, stamped by ``Fabric.send`` from
+    #: the fabric's own counter on first injection (-1 until then); a
+    #: retransmission reuses the object and therefore the id.  Ids are
+    #: per-fabric, not process-global, so a run's transcript is
+    #: byte-identical no matter how many simulations the process (or a
+    #: warm sweep worker) ran before it.
+    msg_id: int = -1
 
     @property
     def size_bytes(self) -> int:

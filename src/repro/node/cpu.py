@@ -64,8 +64,14 @@ class SimThread:
         "result",
     )
 
-    def __init__(self, gen: ThreadGen, name: str) -> None:
-        self.tid = next(_tids)
+    def __init__(
+        self, gen: ThreadGen, name: str, tid: Optional[int] = None
+    ) -> None:
+        # Machine-spawned threads get a machine-local tid (deterministic
+        # per run, even in a warm sweep worker that runs many machines);
+        # the process-global counter is only the fallback for threads
+        # constructed bare in unit tests.
+        self.tid = next(_tids) if tid is None else tid
         self.name = name
         self.gen = gen
         self.status = ThreadStatus.READY
@@ -97,7 +103,11 @@ class CPU:
     # ------------------------------------------------------------------
     def spawn(self, gen: ThreadGen, name: str = "") -> SimThread:
         """Add a thread context; it becomes runnable immediately."""
-        thread = SimThread(gen, name or f"t{len(self.threads)}")
+        thread = SimThread(
+            gen,
+            name or f"t{len(self.threads)}",
+            tid=self.node.machine.next_tid(),
+        )
         thread.continuation = lambda: self._step(thread, None)
         self.threads.append(thread)
         self.engine.after(0, self._try_dispatch)

@@ -1,0 +1,324 @@
+"""Multiprocess sweep executor: fan independent tasks out, merge in order.
+
+The executor runs a list of :class:`~repro.parallel.tasks.SweepTask`
+across ``jobs`` worker processes and returns their
+:class:`~repro.parallel.tasks.TaskResult` in task order.  Design
+contract, in priority order:
+
+1. **Determinism** — the returned list, the order of ``on_result``
+   callbacks, and any early-stop truncation are *byte-identical* for
+   every job count.  Results are buffered and flushed strictly in task
+   order; a completion that arrives early waits for its predecessors.
+   (The simulations themselves are deterministic per task; PR 4 moved
+   the message/thread id counters off process globals so a warm worker
+   reproduces a fresh process exactly.)
+2. **Warm workers** — each worker process is created once and runs many
+   tasks, so import/build cost is paid per worker, not per task.  On
+   platforms with ``fork`` the import cost is inherited outright.
+3. **Crash isolation** — a worker that dies mid-task (segfault, OOM
+   kill) is detected by the parent, the task it held is reported as a
+   crashed :class:`TaskResult` naming the task, and a replacement
+   worker keeps the sweep going.  A task that merely *raises* never
+   kills its worker at all (see :func:`~repro.parallel.tasks.execute`).
+4. **Pure in-process fallback** — ``jobs=1`` touches no subprocess
+   machinery: the same ordered-flush/early-stop loop runs inline, so
+   the serial path stays as debuggable as a plain ``for`` loop.
+
+``--shard i/N`` support lives in :func:`~repro.parallel.tasks.shard_tasks`;
+shards are plain task-list slices, so CI can split one sweep across
+runner machines and the union of shards is exactly the full sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import sys
+import time
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.parallel.tasks import SweepTask, TaskResult, execute
+
+#: ``current[wid]`` marker values (a task position >= 0 means "running").
+_IDLE = -1
+_DONE = -2
+
+#: Seconds the parent waits on the result queue before polling worker
+#: liveness.  Small enough to spot a crash quickly, large enough not to
+#: spin.
+_POLL_S = 0.1
+
+
+def default_context() -> multiprocessing.context.BaseContext:
+    """The preferred start method: ``fork`` where available (warm import
+    state for free), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProgressLine:
+    """A live ``done/total, failures, ETA`` line on stderr.
+
+    On a tty the line redraws in place; otherwise (CI logs) a plain
+    line is printed every ~10% so the sweep stays observable without
+    flooding the log.  Progress goes to *stderr* only — stdout carries
+    the sweep's aggregate output, which must stay byte-identical across
+    job counts.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream=None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled and total > 0
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._every = max(1, total // 10)
+        self._start = time.perf_counter()
+        self._dirty = False
+
+    def update(self, done: int, failures: int) -> None:
+        if not self.enabled:
+            return
+        if not self._tty and done % self._every and done != self.total:
+            return
+        elapsed = time.perf_counter() - self._start
+        if done and done < self.total:
+            eta = elapsed * (self.total - done) / done
+            eta_s = f", ETA {eta:.0f}s"
+        else:
+            eta_s = ""
+        line = (
+            f"[{self.label}] {done}/{self.total} done, "
+            f"{failures} failed{eta_s}"
+        )
+        if self._tty:
+            self.stream.write("\r\x1b[2K" + line)
+            self._dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.enabled and self._tty and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def _worker_main(wid, task_q, conn, current) -> None:
+    """Worker loop: pull ``(pos, task)`` until the None sentinel.
+
+    Results go back over the worker's *own* pipe — a shared result
+    queue's feeder lock can be orphaned by a worker that dies mid-task,
+    wedging every other worker; a private pipe can't hurt anyone else,
+    and its EOF doubles as the parent's instant death notification.
+
+    ``current[wid]`` always names the task position being executed
+    (or _IDLE/_DONE), so the parent can attribute a crash to the task
+    the worker was holding when it died.
+    """
+    try:
+        while True:
+            item = task_q.get()
+            if item is None:
+                break
+            pos, task = item
+            current[wid] = pos
+            conn.send((pos, execute(task)))
+            current[wid] = _IDLE
+        current[wid] = _DONE
+    finally:
+        conn.close()
+
+
+def run_sweep(
+    tasks: List[SweepTask],
+    jobs: int = 1,
+    on_result: Optional[Callable[[TaskResult], None]] = None,
+    stop: Optional[Callable[[TaskResult], bool]] = None,
+    failed: Optional[Callable[[TaskResult], bool]] = None,
+    progress: Optional[ProgressLine] = None,
+    label: str = "sweep",
+    show_progress: Optional[bool] = None,
+    mp_context=None,
+) -> List[TaskResult]:
+    """Run ``tasks`` across ``jobs`` processes; results in task order.
+
+    ``on_result`` fires once per task, strictly in task order.  When
+    ``stop`` returns True for an (in-order) result, the sweep aborts:
+    later tasks are cancelled or discarded and the returned list ends
+    with the stopping result — exactly what a serial loop that
+    ``break``s produces.  ``failed`` only feeds the progress line's
+    failure counter (default: ``not result.ok``).
+    """
+    total = len(tasks)
+    if failed is None:
+        failed = lambda r: not r.ok  # noqa: E731
+    if progress is None:
+        enabled = (
+            show_progress
+            if show_progress is not None
+            else (total > 1 and jobs > 1)
+        )
+        progress = ProgressLine(total, label=label, enabled=enabled)
+    if total == 0:
+        return []
+    jobs = max(1, min(jobs, total))
+    if jobs == 1:
+        return _run_serial(tasks, on_result, stop, failed, progress)
+    return _run_parallel(
+        tasks, jobs, on_result, stop, failed, progress, mp_context
+    )
+
+
+def _run_serial(tasks, on_result, stop, failed, progress):
+    """The pure in-process path (``--jobs 1``): no subprocesses at all."""
+    results: List[TaskResult] = []
+    failures = 0
+    try:
+        for task in tasks:
+            result = execute(task)
+            results.append(result)
+            if failed(result):
+                failures += 1
+            if on_result is not None:
+                on_result(result)
+            progress.update(len(results), failures)
+            if stop is not None and stop(result):
+                break
+    finally:
+        progress.close()
+    return results
+
+
+def _run_parallel(tasks, jobs, on_result, stop, failed, progress, mp_context):
+    ctx = mp_context if mp_context is not None else default_context()
+    task_q = ctx.Queue()
+    # Shared per-worker "what am I running" markers (crash attribution).
+    current = ctx.Array("i", [_IDLE] * jobs, lock=False)
+    workers: List[Optional[object]] = [None] * jobs
+    readers: Dict[object, int] = {}  # reader conn -> wid
+
+    def spawn_worker(wid):
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, send_conn, current),
+            daemon=True,
+        )
+        proc.start()
+        # Close the parent's copy of the send end: the worker now holds
+        # the only one, so its exit — clean or violent — surfaces as
+        # EOF on ``recv_conn`` (instant death detection, no polling).
+        send_conn.close()
+        readers[recv_conn] = wid
+        workers[wid] = proc
+        return proc
+
+    for pos, task in enumerate(tasks):
+        task_q.put((pos, task))
+    for _ in range(jobs):
+        task_q.put(None)  # one exit sentinel per (eventual) live worker
+    for wid in range(jobs):
+        spawn_worker(wid)
+
+    collected: Dict[int, TaskResult] = {}
+    completed: Set[int] = set()
+    results: List[TaskResult] = []
+    flushed = 0  # next position to deliver in order
+    failures = 0
+    pending = len(tasks)
+    stopped = False
+
+    def flush():
+        """Deliver every contiguous in-order result; honor ``stop``."""
+        nonlocal flushed, failures, stopped
+        while not stopped and flushed in collected:
+            result = collected.pop(flushed)
+            flushed += 1
+            results.append(result)
+            if failed(result):
+                failures += 1
+            if on_result is not None:
+                on_result(result)
+            progress.update(len(results), failures)
+            if stop is not None and stop(result):
+                stopped = True
+
+    def reap(conn):
+        """A worker's pipe hit EOF: retire it; if it died holding a
+        task, synthesize the crashed result and replace the worker."""
+        nonlocal pending
+        wid = readers.pop(conn)
+        conn.close()
+        proc = workers[wid]
+        workers[wid] = None
+        proc.join()  # EOF means the worker is exiting: join is instant
+        held = current[wid]
+        if proc.exitcode == 0 and held == _DONE:
+            return  # clean retirement (consumed its exit sentinel)
+        if held >= 0 and held not in completed:
+            task = tasks[held]
+            completed.add(held)
+            collected[held] = TaskResult(
+                index=task.index,
+                label=task.label,
+                crashed=True,
+                error=(
+                    f"worker process died (exitcode {proc.exitcode}) "
+                    f"while running {task.describe()}"
+                ),
+            )
+            pending -= 1
+        if pending > 0 and not stopped:
+            # Keep the fleet at strength; the dead worker never consumed
+            # an exit sentinel, so the replacement inherits its slot.
+            current[wid] = _IDLE
+            spawn_worker(wid)
+
+    try:
+        while pending > 0 and not stopped:
+            ready = mp_connection.wait(list(readers), timeout=_POLL_S)
+            for conn in ready:
+                try:
+                    pos, result = conn.recv()
+                except (EOFError, OSError):
+                    reap(conn)
+                    continue
+                if pos in completed:
+                    continue  # twin of a crash-synthesized result
+                completed.add(pos)
+                collected[pos] = result
+                pending -= 1
+            flush()
+    finally:
+        progress.close()
+        aborted = stopped or pending > 0
+        if aborted:
+            # Early abort: drain unclaimed work, then stop the fleet.
+            try:
+                while True:
+                    task_q.get_nowait()
+            except queue_mod.Empty:
+                pass
+        for proc in workers:
+            if proc is None:
+                continue
+            if aborted:
+                proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover — last resort
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in readers:
+            conn.close()
+        task_q.close()
+    return results

@@ -1,0 +1,151 @@
+"""Parameter-grid sweep points: module-level, picklable task targets.
+
+Every function here is a :class:`~repro.parallel.tasks.SweepTask`
+target — importable by path, taking only picklable keyword arguments
+and returning a plain dict of numbers, so a grid point can run in any
+worker process.  Each point rebuilds its own workload (graph, lattice)
+from the same fixed seeds the CLI uses; construction is deterministic
+and cheap next to the simulation itself, and rebuilding beats shipping
+an unpicklable machine across a process boundary.
+
+``expand_grid`` turns ``{"nodes": [4, 8], "copies": [1, 2]}`` into the
+deterministic cartesian product (last axis fastest), which is the task
+order — and therefore the output row order — of ``python -m repro
+sweep`` for every job count.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, List, Sequence
+
+
+def expand_grid(axes: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of ``axes`` in deterministic order.
+
+    Axis order is the dict's insertion order; the last axis varies
+    fastest, like nested for-loops written in the same order.
+    """
+    names = list(axes)
+    combos = product(*(axes[name] for name in names))
+    return [dict(zip(names, values)) for values in combos]
+
+
+# ----------------------------------------------------------------------
+# SSSP grid points (Table 2-1 / Figure 2-1 family).
+# ----------------------------------------------------------------------
+def sssp_point(
+    nodes: int,
+    copies: int = 1,
+    vertices: int = 800,
+    steal: bool = False,
+    replicate_queues: bool = True,
+) -> Dict[str, Any]:
+    """One SSSP configuration, verified against Dijkstra."""
+    from repro.apps.graphs import dijkstra, geometric_graph
+    from repro.apps.sssp import SSSPConfig, run_sssp
+
+    graph = geometric_graph(
+        vertices, degree=5, long_edge_fraction=0.08, seed=7
+    )
+    result = run_sssp(
+        nodes,
+        graph,
+        SSSPConfig(
+            copies=copies, replicate_queues=replicate_queues, steal=steal
+        ),
+    )
+    if result.distances != dijkstra(graph, 0):
+        raise AssertionError(
+            f"SSSP diverged from Dijkstra (nodes={nodes}, copies={copies})"
+        )
+    row = result.report.table_2_1_row()
+    return {
+        "nodes": nodes,
+        "copies": copies,
+        "cycles": result.cycles,
+        "messages": result.report.fabric.total_messages,
+        "utilization": result.report.utilization(),
+        "reads_local_over_remote": row["reads_local_over_remote"],
+        "writes_local_over_remote": row["writes_local_over_remote"],
+        "total_over_update": row["total_over_update"],
+    }
+
+
+def fig21_point(nodes: int, vertices: int = 800) -> Dict[str, Any]:
+    """One Figure 2-1 x-axis point: the unreplicated and replicated
+    runs for ``nodes`` processors, both verified against Dijkstra."""
+    from repro.apps.graphs import dijkstra, geometric_graph
+    from repro.apps.sssp import SSSPConfig, run_sssp
+
+    graph = geometric_graph(
+        vertices, degree=5, long_edge_fraction=0.08, seed=7
+    )
+    reference = dijkstra(graph, 0)
+    none = run_sssp(nodes, graph, SSSPConfig(copies=1, steal=False))
+    repl = run_sssp(
+        nodes, graph, SSSPConfig(copies=min(4, nodes), steal=True)
+    )
+    if none.distances != reference or repl.distances != reference:
+        raise AssertionError(f"SSSP diverged from Dijkstra (nodes={nodes})")
+    return {
+        "nodes": nodes,
+        "none_cycles": none.cycles,
+        "none_util": none.report.utilization(),
+        "repl_cycles": repl.cycles,
+        "repl_util": repl.report.utilization(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Beam-search grid points (Figure 3-1 family).
+# ----------------------------------------------------------------------
+#: Figure 3-1's named synchronization styles.
+BEAM_MODES = ("blocking", "delayed", "ctx16", "ctx40", "ctx140")
+
+
+def _beam_config(mode: str, beam: int):
+    from repro.apps.beam import BeamConfig
+
+    if mode == "blocking":
+        return BeamConfig(beam=beam)
+    if mode == "delayed":
+        return BeamConfig(sync_mode="delayed", beam=beam)
+    if mode.startswith("ctx"):
+        return BeamConfig(
+            sync_mode="context",
+            threads_per_node=2,
+            context_switch_cycles=int(mode[3:]),
+            beam=beam,
+        )
+    raise ValueError(f"unknown beam sync mode {mode!r}")
+
+
+def beam_point(mode: str, nodes: int = 8, beam: int = 60) -> Dict[str, Any]:
+    """One Figure 3-1 row: ``mode`` on ``nodes`` processors, verified
+    against the sequential beam-search reference."""
+    from repro.apps.beam import run_beam
+    from repro.apps.graphs import (
+        beam_search_reference,
+        initial_costs,
+        layered_lattice,
+    )
+
+    lattice = layered_lattice(
+        n_layers=12, width=128, branching=3, seed=5, hot_fraction=0.6
+    )
+    initial = initial_costs(lattice, seed=1)
+    reference = beam_search_reference(lattice, beam=beam, initial=initial)
+    result = run_beam(nodes, lattice, _beam_config(mode, beam))
+    for state, cost in reference.items():
+        if result.scores.get(state) != cost:
+            raise AssertionError(
+                f"beam search diverged from reference ({mode}, "
+                f"nodes={nodes}, state={state})"
+            )
+    return {
+        "mode": mode,
+        "nodes": nodes,
+        "cycles": result.cycles,
+        "utilization": result.report.utilization(),
+    }

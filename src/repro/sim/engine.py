@@ -24,14 +24,18 @@ class Timer:
     Cancellation is lazy: the heap entry stays scheduled and fires as a
     no-op, so the engine's hot event loop needs no extra bookkeeping.
     The retransmission timers of the fault-recovery layer are the main
-    client; they are cancelled far more often than they fire.
+    client; they are cancelled far more often than they fire.  The
+    engine compacts its heap when cancelled entries pile up (long
+    faulty runs cancel hundreds of thousands of them), so a cancelled
+    timer's slot is eventually reclaimed rather than popped as a no-op.
     """
 
-    __slots__ = ("_fn", "cancelled")
+    __slots__ = ("_fn", "cancelled", "_engine")
 
-    def __init__(self, fn: Callback) -> None:
+    def __init__(self, fn: Callback, engine: "Optional[Engine]" = None) -> None:
         self._fn = fn
         self.cancelled = False
+        self._engine = engine
 
     def __call__(self) -> None:
         if not self.cancelled:
@@ -39,7 +43,10 @@ class Timer:
 
     def cancel(self) -> None:
         """Make the timer a no-op when it fires.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._note_cancelled()
 
 
 class Engine:
@@ -56,6 +63,10 @@ class Engine:
         self._heap: List[Tuple[int, int, Callback]] = []
         self._seq = count()
         self._events_fired = 0
+        #: Cancelled :class:`Timer` entries still occupying heap slots;
+        #: when they exceed half of ``pending_events`` the heap is
+        #: compacted (see :meth:`_note_cancelled`).
+        self._cancelled_timers = 0
         #: Optional ``random.Random``: when set, events scheduled for the
         #: same cycle fire in a seeded-random (still deterministic) order
         #: instead of scheduling order.  The coherence protocol must be
@@ -106,11 +117,43 @@ class Engine:
 
     def timer(self, delay: int, fn: Callback) -> Timer:
         """Schedule ``fn`` after ``delay`` cycles; returns a cancellable
-        :class:`Timer` handle.  A cancelled timer still occupies its heap
-        slot but fires as a no-op (lazy cancellation)."""
-        handle = Timer(fn)
+        :class:`Timer` handle.  A cancelled timer keeps its heap slot
+        (lazy cancellation) until cancelled entries dominate the heap,
+        at which point the engine compacts them away in one pass."""
+        handle = Timer(fn, self)
         self.after(delay, handle)
         return handle
+
+    def _note_cancelled(self) -> None:
+        """A scheduled :class:`Timer` was cancelled; compact if needed.
+
+        Lazy cancellation leaves the entry in the heap, which is fine
+        while cancellations are rare — but the recovery layer of a long
+        faulty run cancels a retransmission timer for nearly every
+        message, and those dead entries would otherwise outnumber the
+        live ones and tax every push/pop.  When cancelled entries exceed
+        half of ``pending_events`` the heap is rebuilt without them;
+        keys (time, seq) are preserved, so event order is unchanged.
+        The counter over-estimates after a cancelled timer fires as a
+        no-op (the hot loop does not decrement it), which at worst
+        triggers one early compaction — never a missed one.
+        """
+        self._cancelled_timers += 1
+        if (
+            self._cancelled_timers > 32
+            and self._cancelled_timers * 2 > len(self._heap)
+        ):
+            # In place: Engine.run holds a local alias to the heap list,
+            # so the list object's identity must survive compaction.
+            self._heap[:] = [
+                entry
+                for entry in self._heap
+                if not (
+                    type(entry[2]) is Timer and entry[2].cancelled
+                )
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled_timers = 0
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -130,8 +173,10 @@ class Engine:
         is given the clock always ends at ``until`` (even if the queue
         drains earlier), so callers can rely on ``now == until`` unless
         the engine had already run past it.  ``max_events`` is a
-        runaway-loop backstop; exceeding it raises
-        :class:`SimulationError`.
+        runaway-loop backstop and the cap is exact: the call executes at
+        most ``max_events`` events, raising :class:`SimulationError`
+        before running the one that would exceed it (the offending event
+        stays queued).
         """
         # This loop dominates simulation wall time: every scheduled
         # callback in a run funnels through it, so the heap and heappop
@@ -143,28 +188,30 @@ class Engine:
         try:
             if until is None:
                 while heap:
+                    if fired >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events at cycle "
+                            f"{self._now}; the simulated program is "
+                            "probably livelocked"
+                        )
                     time, _seq, fn = pop(heap)
                     self._now = time
                     fired += 1
                     fn()
-                    if fired > max_events:
-                        raise SimulationError(
-                            f"exceeded {max_events} events at cycle {time}; "
-                            "the simulated program is probably livelocked"
-                        )
             else:
                 while heap:
                     if heap[0][0] > until:
                         break
+                    if fired >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events at cycle "
+                            f"{self._now}; the simulated program is "
+                            "probably livelocked"
+                        )
                     time, _seq, fn = pop(heap)
                     self._now = time
                     fired += 1
                     fn()
-                    if fired > max_events:
-                        raise SimulationError(
-                            f"exceeded {max_events} events at cycle {time}; "
-                            "the simulated program is probably livelocked"
-                        )
                 if until > self._now:
                     self._now = until
         finally:

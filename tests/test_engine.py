@@ -139,6 +139,93 @@ class TestEngine:
         assert engine.events_fired == 10
         assert engine.pending_events == 0
 
+    def test_max_events_cap_is_exact(self):
+        # Regression: the backstop used to be checked after executing
+        # the event, so one event past the limit still ran.
+        engine = Engine()
+
+        def loop():
+            engine.after(1, loop)
+
+        engine.at(0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+        assert engine.events_fired == 100
+        assert engine.pending_events == 1  # the offender stays queued
+
+    def test_max_events_cap_is_exact_with_until(self):
+        engine = Engine()
+
+        def loop():
+            engine.after(1, loop)
+
+        engine.at(0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(until=1_000, max_events=50)
+        assert engine.events_fired == 50
+
+
+class TestTimerCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        engine = Engine()
+        timers = [engine.timer(10, lambda: None) for _ in range(100)]
+        keeper_fired = []
+        engine.timer(20, lambda: keeper_fired.append(True))
+        assert engine.pending_events == 101
+        for t in timers:
+            t.cancel()
+        # Compaction fired every time cancelled entries exceeded half
+        # of pending_events; at most the floor (32) of the 100 dead
+        # entries may remain below the trigger.
+        assert engine.pending_events <= 33
+        engine.run()
+        assert keeper_fired == [True]
+
+    def test_small_heaps_keep_lazy_cancellation(self):
+        # Below the compaction floor the entry just fires as a no-op.
+        engine = Engine()
+        t = engine.timer(5, lambda: None)
+        t.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_compaction_preserves_event_order(self):
+        engine = Engine()
+        seen = []
+        engine.at(30, lambda: seen.append("late"))
+        engine.at(10, lambda: seen.append("early"))
+        doomed = [engine.timer(20, lambda: seen.append("BUG")) for _ in range(80)]
+        engine.at(20, lambda: seen.append("mid"))
+        for t in doomed:
+            t.cancel()
+        engine.run()
+        assert seen == ["early", "mid", "late"]
+
+    def test_cancel_is_idempotent_in_the_compaction_count(self):
+        engine = Engine()
+        t = engine.timer(5, lambda: None)
+        for _ in range(200):
+            t.cancel()  # must count the entry once, not 200 times
+        assert engine._cancelled_timers <= 1
+        engine.run()
+
+    def test_lossless_run_event_counts_are_unchanged(self):
+        # Pin the event/cycle/message counts of a lossless stress run:
+        # no timers exist on a lossless mesh, so compaction must never
+        # fire and the counts must match the pre-compaction engine.
+        from repro.check.stress import StressConfig, build_machine
+
+        config = StressConfig.from_seed(0)
+        machine, monitor, plans = build_machine(config)
+        for node_id, program in plans:
+            machine.spawn(node_id, program, name="stress-0")
+        machine.run(max_events=5_000_000)
+        monitor.uninstall()
+        assert machine.engine.events_fired == 967
+        assert machine.engine.now == 2534
+        assert machine.fabric.stats.total_messages == 373
+
 
 class TestWaitQueue:
     def test_wake_one_is_fifo(self):

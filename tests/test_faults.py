@@ -302,8 +302,10 @@ def test_fault_plan_must_be_installed_before_traffic():
 # ----------------------------------------------------------------------
 # Fault-aware invariant monitor.
 # ----------------------------------------------------------------------
-def _ack(xid):
-    return Message(kind=MsgKind.WRITE_ACK, src=1, dst=0, xid=xid)
+def _ack(xid, msg_id=0):
+    # msg_id is given explicitly: in the real system it is stamped by
+    # Fabric.send, which these monitor-only unit tests bypass.
+    return Message(kind=MsgKind.WRITE_ACK, src=1, dst=0, xid=xid, msg_id=msg_id)
 
 
 def test_monitor_allows_same_message_retransmitted_under_faults():
@@ -316,8 +318,10 @@ def test_monitor_allows_same_message_retransmitted_under_faults():
 
 def test_monitor_still_catches_distinct_duplicate_acks_under_faults():
     monitor = InvariantMonitor(strict=False, fault_plan=FaultPlan(1))
-    monitor.record(10, _ack(5))
-    monitor.record(400, _ack(5))  # new msg_id duplicating the chain key
+    monitor.record(10, _ack(5, msg_id=0))
+    # New msg_id duplicating the chain key: a protocol bug, not a wire
+    # retransmission.
+    monitor.record(400, _ack(5, msg_id=1))
     assert any("ack-exactly-once" in v for v in monitor.violations)
 
 

@@ -178,10 +178,26 @@ class TestMessages:
         empty = Message(MsgKind.PAGE_COPY_DATA, 0, 1, words=[])
         assert msg.size_bytes == empty.size_bytes + 128
 
-    def test_message_ids_unique(self):
-        a = Message(MsgKind.READ_REQ, 0, 1)
-        b = Message(MsgKind.READ_REQ, 0, 1)
-        assert a.msg_id != b.msg_id
+    def test_message_ids_stamped_by_fabric_per_machine(self):
+        # Ids are a property of one fabric's traffic, not of the
+        # process: two identical machines stamp identical id streams,
+        # so transcripts never depend on what ran earlier in-process
+        # (fork/spawn cleanliness for warm sweep workers).
+        def first_ids():
+            engine = Engine()
+            fabric = Fabric(engine, Mesh(4), PAPER_PARAMS)
+            seen = []
+            fabric.attach(1, lambda msg: seen.append(msg.msg_id))
+            a = Message(MsgKind.READ_REQ, 0, 1)
+            b = Message(MsgKind.READ_REQ, 0, 1)
+            assert a.msg_id == b.msg_id == -1  # unstamped until sent
+            fabric.send(a)
+            fabric.send(b)
+            engine.run()
+            return seen
+
+        assert first_ids() == [0, 1]
+        assert first_ids() == [0, 1]
 
 
 class TestFabric:

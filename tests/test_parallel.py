@@ -1,0 +1,331 @@
+"""Tests for the multiprocess sweep executor (``repro.parallel``).
+
+Everything observable about a sweep — result order, ``on_result``
+order, early-stop truncation, failure lists, exit codes — must be
+byte-identical for every ``--jobs`` count.  These tests pin that
+contract at three levels: the task model, the executor (serial and
+parallel paths, including crash isolation), and the CLI commands that
+ride on it.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.parallel import (
+    ProgressLine,
+    SweepTask,
+    TaskResult,
+    execute,
+    expand_grid,
+    parse_shard,
+    run_sweep,
+    shard_tasks,
+)
+from repro.parallel.executor import _DONE, _IDLE, _worker_main
+
+#: Import path prefix for this module's task targets (tests are a
+#: package, so workers can re-import them by name).
+_HERE = __name__
+
+#: Seeds ``flaky`` fails on — fixed, so failure lists are deterministic.
+_BROKEN = frozenset({3, 17, 29})
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"bad input {x}")
+
+
+def die(x):
+    os._exit(43)  # simulate a segfault/OOM kill: no exception, no cleanup
+
+
+def pid_of(x):
+    return os.getpid()
+
+
+def flaky(seed):
+    if seed in _BROKEN:
+        raise ValueError(f"seed {seed} broke")
+    return seed * 2
+
+
+def _tasks(fn, values, key="x"):
+    return [
+        SweepTask.make(i, f"{_HERE}:{fn}", {key: v}, label=f"{fn}({v})")
+        for i, v in enumerate(values)
+    ]
+
+
+def _strip(results):
+    """Results minus the one legitimately nondeterministic field."""
+    import dataclasses
+
+    return [dataclasses.replace(r, wall_s=0.0) for r in results]
+
+
+class TestSweepTask:
+    def test_make_canonicalizes_kwargs(self):
+        a = SweepTask.make(0, "m:f", {"b": 2, "a": 1})
+        b = SweepTask.make(0, "m:f", {"a": 1, "b": 2})
+        assert a == b
+        assert a.kwargs == (("a", 1), ("b", 2))
+
+    def test_resolve_and_execute(self):
+        task = _tasks("square", [7])[0]
+        assert task.resolve() is square
+        result = execute(task)
+        assert result.ok
+        assert result.value == 49
+        assert result.wall_s >= 0
+        assert result.describe() == "square(7): ok"
+
+    def test_resolve_rejects_bad_paths(self):
+        with pytest.raises(ValueError):
+            SweepTask.make(0, "no_colon_here").resolve()
+        with pytest.raises(TypeError):
+            SweepTask.make(0, f"{_HERE}:_BROKEN").resolve()
+
+    def test_execute_captures_errors(self):
+        result = execute(_tasks("boom", [5])[0])
+        assert not result.ok
+        assert result.error == "ValueError: bad input 5"
+        assert "ValueError" in result.error_tb
+        assert "ERROR" in result.describe()
+
+    def test_describe_falls_back_to_index(self):
+        assert SweepTask.make(4, "m:f").describe() == "task 4"
+        assert TaskResult(index=4).describe() == "task 4: ok"
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/3") == (2, 3)
+
+    @pytest.mark.parametrize("bad", ["", "3", "0/2", "3/2", "a/b", "1/0"])
+    def test_parse_shard_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard(bad)
+
+    def test_shards_partition_the_sweep(self):
+        tasks = _tasks("square", range(10))
+        shards = [shard_tasks(tasks, f"{i}/3") for i in (1, 2, 3)]
+        assert shards[0][0].index == 0 and shards[1][0].index == 1
+        merged = sorted(
+            (t for shard in shards for t in shard), key=lambda t: t.index
+        )
+        assert merged == tasks
+        assert shard_tasks(tasks, None) == tasks
+
+
+class TestExpandGrid:
+    def test_order_is_last_axis_fastest(self):
+        grid = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert grid == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+
+class TestSerialSweep:
+    def test_results_in_order(self):
+        seen = []
+        results = run_sweep(
+            _tasks("square", [3, 1, 2]), jobs=1, on_result=seen.append
+        )
+        assert [r.value for r in results] == [9, 1, 4]
+        assert seen == results
+
+    def test_early_stop_truncates(self):
+        results = run_sweep(
+            _tasks("square", range(10)),
+            jobs=1,
+            stop=lambda r: r.index == 2,
+        )
+        assert [r.index for r in results] == [0, 1, 2]
+
+    def test_empty_sweep(self):
+        assert run_sweep([], jobs=4) == []
+
+
+class TestProgressLine:
+    def test_non_tty_prints_sparsely(self):
+        stream = io.StringIO()
+        line = ProgressLine(100, label="t", stream=stream)
+        for done in range(1, 101):
+            line.update(done, 0)
+        line.close()
+        lines = stream.getvalue().splitlines()
+        assert 10 <= len(lines) <= 11
+        assert lines[-1] == "[t] 100/100 done, 0 failed"
+        assert "ETA" in lines[0]
+
+    def test_tty_redraws_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        line = ProgressLine(3, label="t", stream=stream)
+        line.update(1, 1)
+        line.update(2, 1)
+        line.close()
+        text = stream.getvalue()
+        assert text.count("\r\x1b[2K") == 2
+        assert text.endswith("\n")
+
+    def test_disabled_is_silent(self):
+        stream = io.StringIO()
+        line = ProgressLine(5, stream=stream, enabled=False)
+        line.update(5, 0)
+        line.close()
+        assert stream.getvalue() == ""
+
+
+class TestWorkerMain:
+    """The worker loop, driven in-process with fakes (coverage of the
+    exact code subprocesses run)."""
+
+    class FakeQueue:
+        def __init__(self, items):
+            self.items = list(items)
+
+        def get(self):
+            return self.items.pop(0)
+
+    class FakeConn:
+        def __init__(self):
+            self.sent = []
+            self.closed = False
+
+        def send(self, item):
+            self.sent.append(item)
+
+        def close(self):
+            self.closed = True
+
+    def test_runs_tasks_until_sentinel(self):
+        tasks = _tasks("square", [5, 6])
+        q = self.FakeQueue([(0, tasks[0]), (1, tasks[1]), None])
+        conn = self.FakeConn()
+        current = [_IDLE]
+        _worker_main(0, q, conn, current)
+        assert [(pos, r.value) for pos, r in conn.sent] == [(0, 25), (1, 36)]
+        assert current[0] == _DONE
+        assert conn.closed
+
+    def test_error_does_not_kill_worker(self):
+        tasks = _tasks("boom", [1]) + _tasks("square", [2])
+        q = self.FakeQueue([(0, tasks[0]), (1, tasks[1]), None])
+        conn = self.FakeConn()
+        _worker_main(0, q, conn, [_IDLE])
+        assert not conn.sent[0][1].ok
+        assert conn.sent[1][1].value == 4
+
+
+class TestParallelSweep:
+    def test_matches_serial(self):
+        tasks = _tasks("square", range(12))
+        serial = run_sweep(tasks, jobs=1)
+        parallel = run_sweep(tasks, jobs=4, show_progress=False)
+        assert _strip(parallel) == _strip(serial)
+
+    def test_workers_are_warm(self):
+        results = run_sweep(
+            _tasks("pid_of", range(8)), jobs=2, show_progress=False
+        )
+        pids = {r.value for r in results}
+        assert 1 <= len(pids) <= 2  # 8 tasks, at most 2 processes
+
+    def test_errors_are_isolated_and_ordered(self):
+        tasks = _tasks("flaky", range(32), key="seed")
+        serial = run_sweep(tasks, jobs=1)
+        parallel = run_sweep(tasks, jobs=4, show_progress=False)
+        assert _strip(parallel) == _strip(serial)
+        failed = [r.index for r in parallel if not r.ok]
+        assert failed == sorted(_BROKEN)
+        assert all(r.value == r.index * 2 for r in parallel if r.ok)
+
+    def test_crash_is_isolated(self):
+        tasks = _tasks("square", range(6))
+        tasks[2] = SweepTask.make(
+            2, f"{_HERE}:die", {"x": 2}, label="die(2)"
+        )
+        results = run_sweep(tasks, jobs=2, show_progress=False)
+        assert [r.index for r in results] == list(range(6))
+        crashed = results[2]
+        assert crashed.crashed and not crashed.ok
+        assert "worker process died" in crashed.error
+        assert "exitcode 43" in crashed.error
+        assert "die(2)" in crashed.error
+        assert [r.value for r in results if r.ok] == [0, 1, 9, 16, 25]
+
+    def test_early_stop_matches_serial(self):
+        tasks = _tasks("square", range(10))
+        serial = run_sweep(tasks, jobs=1, stop=lambda r: r.index == 2)
+        parallel = run_sweep(
+            tasks, jobs=3, stop=lambda r: r.index == 2, show_progress=False
+        )
+        assert _strip(parallel) == _strip(serial)
+        assert [r.index for r in parallel] == [0, 1, 2]
+
+
+def _run_cli(argv):
+    """Run the CLI capturing (exit_code, stdout); stderr discarded."""
+    import contextlib
+
+    from repro import cli
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = cli.main(argv)
+    return code, out.getvalue()
+
+
+class TestCLIDeterminism:
+    """Satellite 3: aggregate reports, failure lists, and exit codes are
+    identical between ``--jobs 1`` and ``--jobs 4``."""
+
+    def test_check_32_seeds(self):
+        serial = _run_cli(["check", "--seeds", "32", "--jobs", "1"])
+        parallel = _run_cli(["check", "--seeds", "32", "--jobs", "4"])
+        assert serial == parallel
+        assert serial[0] == 0
+
+    def test_check_with_seeded_failures(self):
+        # The skip-last-hop mutation makes every seed a seeded failure
+        # that the checkers must catch; --verbose prints one report line
+        # per seed, so ordering discipline is fully visible in stdout.
+        argv = ["check", "--seeds", "32", "--inject-bug", "--verbose"]
+        serial = _run_cli(argv + ["--jobs", "1"])
+        parallel = _run_cli(argv + ["--jobs", "4"])
+        assert serial == parallel
+        assert serial[0] == 0
+        assert serial[1].count("\n") >= 32
+
+    def test_sweep_failure_lists(self):
+        # "bogus" is an unknown beam sync mode: those grid points error,
+        # the rest succeed — exit code and failure report must match.
+        argv = [
+            "sweep",
+            "beam",
+            "--nodes",
+            "2",
+            "--modes",
+            "blocking,bogus",
+            "--beam",
+            "12",
+        ]
+        serial = _run_cli(argv + ["--jobs", "1"])
+        parallel = _run_cli(argv + ["--jobs", "2"])
+        assert serial == parallel
+        assert serial[0] == 1
+        assert "ValueError" in serial[1]
