@@ -34,9 +34,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.params import PAPER_PARAMS, TOP_BIT, TimingParams
+from repro.core.params import PAPER_PARAMS, TOP_BIT, OpCode, TimingParams
 from repro.errors import ConfigError
 from repro.machine import PlusMachine
+from repro.runtime.requests import AwaitResult, Compute, Issue, Read, Write, Yield
 from repro.runtime.shm import QueueHandle
 from repro.runtime.sync import TreeBarrier
 from repro.apps.graphs import Lattice, initial_costs
@@ -227,15 +228,52 @@ class BeamSearchApp:
         machine.poke(best.addr(0), min(self.initial.values()))
         machine.poke(self._cnt_va[0], len(self.initial))
 
+        # Prebuilt request objects for the hot loops.  Requests are
+        # immutable value objects (see ``repro.runtime.requests``), so
+        # every fixed-address operation of the inner loop can reuse one
+        # instance instead of allocating per iteration.  The yielded
+        # request sequence is identical to the ThreadCtx-sugar version.
+        cfg = self.config
+        self._loop_compute = Compute(cfg.loop_compute_cycles)
+        self._succ_compute = Compute(cfg.succ_compute_cycles)
+        self._lock_spin = Compute(cfg.lock_backoff_cycles, useful=False)
+        self._yield_req = Yield()
+        self._owner = [self.owner_of(s) for s in range(lattice.n_states)]
+        self._score_rd = {s: Read(va) for s, va in self._score_va.items()}
+        self._fs_issue = {
+            s: Issue(OpCode.FETCH_SET, va) for s, va in self._score_va.items()
+        }
+        # Index n_layers is constructed but never yielded (final-layer
+        # states have no successors); it keeps the indexing uniform.
+        self._best_rd = [
+            Read(self._best_base + layer)
+            for layer in range(lattice.n_layers + 1)
+        ]
+        self._cnt_rd = [Read(va) for va in self._cnt_va]
+        self._cnt_dec = [
+            Issue(OpCode.FETCH_ADD, va, 0xFFFFFFFF) for va in self._cnt_va
+        ]
+        self._dq_issue = [
+            [Issue(OpCode.DEQUEUE, q.head_va) for q in qs]
+            for qs in self._queues
+        ]
+        self._arc_rd = {
+            s: [
+                Read(base + j)
+                for j in range(len(lattice.successors(s)) + 1)
+            ]
+            for s, base in self._arc_va.items()
+        }
+
     # ------------------------------------------------------------------
     # Shared pieces.
     # ------------------------------------------------------------------
     def _read_arcs(self, ctx, state: int):
-        base = self._arc_va[state]
-        count = yield from ctx.read(base)
+        reads = self._arc_rd[state]
+        count = yield reads[0]
         succs: List[Tuple[int, int]] = []
         for i in range(count):
-            packed = yield from ctx.read(base + 1 + i)
+            packed = yield reads[1 + i]
             succs.append((packed >> 12, packed & 0xFFF))
         succs.sort()  # ascending lock order: deadlock freedom
         return succs
@@ -352,44 +390,61 @@ class BeamSearchApp:
     # Delayed-operations worker: explicit software pipelining.
     # ------------------------------------------------------------------
     def _worker_delayed(self, ctx, node: int):
+        # Hot loop: yields prebuilt request objects directly instead of
+        # going through the ThreadCtx generator sugar.  The yielded
+        # request sequence is identical to the sugar version (each
+        # helper is a thin ``yield Request(...)``), so the simulation is
+        # unchanged — this only removes per-operation subgenerator and
+        # allocation overhead.
         cfg = self.config
         lattice = self.lattice
         steal_ptr = [node]
+        loop_compute = self._loop_compute
+        yield_req = self._yield_req
+        score_rd = self._score_rd
+        owner = self._owner
+        fetch_add = OpCode.FETCH_ADD
+        enqueue_op = OpCode.QUEUE
+        beam = cfg.beam
         for layer in range(lattice.n_layers):
             parity = layer & 1
-            queues = self._queues[parity]
-            cnt_va = self._cnt_va[layer]
+            dq_issues = self._dq_issue[parity]
+            dq_local = dq_issues[node]
+            other_queues = self._queues[1 - parity]
+            cnt_rd = self._cnt_rd[layer]
+            cnt_dec = self._cnt_dec[layer]
+            best_rd = self._best_rd[layer]
             backoff = cfg.idle_backoff_cycles
             # A dequeue of the local queue is always in flight.
-            dq_token = yield from ctx.issue_dequeue(queues[node])
+            dq_token = yield dq_local
             while True:
-                word = yield from ctx.result(dq_token)
-                dq_token = yield from ctx.issue_dequeue(queues[node])
+                word = yield AwaitResult(dq_token)
+                dq_token = yield dq_local
                 if word & TOP_BIT:
                     state = word & INF
                 else:
                     state = yield from self._steal_only(
-                        ctx, queues, node, steal_ptr
+                        dq_issues, node, steal_ptr
                     )
                     if state is None:
-                        remaining = yield from ctx.read(cnt_va)
+                        remaining = yield cnt_rd
                         if remaining == 0:
-                            yield from ctx.result(dq_token)  # drain
+                            yield AwaitResult(dq_token)  # drain
                             break
-                        yield from ctx.yield_cpu()
-                        yield from ctx.spin(backoff)
+                        yield yield_req
+                        yield Compute(backoff, useful=False)
                         backoff = min(
                             backoff * 2, cfg.idle_backoff_max_cycles
                         )
                         continue
                 backoff = cfg.idle_backoff_cycles
                 self._iterations += 1
-                yield from ctx.compute(cfg.loop_compute_cycles)
-                raw = yield from ctx.read(self._score_va[state])
+                yield loop_compute
+                raw = yield score_rd[state]
                 score = raw & INF
-                best = yield from ctx.read(self._best_base + layer)
+                best = yield best_rd
                 activations: List[int] = []
-                if score <= best + cfg.beam:
+                if score <= best + beam:
                     succs = yield from self._read_arcs(ctx, state)
                     yield from self._update_pipelined(
                         ctx, layer, score, succs, activations, state
@@ -397,30 +452,33 @@ class BeamSearchApp:
                 if activations:
                     # One counter add covers the batch; enqueues are
                     # issued together and verified together.
-                    yield from ctx.fetch_add(
-                        self._cnt_va[layer + 1], len(activations)
+                    token = yield Issue(
+                        fetch_add, self._cnt_va[layer + 1], len(activations)
                     )
+                    yield AwaitResult(token)
                     tokens = []
                     for succ in activations:
-                        queue = self._queues[1 - parity][self.owner_of(succ)]
-                        t = yield from ctx.issue_enqueue(queue, succ)
+                        queue = other_queues[owner[succ]]
+                        t = yield Issue(enqueue_op, queue.tail_va, succ)
                         tokens.append((succ, t))
                     for succ, t in tokens:
-                        ret = yield from ctx.result(t)
+                        ret = yield AwaitResult(t)
                         if ret & TOP_BIT:  # full: fall back to retries
                             yield from self._push_activation(
                                 ctx, parity, succ
                             )
-                yield from ctx.fetch_add(cnt_va, 0xFFFFFFFF)  # -1
+                token = yield cnt_dec  # -1
+                yield AwaitResult(token)
             yield from self.barrier.wait(ctx)
 
-    def _steal_only(self, ctx, queues, node: int, steal_ptr: List[int]):
-        n = len(queues)
+    def _steal_only(self, dq_issues, node: int, steal_ptr: List[int]):
+        n = len(dq_issues)
         for _ in range(min(self.config.steal_probes, n - 1)):
             steal_ptr[0] = (steal_ptr[0] + 1) % n
             if steal_ptr[0] == node:
                 steal_ptr[0] = (steal_ptr[0] + 1) % n
-            word = yield from ctx.dequeue(queues[steal_ptr[0]])
+            token = yield dq_issues[steal_ptr[0]]
+            word = yield AwaitResult(token)
             if word & TOP_BIT:
                 return word & INF
         return None
@@ -446,26 +504,41 @@ class BeamSearchApp:
                 if old == INF:
                     activations.append(succ)
             return
-        token = yield from ctx.issue_fetch_set(self._score_va[succs[0][0]])
+        # Lock style, desugared like ``_worker_delayed`` (the request
+        # sequence matches the ThreadCtx version, with ``_update_locked``
+        # and ``_track_best`` inlined).
+        fs_issue = self._fs_issue
+        succ_compute = self._succ_compute
+        lock_spin = self._lock_spin
+        yield_req = self._yield_req
+        score_va = self._score_va
+        track_bp = cfg.track_backpointers
+        best_rd = self._best_rd[layer + 1]
+        best_va = self._best_base + layer + 1
+        min_xchng = OpCode.MIN_XCHNG
+        n = len(succs)
+        token = yield fs_issue[succs[0][0]]
         for i, (succ, w) in enumerate(succs):
             cost = score + w
             while True:
-                old = yield from ctx.result(token)
+                old = yield AwaitResult(token)
                 if not old & TOP_BIT:
                     break
-                yield from ctx.yield_cpu()
-                yield from ctx.spin(cfg.lock_backoff_cycles)
-                token = yield from ctx.issue_fetch_set(self._score_va[succ])
-            if i + 1 < len(succs):
-                token = yield from ctx.issue_fetch_set(
-                    self._score_va[succs[i + 1][0]]
-                )
-            yield from ctx.compute(cfg.succ_compute_cycles)
-            improved = yield from self._update_locked(
-                ctx, succ, cost, old, pred=state
-            )
+                yield yield_req
+                yield lock_spin
+                token = yield fs_issue[succ]
+            if i + 1 < n:
+                token = yield fs_issue[succs[i + 1][0]]
+            yield succ_compute
+            improved = cost < old
+            if improved and track_bp:
+                yield Write(self._bp_va[succ], state)
+            yield Write(score_va[succ], cost if improved else old)
             if improved:
-                yield from self._track_best(ctx, layer + 1, cost)
+                best = yield best_rd
+                if cost < best:
+                    t = yield Issue(min_xchng, best_va, cost)
+                    yield AwaitResult(t)
             if old == INF:
                 activations.append(succ)
 

@@ -25,9 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.params import OpCode
 from repro.errors import ConfigError
 from repro.machine import PlusMachine
 from repro.runtime.collections import WorkPool
+from repro.runtime.requests import AwaitResult, Compute, Issue, Read, Write
 from repro.runtime.shm import Segment
 from repro.apps.graphs import Graph
 from repro.stats.report import RunReport
@@ -234,12 +236,23 @@ class SSSPApp:
         return 0 if self.config.central_queue else node
 
     def _worker(self, ctx, node: int):
+        # This generator is the simulator's hottest application code, so
+        # it yields request objects directly (no ThreadCtx subgenerator
+        # per operation) and reuses prebuilt instances where the request
+        # repeats: the yielded request *sequence* — and therefore every
+        # simulated cycle — is identical to the ThreadCtx-sugar version.
         cfg = self.config
         pool = self.pool
         scratch = self._scratch[node]
+        scratch_va = [scratch.addr(i) for i in range(16)]
         steal_ptr = [self._queue_of(node)]
         backoff = cfg.idle_backoff_cycles
         iteration = 0
+        dist_va = self._dist_va
+        dist_rd = {v: Read(va) for v, va in dist_va.items()}
+        loop_compute = Compute(cfg.loop_compute_cycles)
+        edge_compute = Compute(cfg.edge_compute_cycles)
+        min_xchng = OpCode.MIN_XCHNG
         while True:
             vertex = yield from self._pop(ctx, self._queue_of(node), steal_ptr)
             if vertex is None:
@@ -247,35 +260,36 @@ class SSSPApp:
                 if done:
                     return
                 yield from ctx.yield_cpu()
-                yield from ctx.spin(backoff)
+                yield Compute(backoff, useful=False)
                 backoff = min(backoff * 2, cfg.idle_backoff_max_cycles)
                 continue
             backoff = cfg.idle_backoff_cycles
             iteration += 1
             self._relaxations += 1
             # Ordinary bookkeeping: local scratch writes + loop overhead.
-            yield from ctx.write(scratch.addr(iteration % 8), vertex)
-            yield from ctx.write(scratch.addr(8 + iteration % 8), iteration)
-            yield from ctx.compute(cfg.loop_compute_cycles)
+            yield Write(scratch_va[iteration % 8], vertex)
+            yield Write(scratch_va[8 + iteration % 8], iteration)
+            yield loop_compute
 
-            dv = yield from ctx.read(self._dist_va[vertex])
+            dv = yield dist_rd[vertex]
             adj = self._adj_va[vertex]
-            degree = yield from ctx.read(adj)
+            degree = yield Read(adj)
             pushes: List[int] = []
             for e in range(degree):
-                packed = yield from ctx.read(adj + 1 + e)
+                packed = yield Read(adj + 1 + e)
                 u, w = packed >> 12, packed & 0xFFF
-                yield from ctx.compute(cfg.edge_compute_cycles)
+                yield edge_compute
                 candidate = dv + w
                 # Cheap pre-check of the neighbour's label: a plain read
                 # (local when the distance page is replicated here) that
                 # skips the expensive interlocked update when hopeless.
                 # Safe because distance labels decrease monotonically, so
                 # a possibly-stale replica only ever over-estimates.
-                current = yield from ctx.read(self._dist_va[u])
+                current = yield dist_rd[u]
                 if candidate >= current:
                     continue
-                old = yield from ctx.min_xchng(self._dist_va[u], candidate)
+                token = yield Issue(min_xchng, dist_va[u], candidate)
+                old = yield AwaitResult(token)
                 if candidate < old:
                     pushes.append(u)
             # One counter update covers the k pushes and this retirement.

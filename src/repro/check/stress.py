@@ -81,8 +81,11 @@ class JitteredLinkModel(LinkModel):
         self.rng = rng
         self.amplitude = amplitude
 
-    def traverse(self, path, depart, size_bytes, not_before=0):
-        arrive = super().traverse(path, depart, size_bytes, not_before)
+    def traverse_states(self, states, depart, size_bytes, not_before=0):
+        # Overriding the states-based primitive covers both entry points:
+        # ``traverse`` delegates here, and the fabric's per-pair cache
+        # calls this directly with pre-resolved link states.
+        arrive = super().traverse_states(states, depart, size_bytes, not_before)
         if self.amplitude:
             arrive += self.rng.randrange(self.amplitude + 1)
         return arrive

@@ -105,7 +105,31 @@ class CoherenceManager:
         #: a fault plan.  None on the lossless fast path.
         self._reliable: Optional[ReliableChannels] = None
 
-        fabric.attach(node_id, self.receive)
+        #: Handler per message kind, list-indexed by ``MsgKind.idx``
+        #: (dispatch is per-message; an enum-keyed dict would hash, an
+        #: if/elif chain would compare up to 13 identities).
+        self._handlers = [
+            self._on_read_req,        # READ_REQ
+            self._on_read_resp,       # READ_RESP
+            self._receive_write_req,  # WRITE_REQ
+            self._on_update,          # UPDATE
+            self._on_invalidate,      # INVALIDATE
+            self._on_write_ack,       # WRITE_ACK
+            self._receive_rmw_req,    # RMW_REQ
+            self._on_rmw_resp,        # RMW_RESP
+            self._on_page_copy_req,   # PAGE_COPY_REQ
+            self._on_page_copy_data,  # PAGE_COPY_DATA
+            self._on_tlb_shootdown,   # TLB_SHOOTDOWN
+            self._on_shootdown_ack,   # TLB_SHOOTDOWN_ACK
+            self._on_unroutable,      # NET_ACK (recovery layer only)
+        ]
+        #: Table 3-1 op costs as a dense list (``op_cycles[op.idx]``).
+        self._op_cycles = [params.op_cycles[op] for op in OpCode]
+
+        # The lossless fast path needs no wire-side processing, so the
+        # fabric delivers straight into protocol dispatch; arming the
+        # recovery layer rebinds the full :meth:`receive` in front of it.
+        fabric.attach(node_id, self.dispatch)
 
     # ------------------------------------------------------------------
     # Reliable delivery (fault-injected runs only).
@@ -120,6 +144,7 @@ class CoherenceManager:
         as part of ``install_faults``)."""
         if self._reliable is None:
             self._reliable = ReliableChannels(self)
+            self.fabric.rebind(self.node_id, self.receive)
 
     @property
     def reliable(self) -> Optional[ReliableChannels]:
@@ -149,9 +174,20 @@ class CoherenceManager:
     # CM service queue: one protocol action at a time.
     # ------------------------------------------------------------------
     def _work(self, cycles: int, fn: Callback) -> None:
-        start = max(self.engine.now, self._busy_until)
-        self._busy_until = start + cycles
-        self.engine.at(self._busy_until, fn)
+        engine = self.engine
+        now = engine._now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        until = start + cycles
+        self._busy_until = until
+        # Inlined near-lane fast path of ``Engine.at``: service times are
+        # small TimingParams constants, so the completion almost always
+        # lands inside the calendar window.
+        if until - now < 512 and engine._tie_rng is None:  # Engine.BUCKETS
+            engine._buckets[until & 511].append(fn)
+            engine._near += 1
+        else:
+            engine.at(until, fn)
 
     def _send(
         self,
@@ -168,8 +204,29 @@ class CoherenceManager:
         words: Optional[List[int]] = None,
         chain_done: bool = False,
     ) -> None:
-        self.transmit(
-            Message(
+        # Pool-aware message construction: reuse a recycled Message when
+        # identity does not matter (see Fabric._refresh_pooling); resetting
+        # seq/msg_id makes a reused object indistinguishable from a fresh
+        # one (the fabric stamps ids by injection order either way).
+        fabric = self.fabric
+        if fabric._pooling and fabric._msg_pool:
+            msg = fabric._msg_pool.pop()
+            msg.kind = kind
+            msg.src = self.node_id
+            msg.dst = dst
+            msg.addr = addr
+            msg.value = value
+            msg.op = op
+            msg.operand = operand
+            msg.origin = origin
+            msg.xid = xid
+            msg.writes = writes or []
+            msg.words = words or []
+            msg.chain_done = chain_done
+            msg.seq = -1
+            msg.msg_id = -1
+        else:
+            msg = Message(
                 kind=kind,
                 src=self.node_id,
                 dst=dst,
@@ -183,7 +240,10 @@ class CoherenceManager:
                 words=words or [],
                 chain_done=chain_done,
             )
-        )
+        if self._reliable is None:
+            fabric.send(msg)
+        else:
+            self._reliable.send(msg)
 
     # ------------------------------------------------------------------
     # Processor-facing API (called by the node after address translation).
@@ -416,25 +476,32 @@ class CoherenceManager:
         return invalid is None or addr.offset not in invalid
 
     def _apply_invalidate(self, msg: Message) -> None:
-        assert msg.addr is not None
-        page = msg.addr.page
+        addr = msg.addr
+        assert addr is not None
+        page = addr.page
+        writes = msg.writes
+        origin = msg.origin
+        xid = msg.xid
+        op = msg.op
         invalid = self._invalid_words.setdefault(page, set())
-        for offset, _value in msg.writes:
+        for offset, _value in writes:
             invalid.add(offset)
             self.snoop(page, offset, 0)  # drop/refresh the cached line
         self.counters.invalidations_applied += 1
         nxt = self.tables.next_of(page)
         if nxt is None:
-            self._complete_chain(msg.origin, msg.xid, msg.op)
+            self.fabric.release(msg)
+            self._complete_chain(origin, xid, op)
         else:
+            self.fabric.release(msg)
             self._send(
                 MsgKind.INVALIDATE,
                 nxt.node,
-                addr=nxt.word(msg.addr.offset),
-                writes=msg.writes,
-                origin=msg.origin,
-                xid=msg.xid,
-                op=msg.op,
+                addr=nxt.word(addr.offset),
+                writes=writes,
+                origin=origin,
+                xid=xid,
+                op=op,
             )
 
     def cpu_refetch(self, addr: PhysAddr, on_value: ValueCallback) -> None:
@@ -505,7 +572,7 @@ class CoherenceManager:
             else:
                 self.counters.rmw_remote += 1
             self._work(
-                self.params.op_cycles[op],
+                self._op_cycles[op.idx],
                 lambda: self._execute_rmw(
                     op, master.word(addr.offset), operand, self.node_id, xid
                 ),
@@ -537,7 +604,7 @@ class CoherenceManager:
             op,
             addr.offset,
             operand,
-            read=lambda off: self.memory.read(page, off),
+            read=self.memory.words_of(page).__getitem__,
             page_words=self.params.page_words,
             ring_base=self.params.queue_ring_base,
         )
@@ -649,103 +716,136 @@ class CoherenceManager:
 
     def dispatch(self, msg: Message) -> None:
         """Act on one protocol message (post-recovery-layer)."""
-        kind = msg.kind
-        if kind is MsgKind.READ_REQ:
-            self._work(
-                self.params.cm_service_cycles, lambda: self._serve_read(msg)
-            )
-        elif kind is MsgKind.READ_RESP:
-            waiter = self._read_waiters.pop(msg.xid, None)
-            if waiter is None:
-                raise ProtocolError(
-                    f"read response for unknown xid {msg.xid}",
-                    cycle=self.engine.now,
-                    node=self.node_id,
-                    msg=msg,
-                )
-            waiter(msg.value)
-        elif kind is MsgKind.WRITE_REQ:
-            self._receive_write_req(msg)
-        elif kind is MsgKind.UPDATE:
-            self._work(
-                self.params.cm_write_cycles, lambda: self._apply_update(msg)
-            )
-        elif kind is MsgKind.INVALIDATE:
-            self._work(
-                self.params.cm_write_cycles,
-                lambda: self._apply_invalidate(msg),
-            )
-        elif kind is MsgKind.WRITE_ACK:
-            self._ack_local(msg.xid, msg.op)
-        elif kind is MsgKind.RMW_REQ:
-            self._receive_rmw_req(msg)
-        elif kind is MsgKind.RMW_RESP:
-            self._deliver_rmw_result(msg.xid, msg.value, msg.chain_done)
-        elif kind is MsgKind.PAGE_COPY_REQ:
-            self._work(
-                self.params.cm_service_cycles, lambda: self._serve_page_copy(msg)
-            )
-        elif kind is MsgKind.PAGE_COPY_DATA:
-            handler = self._copy_handlers.get(msg.xid)
-            if handler is None:
-                raise ProtocolError(
-                    f"page-copy data for unknown transfer {msg.xid}",
-                    cycle=self.engine.now,
-                    node=self.node_id,
-                    msg=msg,
-                )
-            handler(msg)
-        elif kind is MsgKind.TLB_SHOOTDOWN:
-            self._work(
-                self.params.tlb_shootdown_cycles,
-                lambda: self._serve_shootdown(msg),
-            )
-        elif kind is MsgKind.TLB_SHOOTDOWN_ACK:
-            handler = self._copy_handlers.get(msg.xid)
-            if handler is None:
-                raise ProtocolError(
-                    f"shootdown ack for unknown transaction {msg.xid}",
-                    cycle=self.engine.now,
-                    node=self.node_id,
-                    msg=msg,
-                )
-            handler(msg)
-        else:  # pragma: no cover - exhaustive over MsgKind
+        self._handlers[msg.kind.idx](msg)
+
+    # Per-kind handlers (list-dispatched by :meth:`dispatch`).  Handlers
+    # that fully consume their message release it back to the fabric's
+    # free list as their last step; ones that defer work extract the
+    # fields they need first so the release is not delayed behind the
+    # CM's service queue.
+
+    def _on_read_req(self, msg: Message) -> None:
+        self._work(
+            self.params.cm_service_cycles, lambda: self._serve_read(msg)
+        )
+
+    def _on_read_resp(self, msg: Message) -> None:
+        waiter = self._read_waiters.pop(msg.xid, None)
+        if waiter is None:
             raise ProtocolError(
-                f"unhandled message kind {kind}",
+                f"read response for unknown xid {msg.xid}",
                 cycle=self.engine.now,
                 node=self.node_id,
                 msg=msg,
             )
+        value = msg.value
+        self.fabric.release(msg)
+        waiter(value)
+
+    def _on_update(self, msg: Message) -> None:
+        self._work(
+            self.params.cm_write_cycles, lambda: self._apply_update(msg)
+        )
+
+    def _on_invalidate(self, msg: Message) -> None:
+        self._work(
+            self.params.cm_write_cycles,
+            lambda: self._apply_invalidate(msg),
+        )
+
+    def _on_write_ack(self, msg: Message) -> None:
+        xid = msg.xid
+        op = msg.op
+        self.fabric.release(msg)
+        self._ack_local(xid, op)
+
+    def _on_rmw_resp(self, msg: Message) -> None:
+        xid = msg.xid
+        value = msg.value
+        chain_done = msg.chain_done
+        self.fabric.release(msg)
+        self._deliver_rmw_result(xid, value, chain_done)
+
+    def _on_page_copy_req(self, msg: Message) -> None:
+        self._work(
+            self.params.cm_service_cycles, lambda: self._serve_page_copy(msg)
+        )
+
+    def _on_page_copy_data(self, msg: Message) -> None:
+        handler = self._copy_handlers.get(msg.xid)
+        if handler is None:
+            raise ProtocolError(
+                f"page-copy data for unknown transfer {msg.xid}",
+                cycle=self.engine.now,
+                node=self.node_id,
+                msg=msg,
+            )
+        handler(msg)
+
+    def _on_tlb_shootdown(self, msg: Message) -> None:
+        self._work(
+            self.params.tlb_shootdown_cycles,
+            lambda: self._serve_shootdown(msg),
+        )
+
+    def _on_shootdown_ack(self, msg: Message) -> None:
+        handler = self._copy_handlers.get(msg.xid)
+        if handler is None:
+            raise ProtocolError(
+                f"shootdown ack for unknown transaction {msg.xid}",
+                cycle=self.engine.now,
+                node=self.node_id,
+                msg=msg,
+            )
+        handler(msg)
+
+    def _on_unroutable(self, msg: Message) -> None:
+        raise ProtocolError(
+            f"unhandled message kind {msg.kind}",
+            cycle=self.engine.now,
+            node=self.node_id,
+            msg=msg,
+        )
 
     def _serve_read(self, msg: Message) -> None:
-        assert msg.addr is not None
-        if not self.word_valid(msg.addr):
+        addr = msg.addr
+        assert addr is not None
+        origin = msg.origin
+        xid = msg.xid
+        if not self.word_valid(addr):
             # Invalidate-protocol variant: this copy's word is stale, so
             # the request is forwarded to the master (always valid).
-            master = self.tables.master_of(msg.addr.page)
+            master = self.tables.master_of(addr.page)
+            self.fabric.release(msg)
             self._send(
                 MsgKind.READ_REQ,
                 master.node,
-                addr=master.word(msg.addr.offset),
-                origin=msg.origin,
-                xid=msg.xid,
+                addr=master.word(addr.offset),
+                origin=origin,
+                xid=xid,
             )
             return
-        value = self.memory.read(msg.addr.page, msg.addr.offset)
-        self._send(MsgKind.READ_RESP, msg.origin, value=value, xid=msg.xid)
+        value = self.memory.read(addr.page, addr.offset)
+        self.fabric.release(msg)
+        self._send(MsgKind.READ_RESP, origin, value=value, xid=xid)
 
     def _receive_write_req(self, msg: Message) -> None:
-        assert msg.addr is not None
-        master = self.tables.master_of(msg.addr.page)
+        addr = msg.addr
+        assert addr is not None
+        master = self.tables.master_of(addr.page)
+        offset = addr.offset
+        value = msg.value
+        origin = msg.origin
+        xid = msg.xid
+        self.fabric.release(msg)
         if master.node == self.node_id:
             self._work(
                 self.params.cm_write_cycles,
                 lambda: self._apply_at_master(
                     master.page,
-                    [(msg.addr.offset, msg.value)],
-                    origin=msg.origin,
-                    xid=msg.xid,
+                    [(offset, value)],
+                    origin=origin,
+                    xid=xid,
                     op=None,
                 ),
             )
@@ -756,25 +856,28 @@ class CoherenceManager:
                 lambda: self._send(
                     MsgKind.WRITE_REQ,
                     master.node,
-                    addr=master.word(msg.addr.offset),
-                    value=msg.value,
-                    origin=msg.origin,
-                    xid=msg.xid,
+                    addr=master.word(offset),
+                    value=value,
+                    origin=origin,
+                    xid=xid,
                 ),
             )
 
     def _receive_rmw_req(self, msg: Message) -> None:
-        assert msg.addr is not None and msg.op is not None
-        master = self.tables.master_of(msg.addr.page)
+        addr = msg.addr
+        op = msg.op
+        assert addr is not None and op is not None
+        master = self.tables.master_of(addr.page)
+        offset = addr.offset
+        operand = msg.operand
+        origin = msg.origin
+        xid = msg.xid
+        self.fabric.release(msg)
         if master.node == self.node_id:
             self._work(
-                self.params.op_cycles[msg.op],
+                self._op_cycles[op.idx],
                 lambda: self._execute_rmw(
-                    msg.op,
-                    master.word(msg.addr.offset),
-                    msg.operand,
-                    msg.origin,
-                    msg.xid,
+                    op, master.word(offset), operand, origin, xid
                 ),
             )
         else:
@@ -783,31 +886,40 @@ class CoherenceManager:
                 lambda: self._send(
                     MsgKind.RMW_REQ,
                     master.node,
-                    addr=master.word(msg.addr.offset),
-                    op=msg.op,
-                    operand=msg.operand,
-                    origin=msg.origin,
-                    xid=msg.xid,
+                    addr=master.word(offset),
+                    op=op,
+                    operand=operand,
+                    origin=origin,
+                    xid=xid,
                 ),
             )
 
     def _apply_update(self, msg: Message) -> None:
-        assert msg.addr is not None
-        page = msg.addr.page
-        self._write_words(page, msg.writes)
+        addr = msg.addr
+        assert addr is not None
+        page = addr.page
+        writes = msg.writes
+        origin = msg.origin
+        xid = msg.xid
+        op = msg.op
+        self._write_words(page, writes)
         self.counters.updates_applied += 1
         nxt = self.tables.next_of(page)
         if nxt is None:
-            self._complete_chain(msg.origin, msg.xid, msg.op)
+            self.fabric.release(msg)
+            self._complete_chain(origin, xid, op)
         else:
+            # The forwarded message reuses the writes list (rebound, never
+            # mutated, so sharing it down the chain is safe).
+            self.fabric.release(msg)
             self._send(
                 MsgKind.UPDATE,
                 nxt.node,
-                addr=nxt.word(msg.addr.offset),
-                writes=msg.writes,
-                origin=msg.origin,
-                xid=msg.xid,
-                op=msg.op,
+                addr=nxt.word(addr.offset),
+                writes=writes,
+                origin=origin,
+                xid=xid,
+                op=op,
             )
 
     def _serve_shootdown(self, msg: Message) -> None:

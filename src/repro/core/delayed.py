@@ -97,7 +97,9 @@ class DelayedOpsCache:
         slot.result = 0
         slot.waiter = None
         self.total_issued += 1
-        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        in_flight = len(self._slots) - len(self._free)
+        if in_flight > self.peak_in_flight:
+            self.peak_in_flight = in_flight
         return Token(self.node_id, slot.index, slot.gen)
 
     def _slot_for(self, token: Token) -> _Slot:

@@ -41,6 +41,13 @@ class OpCode(Enum):
     DELAYED_READ = "delayed-read"
 
 
+#: Dense member index for list-indexed per-op tables on hot paths (the
+#: same idiom as ``MsgKind.idx``; enum hashing is a Python-level call).
+for _i, _op in enumerate(OpCode):
+    _op.idx = _i
+del _i, _op
+
+
 #: Coherence-manager execution cycles per operation (Table 3-1).
 DEFAULT_OP_CYCLES: Dict[OpCode, int] = {
     OpCode.XCHNG: 39,

@@ -129,15 +129,18 @@ class ReliableChannels:
     def send(self, msg: Message) -> None:
         """Stamp ``msg`` with the next sequence number and transmit it,
         keeping it queued until the destination acknowledges."""
-        ch = self._out.get(msg.dst)
+        dst = msg.dst
+        ch = self._out.get(dst)
         if ch is None:
-            ch = self._out[msg.dst] = _OutChannel(msg.dst)
-        msg.seq = ch.next_seq
-        ch.next_seq += 1
-        ch.unacked.append(_Pending(msg.seq, msg, self.engine.now))
+            ch = self._out[dst] = _OutChannel(dst)
+        seq = ch.next_seq
+        msg.seq = seq
+        ch.next_seq = seq + 1
+        engine = self.engine
+        ch.unacked.append(_Pending(seq, msg, engine._now))
         self.fabric.send(msg)
         if ch.timer is None:
-            ch.timer = self.engine.timer(
+            ch.timer = engine.timer(
                 self._timeout(ch), lambda: self._on_timeout(ch)
             )
 
@@ -212,21 +215,22 @@ class ReliableChannels:
         (re-)acknowledged — re-acking a duplicate is what heals a lost
         NET_ACK.
         """
-        ch = self._in.get(msg.src)
+        src = msg.src
+        ch = self._in.get(src)
         if ch is None:
-            ch = self._in[msg.src] = _InChannel(msg.src)
+            ch = self._in[src] = _InChannel(src)
         ready = ch.offer(msg)
+        fabric = self.fabric
         if ready:
-            fabric = self.fabric
             dispatch = self.cm.dispatch
             for accepted in ready:
                 fabric.note_applied(accepted)
                 dispatch(accepted)
-        self.fabric.send(
+        fabric.send(
             Message(
                 kind=MsgKind.NET_ACK,
                 src=self.node_id,
-                dst=msg.src,
+                dst=src,
                 value=ch.expected - 1,
             )
         )

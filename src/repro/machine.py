@@ -74,6 +74,13 @@ class PlusMachine:
         self.profiler: Optional[AccessProfiler] = (
             AccessProfiler() if enable_profiling else None
         )
+        if self.profiler is None:
+            # No profiler for this machine's lifetime: skip the per-access
+            # profiler check by binding each node's MMU entry point
+            # straight to its page table (translate is the single hottest
+            # per-request call).
+            for node in self.nodes:
+                node.translate = node.page_table.translate
         #: Optional live :class:`~repro.check.invariants.InvariantMonitor`
         #: (set by its ``install``); the CPU read path notifies it.
         self.invariant_monitor = None

@@ -66,6 +66,16 @@ class PageTable:
         self.tlb = TLB(params.tlb_entries)
         self._entries: Dict[int, PhysPage] = {}
         self.faults = 0
+        # Hoisted for translate(), which runs once per memory request.
+        self._page_words = params.page_words
+        #: vaddr -> PhysAddr memo: addresses are immutable value objects,
+        #: so repeated translations of the same vaddr can share one
+        #: instance instead of re-allocating.  Holds only addresses whose
+        #: vpage mapping is current; any remap flushes it (rare — page
+        #: replication / deletion), mirroring a hardware translation
+        #: cache.  TLB hit/miss accounting is unaffected: the memo is
+        #: consulted *after* the TLB bookkeeping, never instead of it.
+        self._addr_cache: Dict[int, PhysAddr] = {}
 
     # ------------------------------------------------------------------
     def translate_page(self, vpage: int) -> Tuple[PhysPage, int]:
@@ -90,22 +100,49 @@ class PageTable:
 
     def translate(self, vaddr: int) -> Tuple[PhysAddr, int]:
         """Map a virtual word address; returns (PhysAddr, cycles)."""
-        vpage, offset = divmod(vaddr, self.params.page_words)
         if vaddr < 0:
             raise MappingError(f"negative virtual address {vaddr}")
-        phys, cycles = self.translate_page(vpage)
-        return phys.word(offset), cycles
+        vpage, offset = divmod(vaddr, self._page_words)
+        # TLB hit inlined: this is the overwhelmingly common case and
+        # sits on every read/write/issue path; semantics (LRU touch, hit
+        # counter, zero cycles) are identical to ``TLB.lookup``.
+        tlb = self.tlb
+        phys = tlb._map.get(vpage)
+        if phys is not None:
+            tlb._map.move_to_end(vpage)
+            tlb.hits += 1
+            addr = self._addr_cache.get(vaddr)
+            if addr is None:
+                addr = self._addr_cache[vaddr] = PhysAddr(
+                    phys.node, phys.page, offset
+                )
+            return addr, 0
+        tlb.misses += 1
+        phys = self._entries.get(vpage)
+        if phys is not None:
+            tlb.insert(vpage, phys)
+            return (
+                PhysAddr(phys.node, phys.page, offset),
+                self.params.page_table_walk_cycles,
+            )
+        self.faults += 1
+        phys = self.central(self.node_id, vpage)
+        self._entries[vpage] = phys
+        tlb.insert(vpage, phys)
+        return PhysAddr(phys.node, phys.page, offset), self.params.tlb_miss_cycles
 
     # ------------------------------------------------------------------
     def install(self, vpage: int, phys: PhysPage) -> None:
         """Eagerly install a mapping (OS action, e.g. after replication)."""
         self._entries[vpage] = phys
         self.tlb.insert(vpage, phys)
+        self._addr_cache.clear()
 
     def invalidate(self, vpage: int) -> None:
         """Drop a mapping and flush its TLB entry (copy deletion)."""
         self._entries.pop(vpage, None)
         self.tlb.flush(vpage)
+        self._addr_cache.clear()
 
     def mapping_of(self, vpage: int) -> Optional[PhysPage]:
         """Current local mapping without side effects (diagnostics)."""

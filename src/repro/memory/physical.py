@@ -92,11 +92,29 @@ class LocalMemory:
 
     def read(self, page: int, offset: int) -> int:
         """Read one word from frame ``page`` at ``offset``."""
-        return self._frame(page).read(offset)
+        frame = self._frames.get(page)
+        if frame is None:
+            self._frame(page)  # raises the canonical AddressError
+        return frame.words[offset]
 
     def write(self, page: int, offset: int, value: int) -> None:
         """Write one word to frame ``page`` at ``offset``."""
-        self._frame(page).write(offset, value)
+        frame = self._frames.get(page)
+        if frame is None:
+            self._frame(page)  # raises the canonical AddressError
+        frame.words[offset] = value & WORD_MASK
+
+    def words_of(self, page: int) -> List[int]:
+        """The live word list of frame ``page`` (hot-path read access).
+
+        Callers that make several reads against one frame (the RMW
+        executor) resolve the frame once and index the list directly.
+        The list is the frame's backing store — treat it as read-only.
+        """
+        frame = self._frames.get(page)
+        if frame is None:
+            self._frame(page)  # raises the canonical AddressError
+        return frame.words
 
     def write_batch(self, page: int, writes) -> None:
         """Apply ``(offset, value)`` pairs to one frame, resolved once.

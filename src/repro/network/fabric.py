@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.params import TimingParams
 from repro.errors import ConfigError
 from repro.network.faults import FaultPlan
-from repro.network.message import Message, MsgKind
+from repro.network.message import Message, MsgKind, N_KINDS
 from repro.network.router import LinkModel
 from repro.network.topology import Link, Mesh
 from repro.sim.engine import Engine
@@ -52,7 +52,7 @@ class FabricStats:
     """
 
     __slots__ = (
-        "messages_by_kind",
+        "_kind_counts",
         "total_messages",
         "total_hops",
         "total_bytes",
@@ -63,7 +63,9 @@ class FabricStats:
     )
 
     def __init__(self) -> None:
-        self.messages_by_kind: Dict[MsgKind, int] = {k: 0 for k in MsgKind}
+        #: Per-kind counts, list-indexed by ``MsgKind.idx`` (enum-keyed
+        #: dict hashing is a Python-level call; this is the per-send path).
+        self._kind_counts: List[int] = [0] * N_KINDS
         self.total_messages = 0
         self.total_hops = 0
         self.total_bytes = 0
@@ -72,12 +74,22 @@ class FabricStats:
         self.retransmits = 0
         self.recovered = 0
 
-    def record(self, msg: Message, hops: int) -> None:
-        """Account one send attempt (the only traffic-counting path)."""
-        self.messages_by_kind[msg.kind] += 1
+    @property
+    def messages_by_kind(self) -> Dict[MsgKind, int]:
+        """Message count per kind (built on access from the dense counts)."""
+        counts = self._kind_counts
+        return {k: counts[k.idx] for k in MsgKind}
+
+    def record(self, msg: Message, hops: int, size: Optional[int] = None) -> None:
+        """Account one send attempt (the only traffic-counting path).
+
+        ``size`` lets a caller that already computed ``msg.size_bytes``
+        avoid recomputing it; semantics are identical either way.
+        """
+        self._kind_counts[msg.kind.idx] += 1
         self.total_messages += 1
         self.total_hops += hops
-        self.total_bytes += msg.size_bytes
+        self.total_bytes += size if size is not None else msg.size_bytes
 
     @property
     def mean_hops(self) -> float:
@@ -87,29 +99,47 @@ class FabricStats:
 
     def count(self, *kinds: MsgKind) -> int:
         """Total messages across the given kinds."""
-        return sum(self.messages_by_kind[k] for k in kinds)
+        counts = self._kind_counts
+        return sum(counts[k.idx] for k in kinds)
 
 
 class _Delivery:
-    """One scheduled message delivery (the fabric's only per-send event)."""
+    """One scheduled message delivery (the fabric's only per-send event).
 
-    __slots__ = ("receiver", "msg")
+    Delivery events are recycled through a per-fabric free list: a fired
+    delivery returns itself to the pool *before* invoking the receiver
+    (its fields are already copied to locals, so the receiver scheduling
+    new sends can reuse the object immediately).  Unlike the message
+    pool this one never needs disabling — a delivery is consumed the
+    moment it fires and nothing retains it.
+    """
 
-    def __init__(self, receiver: Receiver, msg: Message) -> None:
+    __slots__ = ("receiver", "msg", "pool")
+
+    def __init__(
+        self, receiver: Receiver, msg: Message, pool: "List[_Delivery]"
+    ) -> None:
         self.receiver = receiver
         self.msg = msg
+        self.pool = pool
 
     def __call__(self) -> None:
-        self.receiver(self.msg)
+        receiver = self.receiver
+        msg = self.msg
+        self.pool.append(self)
+        receiver(msg)
 
 
 class _PairState:
     """Per-(src, dst) routing state resolved once and reused per send."""
 
-    __slots__ = ("path", "hops", "next_floor")
+    __slots__ = ("path", "states", "hops", "next_floor")
 
-    def __init__(self, path: List[Link]) -> None:
+    def __init__(self, path: List[Link], states: list) -> None:
         self.path = path
+        #: The route's LinkState records, pre-resolved so per-send timing
+        #: needs no link hashing (see ``LinkModel.states_for``).
+        self.states = states
         self.hops = len(path)
         #: Earliest cycle the next same-pair message may be delivered
         #: (point-to-point FIFO: one past the last delivery time).
@@ -139,6 +169,29 @@ class Fabric:
         #: runs many simulations — a sweep worker — reproduces the same
         #: ids for the same run regardless of what ran before it).
         self._next_msg_id = 0
+        #: Free lists for recycled delivery events and Message objects.
+        #: Message pooling trades allocation for reuse, which is only
+        #: legal while nothing cares about object identity: a trace
+        #: holds message references until materialized, and a fault plan
+        #: distinguishes retransmissions from duplicates by ``msg_id`` —
+        #: so ``_pooling`` is false whenever either is installed (see
+        #: :meth:`_refresh_pooling`).  Release points (in the coherence
+        #: manager) check the flag too, so a message recorded by a trace
+        #: is never recycled out from under it.
+        self._delivery_pool: List[_Delivery] = []
+        self._msg_pool: List[Message] = []
+        self._pooling = True
+
+    def _refresh_pooling(self) -> None:
+        """Re-derive the message-pooling gate from trace/fault state."""
+        self._pooling = self._trace is None and self.fault_plan is None
+
+    def release(self, msg: Message) -> None:
+        """Return a dead message to the free list (identity-safe only:
+        callers must hold the last live reference).  No-op while pooling
+        is disabled."""
+        if self._pooling:
+            self._msg_pool.append(msg)
 
     # ------------------------------------------------------------------
     def attach(self, node: int, receiver: Receiver) -> None:
@@ -147,6 +200,21 @@ class Fabric:
             raise ConfigError(f"node {node} outside this fabric's mesh")
         if self._receivers[node] is not None:
             raise ConfigError(f"node {node} already attached to fabric")
+        self._receivers[node] = receiver
+
+    def rebind(self, node: int, receiver: Receiver) -> None:
+        """Swap the receiver of an already-attached node.
+
+        Used when a coherence manager arms its recovery layer: the
+        lossless fast path delivers straight into protocol dispatch, and
+        arming inserts the wire-side receive in front of it.  Only legal
+        before traffic flows, for the same reason as
+        :meth:`install_faults`.
+        """
+        if self._receivers[node] is None:
+            raise ConfigError(f"node {node} not attached to fabric")
+        if self.stats.total_messages:
+            raise ConfigError("cannot rebind a receiver after traffic")
         self._receivers[node] = receiver
 
     # ------------------------------------------------------------------
@@ -165,6 +233,7 @@ class Fabric:
                 "cannot install a fault plan after traffic has flowed"
             )
         self.fault_plan = plan
+        self._refresh_pooling()
         return plan
 
     # ------------------------------------------------------------------
@@ -185,7 +254,10 @@ class Fabric:
         pair = (msg.src, dst)
         state = self._pairs.get(pair)
         if state is None:
-            state = self._pairs[pair] = _PairState(self.mesh.route(msg.src, dst))
+            path = self.mesh.route(msg.src, dst)
+            state = self._pairs[pair] = _PairState(
+                path, self.links.states_for(path)
+            )
 
         if msg.msg_id < 0:
             # First injection stamps the fabric-local identity; a
@@ -196,21 +268,56 @@ class Fabric:
         if self.fault_plan is not None:
             return self._send_faulty(msg, receiver, state)
 
-        size = msg.size_bytes
+        engine = self.engine
+        now = engine._now
+        # ``Message.size_bytes`` inlined (this is the per-send path):
+        # base wire size per kind, plus payload bytes for the three
+        # variable-size kinds.
+        kind = msg.kind
+        size = kind.base_bytes
+        if kind is MsgKind.PAGE_COPY_DATA:
+            size += 4 * len(msg.words)
+        elif kind is MsgKind.UPDATE:
+            n = len(msg.writes)
+            if n > 1:
+                size += 8 * (n - 1)
+        elif kind is MsgKind.INVALIDATE:
+            n = len(msg.writes)
+            if n > 1:
+                size += 4 * (n - 1)
         # Dimension-order wormhole routing delivers same-pair messages in
         # injection order; the link model enforces that floor explicitly
         # (and charges it to the final link) so protocol ordering never
         # depends on floating details of the timing model.
-        arrive = self.links.traverse(
-            state.path, self.engine.now, size, not_before=state.next_floor
+        arrive = self.links.traverse_states(
+            state.states, now, size, not_before=state.next_floor
         )
         state.next_floor = arrive + 1
 
         if self._trace is not None:
-            self._trace.record(self.engine.now, msg, arrive)
+            self._trace.record(now, msg, arrive)
 
-        self.stats.record(msg, state.hops)
-        self.engine.at(arrive, _Delivery(receiver, msg))
+        # ``FabricStats.record`` inlined.
+        stats = self.stats
+        stats._kind_counts[kind.idx] += 1
+        stats.total_messages += 1
+        stats.total_hops += state.hops
+        stats.total_bytes += size
+        pool = self._delivery_pool
+        if pool:
+            delivery = pool.pop()
+            delivery.receiver = receiver
+            delivery.msg = msg
+        else:
+            delivery = _Delivery(receiver, msg, pool)
+        # Inlined near-lane fast path of ``Engine.at`` (arrive >= now
+        # always; link latencies are small, so nearly every delivery
+        # lands inside the calendar window).
+        if arrive - now < 512 and engine._tie_rng is None:  # Engine.BUCKETS
+            engine._buckets[arrive & 511].append(delivery)
+            engine._near += 1
+        else:
+            engine.at(arrive, delivery)
         return arrive
 
     def _send_faulty(
@@ -221,7 +328,7 @@ class Fabric:
         so same-pair messages can reorder within the jitter bound — the
         sequence numbers of the reliable sublayer put them back in order.
         """
-        now = self.engine.now
+        now = self.engine._now
         stats = self.stats
         stats.record(msg, state.hops)
         fate, delays = self.fault_plan.judge(msg, now, state.path)
@@ -230,8 +337,8 @@ class Fabric:
             if self._trace is not None:
                 self._trace.record(now, msg, -1, fate=fate)
             return -1
-        arrive = self.links.traverse(
-            state.path, now, msg.size_bytes, not_before=state.next_floor
+        arrive = self.links.traverse_states(
+            state.states, now, msg.size_bytes, not_before=state.next_floor
         )
         state.next_floor = arrive + 1
         primary = arrive + delays[0]
@@ -240,8 +347,15 @@ class Fabric:
         if self._trace is not None:
             self._trace.record(now, msg, primary, fate=fate)
         engine_at = self.engine.at
+        pool = self._delivery_pool
         for delay in delays:
-            engine_at(arrive + delay, _Delivery(receiver, msg))
+            if pool:
+                delivery = pool.pop()
+                delivery.receiver = receiver
+                delivery.msg = msg
+            else:
+                delivery = _Delivery(receiver, msg, pool)
+            engine_at(arrive + delay, delivery)
         return primary
 
     # ------------------------------------------------------------------

@@ -84,6 +84,15 @@ for _kind, _bytes in MESSAGE_BYTES.items():
     _kind.base_bytes = _bytes
 del _kind, _bytes
 
+#: Dense member index stamped onto each kind so hot paths can use plain
+#: list indexing (``counts[kind.idx]``) instead of dict lookups — enum
+#: hashing is a Python-level call and shows up in profiles.
+for _i, _kind in enumerate(MsgKind):
+    _kind.idx = _i
+del _i, _kind
+
+N_KINDS = len(MsgKind)
+
 @dataclass(slots=True)
 class Message:
     """One coherence-manager-to-coherence-manager network message."""

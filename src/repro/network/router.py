@@ -40,7 +40,13 @@ class LinkState:
 class LinkModel:
     """Computes message delivery times across a sequence of links."""
 
-    __slots__ = ("params", "_links", "_occupancy_cache")
+    __slots__ = (
+        "params",
+        "_links",
+        "_occupancy_cache",
+        "_hop_cycles",
+        "_fixed_cycles",
+    )
 
     def __init__(self, params: TimingParams) -> None:
         self.params = params
@@ -48,6 +54,9 @@ class LinkModel:
         #: Memoized link_occupancy_cycles per message size (the size
         #: vocabulary is tiny, and this sits on the per-message path).
         self._occupancy_cache: Dict[int, int] = {}
+        # Params are frozen; hoist the two per-traverse constants.
+        self._hop_cycles = params.net_hop_cycles
+        self._fixed_cycles = params.net_fixed_cycles
 
     def _state(self, link: Link) -> LinkState:
         state = self._links.get(link)
@@ -63,14 +72,31 @@ class LinkModel:
             self._occupancy_cache[size_bytes] = cached
         return cached
 
-    def traverse(
+    def states_for(self, path: List[Link]) -> List[LinkState]:
+        """Resolve a route to its per-link occupancy records.
+
+        Callers that send along the same route repeatedly (the fabric's
+        per-pair cache) resolve once and use :meth:`traverse_states`,
+        skipping the per-send link hashing entirely.
+        """
+        links = self._links
+        states = []
+        for link in path:
+            state = links.get(link)
+            if state is None:
+                state = links[link] = LinkState()
+            states.append(state)
+        return states
+
+    def traverse_states(
         self,
-        path: List[Link],
+        states: List[LinkState],
         depart: int,
         size_bytes: int,
         not_before: int = 0,
     ) -> int:
-        """Arrival time of a message leaving at ``depart`` along ``path``.
+        """Arrival time of a message leaving at ``depart`` along the
+        pre-resolved route ``states`` (see :meth:`states_for`).
 
         The head of the message advances one hop per ``net_hop_cycles``
         but may stall waiting for a link that is still draining an
@@ -86,14 +112,10 @@ class LinkModel:
         occupancy = self._occupancy_cache.get(size_bytes)
         if occupancy is None:
             occupancy = self.occupancy_cycles(size_bytes)
-        links = self._links
-        hop_cycles = self.params.net_hop_cycles
-        t = depart + self.params.net_fixed_cycles
+        hop_cycles = self._hop_cycles
+        t = depart + self._fixed_cycles
         state = None
-        for link in path:
-            state = links.get(link)
-            if state is None:
-                state = links[link] = LinkState()
+        for state in states:
             start = state.next_free
             if t > start:
                 start = t
@@ -109,6 +131,18 @@ class LinkModel:
             state.busy_cycles += hold
             t = not_before
         return t
+
+    def traverse(
+        self,
+        path: List[Link],
+        depart: int,
+        size_bytes: int,
+        not_before: int = 0,
+    ) -> int:
+        """Arrival time along ``path`` (resolves links, then times them)."""
+        return self.traverse_states(
+            self.states_for(path), depart, size_bytes, not_before
+        )
 
     # -- instrumentation -------------------------------------------------
     def total_link_messages(self) -> int:

@@ -33,6 +33,14 @@ class DirectMappedCache:
         self.n_lines = params.cache_size_words // params.cache_line_words
         if self.n_lines < 1:
             raise ConfigError("cache smaller than one line")
+        # Hoisted copies for the per-access line computation (snoop runs
+        # once per coherence write to local memory, read_cycles once per
+        # local load; the frozen-dataclass attribute chain is measurable
+        # there).
+        self._page_words = params.page_words
+        self._line_words = self.line_words
+        self._n_lines = self.n_lines
+        self._update_policy = snoop_policy == "update"
         #: Per-set tag: the global line number cached there, or None.
         self._tags: List[Optional[int]] = [None] * self.n_lines
         self.hits = 0
@@ -47,7 +55,8 @@ class DirectMappedCache:
 
     def read_cycles(self, page: int, offset: int) -> int:
         """Access cost of a load from local memory; fills on miss."""
-        line, index = self._line_of(page, offset)
+        line = (page * self._page_words + offset) // self._line_words
+        index = line % self._n_lines
         if self._tags[index] == line:
             self.hits += 1
             return self.params.cache_hit_cycles
@@ -69,10 +78,11 @@ class DirectMappedCache:
     def snoop(self, page: int, offset: int, value: int) -> None:
         """Bus snoop for a coherence-manager write to local memory."""
         del value
-        line, index = self._line_of(page, offset)
+        line = (page * self._page_words + offset) // self._line_words
+        index = line % self._n_lines
         if self._tags[index] != line:
             return
-        if self.snoop_policy == "update":
+        if self._update_policy:
             self.snoop_updates += 1
         else:
             self._tags[index] = None

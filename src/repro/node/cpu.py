@@ -147,7 +147,17 @@ class CPU:
     def _try_dispatch(self) -> None:
         if self._current is not None:
             return
-        thread = self._pick_ready()
+        # _pick_ready inlined: this runs after every block/unblock/finish.
+        threads = self.threads
+        n = len(threads)
+        rr = self._rr
+        thread = None
+        for i in range(n):
+            t = threads[(rr + i) % n]
+            if t.status is ThreadStatus.READY:
+                self._rr = (rr + i + 1) % n
+                thread = t
+                break
         if thread is None:
             return
         self._current = thread
@@ -171,14 +181,27 @@ class CPU:
         assert self._current is thread
         thread.status = ThreadStatus.BLOCKED
         thread.stall_kind = kind
-        thread.stall_start = self.engine.now
+        thread.stall_start = self.engine._now
         self._current = None
         self._try_dispatch()
 
     def _unblock(self, thread: SimThread, cont: Callable[[], None]) -> None:
-        stall = self.engine.now - thread.stall_start
-        field = f"{thread.stall_kind}_stall_cycles"
-        setattr(self.counters, field, getattr(self.counters, field) + stall)
+        stall = self.engine._now - thread.stall_start
+        counters = self.counters
+        kind = thread.stall_kind
+        # The stall vocabulary is fixed; direct attribute bumps beat the
+        # getattr/setattr round trip on this per-wakeup path.
+        if kind == "read":
+            counters.read_stall_cycles += stall
+        elif kind == "write":
+            counters.write_stall_cycles += stall
+        elif kind == "sync":
+            counters.sync_stall_cycles += stall
+        elif kind == "fence":
+            counters.fence_stall_cycles += stall
+        else:
+            field = f"{kind}_stall_cycles"
+            setattr(counters, field, getattr(counters, field) + stall)
         thread.status = ThreadStatus.READY
         thread.continuation = cont
         self._try_dispatch()
@@ -186,7 +209,15 @@ class CPU:
     def _busy(self, cycles: int, then: Callback) -> None:
         """Charge ``cycles`` of processor-busy time, then continue."""
         self.counters.busy_cycles += cycles
-        self.engine.after(cycles, then)
+        # Inlined near-lane fast path of ``Engine.after``: every request
+        # a thread issues funnels through here, and the charged costs are
+        # always small non-negative constants from TimingParams.
+        engine = self.engine
+        if 0 <= cycles < 512 and engine._tie_rng is None:  # Engine.BUCKETS
+            engine._buckets[(engine._now + cycles) & 511].append(then)
+            engine._near += 1
+        else:
+            engine.after(cycles, then)
 
     def _await(
         self,
@@ -201,21 +232,24 @@ class CPU:
         ``cb(*args)`` on completion (immediately if it can).  ``finish``
         receives the same args once the thread is current again.
         """
-        state: dict = {"phase": "starting"}
+        # state[0]: 0 = starting, 1 = completed synchronously, 2 = blocked;
+        # state[1] holds the completion args (a list beats a dict of
+        # string keys on this per-operation path).
+        state = [0, None]
 
         def cb(*args: Any) -> None:
-            if state["phase"] == "starting":
-                state["phase"] = ("done", args)
+            if state[0] == 0:
+                state[0] = 1
+                state[1] = args
             else:
                 self._unblock(thread, lambda: finish(*args))
 
         subscribe(cb)
-        phase = state["phase"]
-        if phase == "starting":
-            state["phase"] = "blocked"
+        if state[0] == 0:
+            state[0] = 2
             self._block(thread, kind)
         else:
-            finish(*phase[1])
+            finish(*state[1])
 
     # ------------------------------------------------------------------
     # Request execution.
@@ -232,35 +266,48 @@ class CPU:
             self._try_dispatch()
             return
 
-        if isinstance(request, Compute):
-            if request.cycles < 0:
-                raise ThreadError(f"negative compute time {request.cycles}")
+        # Exact-type dispatch: the request vocabulary is a closed set of
+        # final classes, and ``is`` comparisons on the class beat
+        # isinstance() calls on this per-request path.
+        cls = request.__class__
+        if cls is Compute:
+            cycles = request.cycles
+            if cycles < 0:
+                raise ThreadError(f"negative compute time {cycles}")
             if request.useful:
-                self.counters.compute_cycles += request.cycles
+                self.counters.compute_cycles += cycles
             else:
-                self.counters.spin_cycles += request.cycles
-            self._busy(request.cycles, lambda: self._step(thread, None))
-        elif isinstance(request, Read):
+                self.counters.spin_cycles += cycles
+            self._busy(cycles, lambda: self._step(thread, None))
+        elif cls is Read:
             self._do_read(thread, request.vaddr)
-        elif isinstance(request, Write):
+        elif cls is Write:
             self._do_write(thread, request.vaddr, request.value)
-        elif isinstance(request, Issue):
+        elif cls is Issue:
             self._do_issue(thread, request)
-        elif isinstance(request, AwaitResult):
+        elif cls is AwaitResult:
             self._do_await_result(thread, request.token)
-        elif isinstance(request, PollResult):
+        elif cls is PollResult:
             value = self.node.cm.cpu_poll(request.token)
             self._busy(
                 self.params.read_result_cycles,
                 lambda: self._step(thread, value),
             )
-        elif isinstance(request, Fence):
+        elif cls is Fence:
             self._do_fence(thread)
-        elif isinstance(request, Yield):
+        elif cls is Yield:
             thread.status = ThreadStatus.READY
             thread.continuation = lambda: self._step(thread, None)
             self._current = None
             self._try_dispatch()
+        elif isinstance(
+            request,
+            (Compute, Read, Write, Issue, AwaitResult, PollResult, Fence, Yield),
+        ):  # pragma: no cover - subclassed requests fall back to the slow path
+            raise ThreadError(
+                f"thread {thread.name} yielded a subclassed request "
+                f"{request!r}; use the concrete request types"
+            )
         else:
             raise ThreadError(
                 f"thread {thread.name} yielded {request!r}, which is not a "

@@ -6,17 +6,21 @@ model, which charges the appropriate time, drives the memory system, and
 resumes the generator with the result (if any).  Most programs use the
 :class:`~repro.runtime.thread.ThreadCtx` helpers instead of yielding
 these directly.
+
+Requests are plain slotted value classes rather than dataclasses: a
+request is allocated for every operation of every simulated thread, and
+the frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
+was a measurable slice of benchmark wall time.  Treat instances as
+immutable — the CPU only ever reads them, and hot application loops are
+free to yield one prebuilt instance many times.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.core.delayed import Token
 from repro.core.params import OpCode
 
 
-@dataclass(frozen=True)
 class Compute:
     """Execute ``cycles`` of local computation (no memory traffic).
 
@@ -26,18 +30,28 @@ class Compute:
     elapsed time").
     """
 
-    cycles: int
-    useful: bool = True
+    __slots__ = ("cycles", "useful")
+
+    def __init__(self, cycles: int, useful: bool = True) -> None:
+        self.cycles = cycles
+        self.useful = useful
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Compute(cycles={self.cycles}, useful={self.useful})"
 
 
-@dataclass(frozen=True)
 class Read:
     """Blocking read of the word at virtual address ``vaddr``."""
 
-    vaddr: int
+    __slots__ = ("vaddr",)
+
+    def __init__(self, vaddr: int) -> None:
+        self.vaddr = vaddr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Read(vaddr={self.vaddr})"
 
 
-@dataclass(frozen=True)
 class Write:
     """Write ``value`` to virtual address ``vaddr``.
 
@@ -45,42 +59,66 @@ class Write:
     the pending-writes cache (it stalls only when the cache is full).
     """
 
-    vaddr: int
-    value: int
+    __slots__ = ("vaddr", "value")
+
+    def __init__(self, vaddr: int, value: int) -> None:
+        self.vaddr = vaddr
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Write(vaddr={self.vaddr}, value={self.value})"
 
 
-@dataclass(frozen=True)
 class Issue:
     """Issue delayed operation ``op`` on ``vaddr``; yields a Token."""
 
-    op: OpCode
-    vaddr: int
-    operand: int = 0
+    __slots__ = ("op", "vaddr", "operand")
+
+    def __init__(self, op: OpCode, vaddr: int, operand: int = 0) -> None:
+        self.op = op
+        self.vaddr = vaddr
+        self.operand = operand
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Issue(op={self.op}, vaddr={self.vaddr}, operand={self.operand})"
 
 
-@dataclass(frozen=True)
 class AwaitResult:
     """Retrieve the result of a delayed operation (blocks until ready).
 
     Reading the result deallocates the delayed-operations cache slot.
     """
 
-    token: Token
+    __slots__ = ("token",)
+
+    def __init__(self, token: Token) -> None:
+        self.token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AwaitResult(token={self.token})"
 
 
-@dataclass(frozen=True)
 class PollResult:
     """Non-blocking result check; yields the value or None (slot kept)."""
 
-    token: Token
+    __slots__ = ("token",)
+
+    def __init__(self, token: Token) -> None:
+        self.token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PollResult(token={self.token})"
 
 
-@dataclass(frozen=True)
 class Fence:
     """Block until all earlier writes and update chains have completed."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Fence()"
+
+
 class Yield:
     """Voluntarily release the processor to another ready context.
 
@@ -88,6 +126,11 @@ class Yield:
     context-switch cost is charged only if a different context is
     actually installed.
     """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Yield()"
 
 
 Request = (Compute, Read, Write, Issue, AwaitResult, PollResult, Fence, Yield)

@@ -86,7 +86,18 @@ class ProtocolTrace:
 
     def __init__(self, capacity: int = 100_000) -> None:
         self.capacity = capacity
-        self.entries: List[TraceEntry] = []
+        #: Raw per-send records ``(time, msg, arrive, fate)`` not yet
+        #: materialized into :class:`TraceEntry` objects.  Recording is
+        #: the hot path (the check/stress harness traces every send), so
+        #: it appends one small tuple holding the live ``Message``;
+        #: :attr:`entries` converts lazily on first access.  Safe because
+        #: message pooling is disabled while a trace is installed (object
+        #: identity and field stability are guaranteed until
+        #: :meth:`uninstall` materializes whatever is still raw) and
+        #: because no sender mutates a message's fields after the send.
+        self._raw: List[tuple] = []
+        self._entries: List[TraceEntry] = []
+        self._count = 0
         self.dropped = 0
         #: msg_id -> cycle the recovery layer accepted the message and
         #: handed it to the protocol (fault-injected runs only; empty on
@@ -107,16 +118,27 @@ class ProtocolTrace:
         if previous is self:
             return self
         if previous is not None:
+            # The replaced trace loses its pooling protection the moment
+            # it detaches; snapshot its raw records first.
+            previous._materialize()
             previous._fabric = None
         fabric._trace = self
         self._fabric = fabric
+        fabric._refresh_pooling()
         return self
 
     def uninstall(self) -> "ProtocolTrace":
-        """Detach from the fabric; recorded entries are kept."""
+        """Detach from the fabric; recorded entries are kept.
+
+        Detaching re-enables the fabric's message pooling, after which
+        recorded ``Message`` objects may be recycled — so any still-raw
+        records are materialized into immutable entries here.
+        """
+        self._materialize()
         fabric = self._fabric
         if fabric is not None and fabric._trace is self:
             fabric._trace = None
+            fabric._refresh_pooling()
         self._fabric = None
         return self
 
@@ -129,30 +151,54 @@ class ProtocolTrace:
     def record(
         self, time: int, msg: Message, arrive: int = -1, fate: str = "sent"
     ) -> None:
-        if len(self.entries) >= self.capacity:
+        if self._count >= self.capacity:
             self.dropped += 1
             return
-        addr = msg.addr
-        self.entries.append(
-            TraceEntry(
-                time=time,
-                kind=msg.kind,
-                src=msg.src,
-                dst=msg.dst,
-                page=addr.page if addr else None,
-                offset=addr.offset if addr else None,
-                origin=msg.origin,
-                xid=msg.xid,
-                value=msg.value,
-                arrive=arrive,
-                op=msg.op,
-                writes=tuple(msg.writes),
-                chain_done=msg.chain_done,
-                seq=msg.seq,
-                msg_id=msg.msg_id,
-                fate=fate,
+        self._count += 1
+        self._raw.append((time, msg, arrive, fate))
+
+    def _materialize(self) -> None:
+        """Convert pending raw records into :class:`TraceEntry` objects."""
+        raw = self._raw
+        if not raw:
+            return
+        # Swap the buffer out first: a strict monitor subclass may raise
+        # from record() mid-iteration in code that then reads .entries.
+        self._raw = []
+        append = self._entries.append
+        for time, msg, arrive, fate in raw:
+            addr = msg.addr
+            append(
+                TraceEntry(
+                    time=time,
+                    kind=msg.kind,
+                    src=msg.src,
+                    dst=msg.dst,
+                    page=addr.page if addr else None,
+                    offset=addr.offset if addr else None,
+                    origin=msg.origin,
+                    xid=msg.xid,
+                    value=msg.value,
+                    arrive=arrive,
+                    op=msg.op,
+                    writes=tuple(msg.writes),
+                    chain_done=msg.chain_done,
+                    seq=msg.seq,
+                    msg_id=msg.msg_id,
+                    fate=fate,
+                )
             )
-        )
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        """All recorded entries, materializing lazily on access.
+
+        The returned list is the trace's own storage (do not mutate);
+        it keeps growing as more messages are recorded.
+        """
+        if self._raw:
+            self._materialize()
+        return self._entries
 
     def note_applied(self, time: int, msg: Message) -> None:
         """The recovery layer accepted ``msg`` (exactly once, in order).
@@ -165,7 +211,7 @@ class ProtocolTrace:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._count
 
     def __iter__(self):
         return iter(self.entries)

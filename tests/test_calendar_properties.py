@@ -1,0 +1,150 @@
+"""Property tests: the calendar-queue engine vs a reference heap.
+
+The engine's two-level calendar queue (per-cycle FIFO buckets plus a
+heap overflow lane) promises *exact* ``(time, seq)`` firing order — the
+order the original single-heap engine produced.  These tests keep that
+promise executable: a minimal single-heap engine serves as the spec, and
+random schedules (ties, nested scheduling from callbacks, near- and
+overflow-lane delays, cancellations, ``tie_break_rng`` on and off) must
+fire byte-identically on both.
+"""
+
+import heapq
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+class _RefTimer:
+    """Reference twin of :class:`repro.sim.engine.Timer` (lazy cancel)."""
+
+    __slots__ = ("_fn", "cancelled")
+
+    def __init__(self, fn):
+        self._fn = fn
+        self.cancelled = False
+
+    def __call__(self):
+        if not self.cancelled:
+            self._fn()
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _HeapEngine:
+    """The pre-calendar single-heap engine, kept as an executable spec.
+
+    Scheduling pushes ``(time, seq, fn)`` and running pops in heap
+    order; with ``tie_break_rng`` the seq's high bits are randomized
+    exactly as the real engine does, consuming the rng in ``at()`` call
+    order so an identically-seeded pair of engines stays comparable.
+    """
+
+    def __init__(self, tie_break_rng=None):
+        self._now = 0
+        self._heap = []
+        self._seq = itertools.count()
+        self._tie_rng = tie_break_rng
+
+    @property
+    def now(self):
+        return self._now
+
+    def at(self, time, fn):
+        assert time >= self._now
+        seq = next(self._seq)
+        if self._tie_rng is not None:
+            seq |= self._tie_rng.getrandbits(32) << 40
+        heapq.heappush(self._heap, (time, seq, fn))
+
+    def timer(self, delay, fn):
+        handle = _RefTimer(fn)
+        self.at(self._now + delay, handle)
+        return handle
+
+    def run(self):
+        heap = self._heap
+        while heap:
+            time, _seq, fn = heapq.heappop(heap)
+            self._now = time
+            fn()
+
+
+def _drive(engine, script):
+    """Run ``script`` on ``engine``; returns the fired (now, tag) list.
+
+    A script is a forest of nodes ``(delay, cancel_ref, children)``:
+    each node schedules a timer ``delay`` cycles ahead; on firing it
+    records its preorder tag, optionally cancels the ``cancel_ref``-th
+    previously created timer, and schedules its children.  Every
+    decision is a pure function of the script and firing order, so two
+    engines agree on the fired list iff they fire in the same order.
+    """
+    fired = []
+    handles = []
+    tags = itertools.count()
+
+    def schedule(node):
+        delay, cancel_ref, children = node
+        tag = next(tags)
+
+        def fire():
+            fired.append((engine.now, tag))
+            if cancel_ref is not None and handles:
+                handles[cancel_ref % len(handles)].cancel()
+            for child in children:
+                schedule(child)
+
+        handles.append(engine.timer(delay, fire))
+
+    for node in script:
+        schedule(node)
+    engine.run()
+    return fired
+
+
+# Delays straddling the calendar window (512): dense small values for
+# same-cycle ties, plus the window boundary and deep overflow lane.
+_delays = st.one_of(
+    st.integers(min_value=0, max_value=8),
+    st.sampled_from([0, 1, 100, 510, 511, 512, 513, 1023, 5000]),
+)
+_cancels = st.one_of(st.none(), st.integers(min_value=0, max_value=15))
+_nodes = st.recursive(
+    st.tuples(_delays, _cancels, st.just(())),
+    lambda children: st.tuples(
+        _delays, _cancels, st.lists(children, max_size=3).map(tuple)
+    ),
+    max_leaves=24,
+)
+_scripts = st.lists(_nodes, min_size=1, max_size=8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(script=_scripts)
+def test_calendar_queue_matches_reference_heap(script):
+    real = _drive(Engine(), script)
+    ref = _drive(_HeapEngine(), script)
+    assert real == ref
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=_scripts, seed=st.integers(min_value=0, max_value=2**16))
+def test_tie_break_rng_mode_matches_reference_heap(script, seed):
+    real = _drive(Engine(tie_break_rng=random.Random(seed)), script)
+    ref = _drive(_HeapEngine(random.Random(seed)), script)
+    assert real == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=_scripts)
+def test_engine_accounting_survives_random_schedules(script):
+    engine = Engine()
+    _drive(engine, script)
+    assert engine.pending_events == 0
+    assert 0 == engine._cancelled_timers

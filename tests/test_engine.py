@@ -210,6 +210,61 @@ class TestTimerCompaction:
         assert engine._cancelled_timers <= 1
         engine.run()
 
+    def test_cancelled_counter_never_exceeds_pending_entries(self):
+        # The compaction counter claims how many queue slots are dead;
+        # it must never claim more than the slots that exist, through
+        # any interleaving of scheduling, cancellation, firing, and
+        # compaction (near-lane and heap-lane delays both covered).
+        import random
+
+        rng = random.Random(12345)
+        engine = Engine()
+        live = []
+
+        def check():
+            assert 0 <= engine._cancelled_timers <= engine.pending_events
+
+        for _ in range(400):
+            action = rng.randrange(4)
+            if action == 0:
+                # Near-lane (< 512) and overflow-lane (>= 512) delays.
+                delay = rng.choice((0, 1, 7, 100, 511, 512, 600, 5000))
+                live.append(engine.timer(delay, lambda: None))
+            elif action == 1 and live:
+                live.pop(rng.randrange(len(live))).cancel()
+            elif action == 2 and live:
+                live[rng.randrange(len(live))].cancel()  # maybe again
+            else:
+                engine.step()
+            check()
+        while engine.step():
+            check()
+        assert engine.pending_events == 0
+        assert engine._cancelled_timers == 0
+
+    def test_noop_fire_decrements_cancelled_counter(self):
+        # Below the compaction floor the dead entry stays queued; when
+        # it fires as a no-op its slot is gone and the counter must
+        # follow (a stale count would eventually trigger a compaction
+        # pass over entries that no longer exist).
+        engine = Engine()
+        t = engine.timer(5, lambda: None)
+        t.cancel()
+        assert engine._cancelled_timers == 1
+        engine.run()
+        assert engine._cancelled_timers == 0
+
+    def test_cancel_after_fire_never_counts(self):
+        engine = Engine()
+        fired = []
+        t = engine.timer(5, lambda: fired.append(True))
+        engine.run()
+        assert fired == [True]
+        t.cancel()
+        t.cancel()
+        assert engine._cancelled_timers == 0
+        assert engine.pending_events == 0
+
     def test_lossless_run_event_counts_are_unchanged(self):
         # Pin the event/cycle/message counts of a lossless stress run:
         # no timers exist on a lossless mesh, so compaction must never
