@@ -104,10 +104,29 @@ class Engine:
     #: Near-lane width in cycles (power of two).  Events scheduled less
     #: than this far ahead take the O(1) bucket path; the rest overflow
     #: to the heap.  512 covers >99.9% of benchmark-workload events.
+    #: NOT freely tunable: the value is inlined as literal ``512``/``511``
+    #: in the scheduling fast paths (:meth:`at`, :meth:`after`, and the
+    #: inlined call sites in ``network/fabric.py``, ``core/coherence.py``
+    #: and ``node/cpu.py``); ``__init__`` rejects any override so those
+    #: literals can never silently desynchronize from the drain loop.
     BUCKETS = 512
     _MASK = BUCKETS - 1
 
+    #: Cancelled-entry floor below which compaction never runs (see
+    #: :meth:`_note_cancelled`).  Tests lower it to exercise compaction
+    #: on small schedules.
+    COMPACTION_FLOOR = 32
+
     def __init__(self, tie_break_rng=None) -> None:
+        if self.BUCKETS != 512 or self._MASK != 511:
+            # The near-lane window is inlined as literal 512/511 at the
+            # scheduling call sites (see the BUCKETS docstring); an
+            # overridden width would silently misfile events.
+            raise SimulationError(
+                f"Engine.BUCKETS/_MASK must be 512/511 (got "
+                f"{self.BUCKETS}/{self._MASK}): the near-lane window is "
+                "inlined as a literal in the scheduling fast paths"
+            )
         self._now = 0
         #: Overflow lane: far-future events as (time, seq, fn).
         self._heap: List[Tuple[int, int, Callback]] = []
@@ -210,12 +229,15 @@ class Engine:
         """
         self._cancelled_timers += 1
         if (
-            self._cancelled_timers > 32
+            self._cancelled_timers > self.COMPACTION_FLOOR
             and self._cancelled_timers * 2 > len(self._heap) + self._near
         ):
             # In place: Engine.run holds local aliases to the heap and
             # bucket lists, so each list object's identity must survive
-            # compaction.
+            # compaction.  Safe to run from inside a handler mid-drain:
+            # run() detaches each batch from its bucket before firing
+            # and step() pops before firing, so the queues never contain
+            # an already-fired entry for this filter to remove.
             self._heap[:] = [
                 entry
                 for entry in self._heap
@@ -289,9 +311,8 @@ class Engine:
         # callback in a run funnels through it, so both lanes are bound
         # locally.  Per cycle it drains the overflow heap first (those
         # entries always carry the smaller sequence numbers for that
-        # cycle), then walks the cycle's bucket by index — an index walk
-        # rather than iteration because handlers may append same-cycle
-        # events mid-drain, and those must fire this cycle, in order.
+        # cycle), then the cycle's bucket in detached batches (see the
+        # drain below for why detaching matters).
         heap = self._heap
         buckets = self._buckets
         mask = self._MASK
@@ -340,39 +361,51 @@ class Engine:
                     fired += 1
                     fn()
                 bucket = buckets[t & mask]
-                # Drain in C-iterated slices: handlers may append further
-                # same-cycle events mid-drain (they must fire this cycle,
-                # in order), so after each slice re-check for growth.
-                start = 0
-                while True:
-                    n = len(bucket)
-                    if n == start:
-                        break
-                    if fired + (n - start) > max_events:
-                        # The cap is exact: fall back to an index walk so
-                        # the offending event stays queued.
-                        i = start
-                        while i < len(bucket):
-                            if fired >= max_events:
-                                del bucket[:i]
-                                self._near -= i
-                                raise SimulationError(
-                                    f"exceeded {max_events} events at "
-                                    f"cycle {self._now}; the simulated "
-                                    "program is probably livelocked"
-                                )
-                            fn = bucket[i]
-                            i += 1
+                # Drain in detached batches: each batch is snapshotted
+                # *out of* the bucket before firing, so an already-fired
+                # entry never coexists with (a) the compaction filter a
+                # handler can trigger via Timer.cancel — which would
+                # shift list indices under live drain bookkeeping — or
+                # (b) a handler exception, after which fired entries must
+                # not survive in the queue to re-fire on resume.
+                # Handlers may append further same-cycle events mid-batch
+                # (they land in the live bucket and must fire this cycle,
+                # in order), so after each batch re-check for growth.
+                while bucket:
+                    room = max_events - fired
+                    if len(bucket) <= room:
+                        pending = bucket[:]
+                        bucket.clear()
+                        capped = False
+                    else:
+                        # The cap is exact: only events under the budget
+                        # leave the queue; the offender stays scheduled.
+                        pending = bucket[:room]
+                        del bucket[:room]
+                        capped = True
+                    self._near -= len(pending)
+                    base = fired
+                    try:
+                        for fn in pending:
                             fired += 1
                             fn()
-                        start = i
-                        continue
-                    for fn in bucket[start:n]:
-                        fired += 1
-                        fn()
-                    start = n
-                self._near -= start
-                bucket.clear()
+                    except BaseException:
+                        # The raising event is consumed (matching the
+                        # heap lane's pop-then-fire); the unfired suffix
+                        # returns to the front of the bucket so a caller
+                        # that catches and resumes sees neither
+                        # duplicates nor losses.
+                        rest = pending[fired - base:]
+                        if rest:
+                            bucket[:0] = rest
+                            self._near += len(rest)
+                        raise
+                    if capped:
+                        raise SimulationError(
+                            f"exceeded {max_events} events at cycle "
+                            f"{self._now}; the simulated program is "
+                            "probably livelocked"
+                        )
             if until is not None and until > self._now:
                 self._now = until
         finally:

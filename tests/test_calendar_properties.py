@@ -148,3 +148,26 @@ def test_engine_accounting_survives_random_schedules(script):
     _drive(engine, script)
     assert engine.pending_events == 0
     assert 0 == engine._cancelled_timers
+
+
+class _EagerCompactionEngine(Engine):
+    """Engine whose queues compact on (nearly) every cancellation.
+
+    The default floor (32) is out of reach of these small scripts, so
+    without it the compaction path — including a compaction triggered by
+    ``Timer.cancel`` from a handler mid-bucket-drain — would go
+    unexercised here.
+    """
+
+    COMPACTION_FLOOR = 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=_scripts)
+def test_compaction_under_drain_matches_reference_heap(script):
+    engine = _EagerCompactionEngine()
+    real = _drive(engine, script)
+    ref = _drive(_HeapEngine(), script)
+    assert real == ref
+    assert engine.pending_events == 0
+    assert engine._cancelled_timers == 0

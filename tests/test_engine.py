@@ -164,6 +164,47 @@ class TestEngine:
             engine.run(until=1_000, max_events=50)
         assert engine.events_fired == 50
 
+    def test_handler_exception_mid_drain_keeps_queue_consistent(self):
+        # Regression: a handler raising mid-bucket-drain used to skip
+        # the bucket cleanup, leaving already-fired entries queued (and
+        # _near inflated) so a caller that caught the error and resumed
+        # re-fired them.  Fired entries must be consumed, unfired ones
+        # must stay.
+        engine = Engine()
+        seen = []
+
+        class Boom(Exception):
+            pass
+
+        def bad():
+            seen.append("B")
+            raise Boom
+
+        engine.at(5, lambda: seen.append("A"))
+        engine.at(5, bad)
+        engine.at(5, lambda: seen.append("C"))
+        with pytest.raises(Boom):
+            engine.run()
+        assert seen == ["A", "B"]
+        assert engine.now == 5
+        assert engine.pending_events == 1  # C stays queued; A and B consumed
+        engine.run()
+        assert seen == ["A", "B", "C"]
+        assert engine.pending_events == 0
+
+    def test_bucket_width_override_is_rejected(self):
+        # The 512-cycle near-lane window is inlined as literal 512/511
+        # at the scheduling fast paths (engine.at/after and the fabric /
+        # coherence / cpu call sites); an overridden width would
+        # silently desynchronize them from the drain loop, so the
+        # engine refuses to construct.
+        class Wider(Engine):
+            BUCKETS = 1024
+            _MASK = 1023
+
+        with pytest.raises(SimulationError):
+            Wider()
+
 
 class TestTimerCompaction:
     def test_mass_cancellation_compacts_the_heap(self):
@@ -264,6 +305,35 @@ class TestTimerCompaction:
         t.cancel()
         assert engine._cancelled_timers == 0
         assert engine.pending_events == 0
+
+    def test_compaction_mid_drain_keeps_same_cycle_appends(self):
+        # Regression: Timer.cancel from a handler could cross the
+        # compaction threshold while run() was draining the handler's
+        # own bucket.  The in-place bucket filter then removed the
+        # already-fired cancelled entry ahead of the drain cursor,
+        # shifting indices under the drain bookkeeping, and a same-cycle
+        # event appended by the handler was cleared without firing.
+        engine = Engine()
+        far = [engine.timer(5000, lambda: None) for _ in range(40)]
+        for t in far[:31]:
+            t.cancel()
+        seen = []
+        noop = engine.timer(5, lambda: seen.append("BUG"))
+        noop.cancel()  # counter now 32: one below the trigger
+
+        def handler():
+            seen.append("A")
+            engine.after(0, lambda: seen.append("D"))
+            # The no-op fire of ``noop`` just decremented the counter;
+            # two more cancellations cross the threshold mid-drain.
+            far[31].cancel()
+            far[32].cancel()
+
+        engine.at(5, handler)
+        engine.run(until=10)
+        assert seen == ["A", "D"]
+        assert engine._cancelled_timers == 0
+        assert engine.pending_events == 7  # the uncancelled far timers
 
     def test_lossless_run_event_counts_are_unchanged(self):
         # Pin the event/cycle/message counts of a lossless stress run:
