@@ -170,10 +170,15 @@ def benchmark_sweep(seeds: int = 200, jobs: Optional[int] = None) -> Dict:
     Only output divergence is a failure.
     """
     from repro import cli
+    from repro.parallel import effective_jobs
 
     cpu_count = os.cpu_count() or 1
-    if jobs is None:
-        jobs = max(2, cpu_count)
+    jobs_requested = jobs if jobs is not None else max(2, cpu_count)
+    # The parallel leg must exercise the multiprocess executor even on
+    # a single-core runner, so the bench opts into oversubscription
+    # explicitly (the CLI now clamps silent over-requests; see
+    # repro.parallel.effective_jobs) and records both values.
+    jobs = max(2, effective_jobs(jobs_requested, cpu_count=cpu_count))
 
     walls = {}
     outputs = {}
@@ -182,7 +187,14 @@ def benchmark_sweep(seeds: int = 200, jobs: Optional[int] = None) -> Dict:
         t0 = time.perf_counter()
         with redirect_stdout(out), redirect_stderr(err):
             code = cli.main(
-                ["check", "--seeds", str(seeds), "--jobs", str(j)]
+                [
+                    "check",
+                    "--seeds",
+                    str(seeds),
+                    "--jobs",
+                    str(j),
+                    "--oversubscribe",
+                ]
             )
         walls[j] = time.perf_counter() - t0
         outputs[j] = (code, out.getvalue())
@@ -194,6 +206,8 @@ def benchmark_sweep(seeds: int = 200, jobs: Optional[int] = None) -> Dict:
     result = {
         "seeds": seeds,
         "jobs": jobs,
+        "jobs_requested": jobs_requested,
+        "jobs_effective": jobs,
         "cpu_count": cpu_count,
         "wall_serial_s": round(walls[1], 3),
         "wall_parallel_s": round(walls[jobs], 3),

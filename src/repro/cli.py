@@ -26,6 +26,7 @@ interactive path.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List
@@ -35,9 +36,14 @@ from repro.machine import PlusMachine
 from repro.stats.report import format_table
 
 
-def _resolve_jobs(jobs: int) -> int:
-    """``--jobs 0`` means one worker per core."""
-    return jobs if jobs > 0 else (os.cpu_count() or 1)
+def _resolve_jobs(args) -> int:
+    """``--jobs 0`` means one worker per core; positive requests are
+    clamped to the visible CPU count unless ``--oversubscribe``."""
+    from repro.parallel import effective_jobs
+
+    return effective_jobs(
+        args.jobs, oversubscribe=getattr(args, "oversubscribe", False)
+    )
 
 
 def _cmd_table_2_1(args) -> int:
@@ -92,7 +98,7 @@ def _cmd_fig_2_1(args) -> int:
     ]
     outcomes = run_sweep(
         tasks,
-        jobs=_resolve_jobs(args.jobs),
+        jobs=_resolve_jobs(args),
         on_result=lambda r: print(
             f"  {r.label}: verified" if r.ok else f"  {r.describe()}"
         ),
@@ -202,7 +208,7 @@ def _cmd_fig_3_1(args) -> int:
     )
     outcomes = run_sweep(
         tasks,
-        jobs=_resolve_jobs(args.jobs),
+        jobs=_resolve_jobs(args),
         on_result=lambda r: print(
             f"  {r.label}: verified" if r.ok else f"  {r.describe()}"
         )
@@ -337,7 +343,7 @@ def _cmd_check(args) -> int:
         on_result=show,
         faults=faults,
         fault_overrides=overrides,
-        jobs=_resolve_jobs(args.jobs),
+        jobs=_resolve_jobs(args),
         shard=args.shard,
     )
     cycles = sum(r.cycles for r in results)
@@ -556,7 +562,8 @@ def _cmd_sweep(args) -> int:
         for i, point in enumerate(points)
     ]
     tasks = shard_tasks(tasks, args.shard)
-    outcomes = run_sweep(tasks, jobs=_resolve_jobs(args.jobs), label="sweep")
+    jobs_effective = _resolve_jobs(args)
+    outcomes = run_sweep(tasks, jobs=jobs_effective, label="sweep")
     failures = [r for r in outcomes if not r.ok]
     rows = [
         [r.value[c] for c in columns] for r in outcomes if r.ok
@@ -565,11 +572,94 @@ def _cmd_sweep(args) -> int:
     print(
         f"{len(outcomes)} configuration(s) swept, {len(failures)} failure(s)"
     )
+    # Provenance goes to stderr like the progress line: stdout must stay
+    # byte-identical across job counts.
+    print(
+        f"[sweep] jobs_requested={args.jobs} jobs_effective={jobs_effective}",
+        file=sys.stderr,
+    )
     for r in failures:
         print(f"  {r.describe()}")
         if r.error_tb:
             print("    " + "\n    ".join(r.error_tb.rstrip().splitlines()))
     return 1 if failures else 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the simulation daemon in the foreground until SIGINT/SIGTERM."""
+    import signal
+
+    from repro.server import ReproDaemon
+
+    log_stream = open(args.log, "a") if args.log else sys.stderr
+    daemon = ReproDaemon(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        max_pending=args.max_pending,
+        quota=args.quota,
+        log=log_stream,
+    )
+    daemon.start()
+    print(f"repro serve: listening on {daemon.address_str()}", flush=True)
+
+    def _stop(signum, frame):
+        del signum, frame
+        daemon.shutdown()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.shutdown()
+        if args.log:
+            log_stream.close()
+    return 0
+
+
+def _parse_param(text: str):
+    """``key=value`` with JSON-typed values; bare words are strings."""
+    if "=" not in text:
+        raise SystemExit(f"--param needs key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    return key, value
+
+
+def _cmd_submit(args) -> int:
+    """Submit one request to a running daemon; print the envelope."""
+    from repro.server import DaemonUnavailable, ReproClient
+
+    params = dict(_parse_param(p) for p in args.param or [])
+
+    def show_progress(event):
+        print(
+            f"[progress] {event['done']}/{event['total']}", file=sys.stderr
+        )
+
+    try:
+        with ReproClient(
+            host=args.host, port=args.port, socket_path=args.socket
+        ) as client:
+            envelope = client.request(
+                args.op, params, on_progress=show_progress
+            )
+    except (DaemonUnavailable, ConnectionError, OSError) as exc:
+        print(f"repro submit: cannot reach daemon: {exc}", file=sys.stderr)
+        return 2
+    if args.result_only:
+        # Just the payload, canonical form: byte-comparable across
+        # submits (the full envelope carries timings and counters).
+        print(json.dumps(envelope.get("result"), sort_keys=True))
+    else:
+        print(json.dumps(envelope, sort_keys=True, indent=2))
+    return 0 if envelope.get("ok") else 1
 
 
 COMMANDS = {
@@ -581,6 +671,8 @@ COMMANDS = {
     "check": (_cmd_check, "coherence oracle over seeded stress runs"),
     "sweep": (_cmd_sweep, "parameter-grid sweep across worker processes"),
     "profile": (_cmd_profile, "cProfile one workload; writes PROFILE.json"),
+    "serve": (_cmd_serve, "run the simulation daemon (JSON lines/socket)"),
+    "submit": (_cmd_submit, "submit one request to a running daemon"),
 }
 
 
@@ -600,7 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help="worker processes for independent runs "
-            "(default 1 = in-process; 0 = one per core)",
+            "(default 1 = in-process; 0 = one per core; requests above "
+            "the visible CPU count are clamped)",
+        )
+        p.add_argument(
+            "--oversubscribe",
+            action="store_true",
+            help="allow more workers than visible CPUs (skip the "
+            "--jobs clamp)",
         )
         if shard:
             p.add_argument(
@@ -745,6 +844,92 @@ def build_parser() -> argparse.ArgumentParser:
                 "(CI artifact)",
             )
             add_jobs(p, shard=True)
+        elif name == "serve":
+            p.add_argument(
+                "--host",
+                type=str,
+                default="127.0.0.1",
+                help="TCP bind address (default 127.0.0.1)",
+            )
+            p.add_argument(
+                "--port",
+                type=int,
+                default=0,
+                help="TCP port (default 0 = OS-assigned, printed at boot)",
+            )
+            p.add_argument(
+                "--socket",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="serve on a unix socket instead of TCP",
+            )
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=0,
+                metavar="N",
+                help="warm worker processes (default 0 = one per core)",
+            )
+            p.add_argument(
+                "--cache-size",
+                type=int,
+                default=128,
+                help="LRU result-cache capacity (default 128)",
+            )
+            p.add_argument(
+                "--max-pending",
+                type=int,
+                default=32,
+                help="admission queue bound: concurrent dispatched "
+                "requests before 'overloaded' (default 32)",
+            )
+            p.add_argument(
+                "--quota",
+                type=int,
+                default=4,
+                help="per-client in-flight request quota (default 4)",
+            )
+            p.add_argument(
+                "--log",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="append daemon log lines here (default stderr)",
+            )
+        elif name == "submit":
+            p.add_argument(
+                "--op",
+                type=str,
+                required=True,
+                help="request op: simulate, check, sweep, bench, status",
+            )
+            p.add_argument(
+                "--host", type=str, default="127.0.0.1", help="daemon host"
+            )
+            p.add_argument(
+                "--port", type=int, default=None, help="daemon TCP port"
+            )
+            p.add_argument(
+                "--socket",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="daemon unix socket path",
+            )
+            p.add_argument(
+                "--param",
+                action="append",
+                metavar="K=V",
+                help="op parameter (repeatable); values parse as JSON, "
+                "bare words as strings",
+            )
+            p.add_argument(
+                "--result-only",
+                action="store_true",
+                help="print only the result payload, canonical JSON "
+                "(byte-comparable across submits)",
+            )
         elif name == "profile":
             p.add_argument(
                 "workload",

@@ -11,12 +11,22 @@ is byte-identical to the serial run:
   ``--shard i/N`` slicing.
 * :mod:`repro.parallel.executor` — :func:`run_sweep`: warm worker
   pool, ordered aggregation, crash isolation, live progress line, and
-  the pure in-process ``jobs=1`` fallback.
+  the pure in-process ``jobs=1`` fallback; :class:`WorkerPool`: the
+  long-lived variant the ``repro serve`` daemon dispatches through;
+  :func:`effective_jobs`: ``--jobs`` resolution against the visible
+  CPU count.
 * :mod:`repro.parallel.grid` — module-level grid-point targets for
   ``python -m repro sweep`` and the figure fan-outs.
 """
 
-from repro.parallel.executor import ProgressLine, default_context, run_sweep
+from repro.parallel.executor import (
+    PoolFuture,
+    ProgressLine,
+    WorkerPool,
+    default_context,
+    effective_jobs,
+    run_sweep,
+)
 from repro.parallel.grid import expand_grid
 from repro.parallel.tasks import (
     SweepTask,
@@ -27,10 +37,13 @@ from repro.parallel.tasks import (
 )
 
 __all__ = [
+    "PoolFuture",
     "ProgressLine",
     "SweepTask",
     "TaskResult",
+    "WorkerPool",
     "default_context",
+    "effective_jobs",
     "execute",
     "expand_grid",
     "parse_shard",

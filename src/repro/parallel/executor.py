@@ -32,9 +32,12 @@ runner machines and the union of shards is exactly the full sweep.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_mod
 import sys
+import threading
 import time
+from itertools import count
 from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Set
 
@@ -57,6 +60,31 @@ def default_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def effective_jobs(
+    requested: int,
+    cpu_count: Optional[int] = None,
+    oversubscribe: bool = False,
+) -> int:
+    """Resolve a ``--jobs`` request against the visible CPU count.
+
+    ``requested <= 0`` means "one worker per core".  A positive request
+    is clamped to the visible CPU count: more simulation workers than
+    cores only adds scheduling overhead (BENCH_history.jsonl records a
+    ``jobs: 8`` sweep on a 1-core runner finishing *slower* than serial,
+    speedup 0.79), so oversubscription is an explicit opt-in
+    (``oversubscribe=True``, ``--oversubscribe`` on the CLI), never a
+    silent default.  Callers that report sweep provenance should record
+    both the request and the resolved value (``jobs_requested`` /
+    ``jobs_effective``).
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if requested <= 0:
+        return cores
+    if oversubscribe:
+        return requested
+    return min(requested, cores)
 
 
 class ProgressLine:
@@ -300,25 +328,318 @@ def _run_parallel(tasks, jobs, on_result, stop, failed, progress, mp_context):
                 pending -= 1
             flush()
     finally:
-        progress.close()
-        aborted = stopped or pending > 0
-        if aborted:
-            # Early abort: drain unclaimed work, then stop the fleet.
+        # The daemon reuses this path on every request, so the teardown
+        # must reap every child even when the triggering exception was a
+        # KeyboardInterrupt/SIGTERM mid-task (and even when a *second*
+        # interrupt lands inside the cleanup itself).
+        try:
+            progress.close()
+        finally:
+            _stop_fleet(
+                task_q, workers, readers, aborted=stopped or pending > 0
+            )
+    return results
+
+
+def _drain_task_queue(task_q) -> None:
+    """Discard unclaimed work so exiting workers stop immediately."""
+    try:
+        while True:
+            task_q.get_nowait()
+    except (queue_mod.Empty, OSError):
+        pass
+
+
+def _stop_fleet(task_q, workers, readers, aborted: bool) -> None:
+    """Terminate and reap every worker process; close parent-side pipes.
+
+    Idempotent (reaped slots are cleared) and interrupt-safe: a
+    ``KeyboardInterrupt`` landing mid-cleanup restarts the pass in
+    hard-abort mode instead of abandoning children, and a worker that
+    survives ``terminate()`` is escalated to ``kill()``.  Guarantees no
+    orphan processes and no hung ``join`` on every exit path of
+    :func:`_run_parallel`.
+    """
+    for attempt in range(3):
+        try:
+            if aborted:
+                _drain_task_queue(task_q)
+                for proc in workers:
+                    if proc is not None and proc.is_alive():
+                        proc.terminate()
+            for wid, proc in enumerate(workers):
+                if proc is None:
+                    continue
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover — last resort
+                    proc.kill()
+                    proc.join(timeout=5)
+                if not proc.is_alive():
+                    workers[wid] = None  # reaped: idempotent on retry
+            for conn in list(readers):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            readers.clear()
+            try:
+                task_q.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
+        except BaseException:  # noqa: BLE001 — must not abandon children
+            if attempt == 2:  # pragma: no cover — repeated interrupts
+                raise
+            aborted = True  # retry the pass in hard-abort mode
+
+
+# ----------------------------------------------------------------------
+# Long-lived pool mode: many submitters, one warm fleet.
+# ----------------------------------------------------------------------
+class PoolFuture:
+    """Outcome slot for one task submitted to a :class:`WorkerPool`."""
+
+    __slots__ = ("_event", "_result")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[TaskResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> TaskResult:
+        """Block until the task completes; raises TimeoutError if it
+        does not within ``timeout`` seconds (the task keeps running)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete in time")
+        return self._result
+
+    def _resolve(self, result: TaskResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+class WorkerPool:
+    """A warm worker fleet that outlives any single sweep.
+
+    :func:`run_sweep` builds a private fleet per call; the pool is the
+    *long-lived* mode the ``repro serve`` daemon dispatches every
+    request through — workers are created once and stay warm across
+    requests, and many submitter threads share them.  Contract:
+
+    * :meth:`submit` is thread-safe and returns a :class:`PoolFuture`
+      that resolves to the task's :class:`TaskResult`;
+    * a worker that dies mid-task resolves that task's future with a
+      ``crashed`` result and is replaced, so the fleet stays at
+      strength — *re-dispatch policy belongs to the submitter* (the
+      daemon retries once, then reports a structured error);
+    * :meth:`shutdown` drains or cancels queued work, retires every
+      worker (escalating terminate → kill), joins them, and resolves
+      any leftover futures — idempotent, no orphan processes.
+    """
+
+    def __init__(self, jobs: int, mp_context=None) -> None:
+        self.jobs = max(1, jobs)
+        self._ctx = mp_context if mp_context is not None else default_context()
+        self._task_q = self._ctx.Queue()
+        self._current = self._ctx.Array("i", [_IDLE] * self.jobs, lock=False)
+        self._lock = threading.Lock()
+        self._futures: Dict[int, PoolFuture] = {}
+        self._tasks: Dict[int, SweepTask] = {}
+        self._tickets = count()
+        self._workers: List[Optional[object]] = [None] * self.jobs
+        self._readers: Dict[object, int] = {}
+        self._closing = False
+        self._closed = False
+        self.crashes = 0  #: workers lost mid-task over the pool's life
+        for wid in range(self.jobs):
+            self._spawn(wid)
+        self._collector = threading.Thread(
+            target=self._collect, name="workerpool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, task: SweepTask) -> PoolFuture:
+        """Queue ``task`` for the next free worker (thread-safe)."""
+        future = PoolFuture()
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("worker pool is shut down")
+            ticket = next(self._tickets)
+            self._futures[ticket] = future
+            self._tasks[ticket] = task
+        self._task_q.put((ticket, task))
+        return future
+
+    def map(self, tasks: List[SweepTask]) -> List[PoolFuture]:
+        """Submit ``tasks`` in order; futures in the same order."""
+        return [self.submit(task) for task in tasks]
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(
+            1 for p in self._workers if p is not None and p.is_alive()
+        )
+
+    # -- plumbing ------------------------------------------------------
+    def _spawn(self, wid: int) -> None:
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self._task_q, send_conn, self._current),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()  # worker holds the only send end (EOF = death)
+        self._workers[wid] = proc
+        with self._lock:
+            self._readers[recv_conn] = wid
+
+    def _resolve(self, ticket: int, result: TaskResult) -> None:
+        with self._lock:
+            future = self._futures.pop(ticket, None)
+            self._tasks.pop(ticket, None)
+        if future is not None and not future.done():
+            future._resolve(result)
+
+    def _collect(self) -> None:
+        """Collector thread: route results to futures, reap the dead."""
+        while True:
+            with self._lock:
+                conns = list(self._readers)
+            if not conns:
+                if self._closing:
+                    return
+                time.sleep(_POLL_S)
+                continue
+            ready = mp_connection.wait(conns, timeout=_POLL_S)
+            for conn in ready:
+                try:
+                    ticket, result = conn.recv()
+                except (EOFError, OSError):
+                    self._reap(conn)
+                    continue
+                self._resolve(ticket, result)
+
+    def _reap(self, conn) -> None:
+        """A worker's pipe hit EOF: retire it; crash-resolve a held
+        task's future and keep the fleet at strength unless closing."""
+        with self._lock:
+            wid = self._readers.pop(conn, None)
+        conn.close()
+        if wid is None:
+            return
+        proc = self._workers[wid]
+        self._workers[wid] = None
+        if proc is None:  # pragma: no cover — already retired
+            return
+        proc.join()  # EOF means the worker is exiting: join is instant
+        held = self._current[wid]
+        clean = proc.exitcode == 0 and held == _DONE
+        if not clean and held >= 0:
+            with self._lock:
+                task = self._tasks.get(held)
+            if task is not None:
+                self.crashes += 1
+                self._resolve(
+                    held,
+                    TaskResult(
+                        index=task.index,
+                        label=task.label,
+                        crashed=True,
+                        error=(
+                            f"worker process died (exitcode "
+                            f"{proc.exitcode}) while running "
+                            f"{task.describe()}"
+                        ),
+                    ),
+                )
+        if not clean and not self._closing:
+            # The dead worker never consumed an exit sentinel, so the
+            # replacement inherits its slot.
+            self._current[wid] = _IDLE
+            self._spawn(wid)
+
+    # -- teardown ------------------------------------------------------
+    def shutdown(
+        self, timeout: float = 10.0, cancel_pending: bool = False
+    ) -> None:
+        """Retire the fleet; reap every child.  Idempotent.
+
+        ``cancel_pending=True`` resolves queued-but-unstarted tasks with
+        a structured error instead of running them; in-flight tasks are
+        always given ``timeout`` seconds to finish before escalation.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True
+        if cancel_pending:
+            drained = []
             try:
                 while True:
-                    task_q.get_nowait()
-            except queue_mod.Empty:
+                    item = self._task_q.get_nowait()
+                    if item is not None:
+                        drained.append(item)
+            except (queue_mod.Empty, OSError):
                 pass
-        for proc in workers:
+            for ticket, task in drained:
+                self._resolve(
+                    ticket,
+                    TaskResult(
+                        index=task.index,
+                        label=task.label,
+                        error="cancelled: worker pool shut down",
+                    ),
+                )
+        for proc in self._workers:
+            if proc is not None:
+                self._task_q.put(None)  # one exit sentinel per worker
+        deadline = time.monotonic() + timeout
+        for proc in list(self._workers):
             if proc is None:
                 continue
-            if aborted:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
                 proc.terminate()
-            proc.join(timeout=5)
+                proc.join(timeout=2)
             if proc.is_alive():  # pragma: no cover — last resort
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in readers:
-            conn.close()
-        task_q.close()
-    return results
+                proc.kill()
+                proc.join(timeout=2)
+        self._collector.join(timeout=timeout)
+        with self._lock:
+            for conn in list(self._readers):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._readers.clear()
+            leftovers = list(self._futures.items())
+            tasks = dict(self._tasks)
+            self._futures.clear()
+            self._tasks.clear()
+            self._closed = True
+        for ticket, future in leftovers:
+            task = tasks.get(ticket)
+            future._resolve(
+                TaskResult(
+                    index=task.index if task is not None else -1,
+                    label=task.label if task is not None else "",
+                    error="cancelled: worker pool shut down",
+                )
+            )
+        try:
+            self._task_q.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

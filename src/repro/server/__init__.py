@@ -1,0 +1,36 @@
+"""``repro serve``: the long-running simulation service.
+
+The daemon (:mod:`repro.server.daemon`) serves ``simulate`` / ``check``
+/ ``sweep`` / ``bench`` requests from many concurrent clients over JSON
+lines, canonicalizes parameters into deterministic cache keys
+(:mod:`repro.server.protocol`, :mod:`repro.server.cache`), memoizes
+finished results, and dispatches misses onto a long-lived
+:class:`~repro.parallel.executor.WorkerPool`.  The client side
+(:mod:`repro.server.client`) backs the ``repro submit`` CLI.
+"""
+
+from repro.server.cache import ResultCache, canonical_key
+from repro.server.client import DaemonUnavailable, ReproClient
+from repro.server.daemon import ReproDaemon
+from repro.server.protocol import (
+    OPS,
+    OpSpec,
+    Param,
+    ProtocolError,
+    get_op,
+    register_op,
+)
+
+__all__ = [
+    "OPS",
+    "DaemonUnavailable",
+    "OpSpec",
+    "Param",
+    "ProtocolError",
+    "ReproClient",
+    "ReproDaemon",
+    "ResultCache",
+    "canonical_key",
+    "get_op",
+    "register_op",
+]

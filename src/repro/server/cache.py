@@ -1,0 +1,86 @@
+"""The memoizing result cache: canonical config hash → finished result.
+
+Determinism makes caching free (the replicated read-mostly sharing
+argument from PAPERS.md applied to our own runs): every op the daemon
+serves is a deterministic function of its canonical params, so the
+sha256 of ``{"v": PROTOCOL_VERSION, "op": ..., "params": ...}`` with
+sorted keys *is* the result's identity.  Same hash ⇒ the cached answer
+is byte-identical to a fresh run; different params ⇒ different JSON ⇒
+no collision (up to sha256).
+
+:class:`ResultCache` is a thread-safe LRU over those keys with hit/miss
+counters — the numbers surfaced in every response envelope's ``cache``
+section and asserted on by the CI serve-smoke job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server.protocol import PROTOCOL_VERSION
+
+
+def canonical_key(op: str, params: Dict[str, Any]) -> str:
+    """The cache key: sha256 over the sorted-key JSON of the request.
+
+    ``params`` must already be canonical (defaults filled, aliases
+    folded — see :meth:`OpSpec.canonicalize`), so key order, alias
+    spelling, and defaulted-vs-explicit values cannot produce distinct
+    hashes for the same run.
+    """
+    blob = json.dumps(
+        {"v": PROTOCOL_VERSION, "op": op, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU mapping canonical keys to finished results."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for the response envelope's ``cache`` section."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

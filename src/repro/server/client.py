@@ -1,0 +1,99 @@
+"""Client library for the ``repro serve`` daemon.
+
+:class:`ReproClient` opens one stream connection (TCP or unix socket),
+sends JSON-line requests, and reads events until each request's final
+``result`` envelope arrives.  ``progress`` events stream to an optional
+callback; everything else about the wire format lives in
+:mod:`repro.server.protocol`.
+
+    with ReproClient(port=7421) as client:
+        envelope = client.request("check", {"seed": 3, "faults": True})
+        assert envelope["ok"]
+        print(envelope["result"]["cycles"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Dict, Optional
+
+
+class DaemonUnavailable(ConnectionError):
+    """The daemon hung up (or never answered) mid-request."""
+
+
+class ReproClient:
+    """One connection to a running daemon.  Not thread-safe; open one
+    client per thread (the daemon handles many connections)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if socket_path:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("need a port or a socket_path")
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Send one request; block until its ``result`` envelope.
+
+        ``progress`` events for this request are passed to
+        ``on_progress`` as they arrive.  The envelope is returned
+        as-is — inspect ``envelope["ok"]`` / ``envelope["error"]``.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        line = json.dumps(
+            {"id": request_id, "op": op, "params": params or {}},
+            sort_keys=True,
+        )
+        try:
+            self._wfile.write(line.encode("utf-8") + b"\n")
+            self._wfile.flush()
+        except OSError as exc:
+            raise DaemonUnavailable(f"send failed: {exc}") from exc
+        while True:
+            raw = self._rfile.readline()
+            if not raw:
+                raise DaemonUnavailable("daemon closed the connection")
+            event = json.loads(raw)
+            if event.get("id") != request_id:
+                continue  # a stale event from an abandoned request
+            if event.get("event") == "progress":
+                if on_progress is not None:
+                    on_progress(event)
+                continue
+            return event
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close,
+                       self._sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -75,10 +75,17 @@ class Timer:
         self._fired = True
         if not self.cancelled:
             self._fn()
-        elif self._engine is not None and self._engine._cancelled_timers > 0:
+        elif self._engine is not None:
             # The no-op pop released this entry's queue slot; keep the
             # compaction counter in sync so it never over-estimates.
-            self._engine._cancelled_timers -= 1
+            # ``_noop_fires`` lets the run loop tell a cycle that only
+            # fired dead entries from one that did real work, so the
+            # reported clock never advances on no-op fires (see
+            # :meth:`Engine.run`).
+            engine = self._engine
+            engine._noop_fires += 1
+            if engine._cancelled_timers > 0:
+                engine._cancelled_timers -= 1
 
     def cancel(self) -> None:
         """Make the timer a no-op when it fires.  Idempotent."""
@@ -142,6 +149,13 @@ class Engine:
         #: when they exceed half of ``pending_events`` both lanes are
         #: compacted (see :meth:`_note_cancelled`).
         self._cancelled_timers = 0
+        #: Cancelled :class:`Timer` entries that have fired as no-ops.
+        #: The run loop compares per-cycle deltas of this counter
+        #: against events fired to spot cycles that did no real work:
+        #: the reported clock must not advance on those (a trailing
+        #: cancelled retransmission timer would otherwise inflate the
+        #: end-of-run timestamp of faulty runs; see :meth:`run`).
+        self._noop_fires = 0
         #: Optional ``random.Random``: when set, events scheduled for the
         #: same cycle fire in a seeded-random (still deterministic) order
         #: instead of scheduling order.  The coherence protocol must be
@@ -282,7 +296,6 @@ class Engine:
         t = self._next_time()
         if t is None:
             return False
-        self._now = t
         heap = self._heap
         if heap and heap[0][0] == t:
             # Heap-lane entries at a cycle always precede bucket entries
@@ -291,6 +304,12 @@ class Engine:
         else:
             fn = self._buckets[t & self._MASK].pop(0)
             self._near -= 1
+        # A cancelled timer fires as a no-op and must not advance the
+        # reported clock: its entry is queue debris, not machine work
+        # (nothing else can observe the skipped advance — a no-op reads
+        # no state and schedules nothing).
+        if not (type(fn) is Timer and fn.cancelled):
+            self._now = t
         self._events_fired += 1
         fn()
         return True
@@ -318,6 +337,18 @@ class Engine:
         mask = self._MASK
         pop = heapq.heappop
         fired = 0
+        # Time of the last cycle that fired at least one *live* event.
+        # Cancelled timers fire as no-ops and a cycle that fired only
+        # those is queue debris, not machine work: when the queues drain
+        # the clock reports ``live`` rather than the time of the last
+        # no-op, so end-of-run timestamps match the pre-calendar-queue
+        # engine (whose eager compaction culled trailing cancelled
+        # retransmission timers before they could fire).  Safe because a
+        # no-op reads no state and schedules nothing: every pending
+        # entry was scheduled at or before ``live``, so rolling the
+        # clock back to it re-opens exactly the near-lane window those
+        # entries were filed under.
+        live = self._now
         # Move everything allocated before the run into the collector's
         # permanent generation for the duration of the loop: cyclic-GC
         # passes triggered by the loop's own allocation churn then scan
@@ -350,6 +381,8 @@ class Engine:
                 if until is not None and t > until:
                     break
                 self._now = t
+                cycle_base = fired
+                noop_base = self._noop_fires
                 while heap and heap[0][0] == t:
                     if fired >= max_events:
                         raise SimulationError(
@@ -406,6 +439,11 @@ class Engine:
                             f"{self._now}; the simulated program is "
                             "probably livelocked"
                         )
+                if fired - cycle_base != self._noop_fires - noop_base:
+                    live = t
+            # Queues drained (or ``until`` reached): report the last
+            # cycle that did real work, not a trailing no-op fire.
+            self._now = live
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -2,13 +2,16 @@
 
 from repro.stats.counters import MachineCounters, NodeCounters
 from repro.stats.report import RunReport, format_table
+from repro.stats.service import RequestTimer, ServiceStats
 from repro.stats.trace import ProtocolTrace, TraceEntry
 
 __all__ = [
     "MachineCounters",
     "NodeCounters",
     "ProtocolTrace",
+    "RequestTimer",
     "RunReport",
+    "ServiceStats",
     "TraceEntry",
     "format_table",
 ]

@@ -352,6 +352,80 @@ class TestTimerCompaction:
         assert machine.fabric.stats.total_messages == 373
 
 
+class TestNoopClockDrift:
+    """The reported clock never advances on a cancelled timer's no-op
+    fire (DESIGN §10's lazy-timer end-cycle drift, reconciled)."""
+
+    def test_trailing_cancelled_timer_does_not_move_the_end(self):
+        engine = Engine()
+        seen = []
+        engine.at(10, lambda: seen.append(engine.now))
+        handle = engine.timer(1000, lambda: seen.append("BUG"))
+        handle.cancel()
+        assert engine.run() == 10
+        assert engine.now == 10
+        assert seen == [10]
+        # The dead entry still fired (as a no-op) and still counts.
+        assert engine.events_fired == 2
+        assert engine.pending_events == 0
+
+    def test_noop_cycles_between_live_events_leave_no_mark(self):
+        engine = Engine()
+        for delay in (5, 600):
+            engine.timer(delay, lambda: None).cancel()
+        engine.at(10, lambda: None)
+        assert engine.run() == 10
+
+    def test_noop_only_run_keeps_the_entry_clock(self):
+        engine = Engine()
+        engine.at(40, lambda: None)
+        engine.run()
+        engine.timer(25, lambda: None).cancel()
+        assert engine.run() == 40
+
+    def test_until_still_wins_over_rollback(self):
+        engine = Engine()
+        engine.timer(20, lambda: None).cancel()
+        assert engine.run(until=50) == 50
+        assert engine.now == 50
+
+    def test_step_does_not_advance_on_noop(self):
+        engine = Engine()
+        engine.at(3, lambda: None)
+        engine.timer(8, lambda: None).cancel()
+        assert engine.step() is True
+        assert engine.now == 3
+        assert engine.step() is True  # the no-op fire
+        assert engine.now == 3
+        assert engine.step() is False
+
+    def test_scheduling_after_rollback_stays_consistent(self):
+        # After a rolled-back run the near-lane window re-opens at the
+        # reported clock; a fresh schedule must land and fire normally.
+        engine = Engine()
+        engine.at(10, lambda: None)
+        engine.timer(300, lambda: None).cancel()
+        engine.run()
+        assert engine.now == 10
+        seen = []
+        engine.after(511, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [521]
+
+    def test_faulty_seed_end_timestamp_pinned(self):
+        # Regression for the drift DESIGN §10 used to note: on this
+        # faulty seed the trailing cancelled retransmission timers ran
+        # the idle clock out to 7978 while the last message actually
+        # applied at 7458.  The reported end-of-run clock is the last
+        # live event, independent of compaction timing.
+        from repro.check.stress import run_stress
+
+        result = run_stress(18, faults=True)
+        assert result.ok
+        assert result.retransmits > 0
+        assert result.cycles == 7458
+
+
 class TestWaitQueue:
     def test_wake_one_is_fifo(self):
         q = WaitQueue()

@@ -17,6 +17,8 @@ from repro.parallel import (
     ProgressLine,
     SweepTask,
     TaskResult,
+    WorkerPool,
+    effective_jobs,
     execute,
     expand_grid,
     parse_shard,
@@ -53,6 +55,20 @@ def flaky(seed):
     if seed in _BROKEN:
         raise ValueError(f"seed {seed} broke")
     return seed * 2
+
+
+def slow(x):
+    import time
+
+    time.sleep(30)  # far longer than any test: must be terminated
+    return x  # pragma: no cover — workers are killed first
+
+
+def nap(x):
+    import time
+
+    time.sleep(0.05)
+    return x
 
 
 def _tasks(fn, values, key="x"):
@@ -276,6 +292,148 @@ class TestParallelSweep:
         )
         assert _strip(parallel) == _strip(serial)
         assert [r.index for r in parallel] == [0, 1, 2]
+
+
+def _surviving_children(before):
+    """New live child processes of this process, after joining exited
+    ones (``active_children`` reaps as a side effect)."""
+    import multiprocessing
+
+    return [
+        p
+        for p in multiprocessing.active_children()
+        if p not in before and p.is_alive()
+    ]
+
+
+class TestInterruptSafety:
+    """A sweep aborted mid-flight must reap every child it spawned —
+    the ``repro serve`` daemon rides this path on every request."""
+
+    def test_keyboard_interrupt_reaps_all_children(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        tasks = _tasks("square", [7]) + _tasks("slow", range(1, 6))
+
+        def boom_on_first(result):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                tasks,
+                jobs=3,
+                on_result=boom_on_first,
+                show_progress=False,
+            )
+        assert _surviving_children(before) == []
+
+    def test_on_result_exception_reaps_all_children(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        tasks = _tasks("square", [7]) + _tasks("slow", range(1, 6))
+
+        def boom_on_first(result):
+            raise RuntimeError("stop everything")
+
+        with pytest.raises(RuntimeError, match="stop everything"):
+            run_sweep(
+                tasks,
+                jobs=3,
+                on_result=boom_on_first,
+                show_progress=False,
+            )
+        assert _surviving_children(before) == []
+
+    def test_clean_sweep_reaps_all_children(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        run_sweep(_tasks("square", range(6)), jobs=2, show_progress=False)
+        assert _surviving_children(before) == []
+
+
+class TestEffectiveJobs:
+    def test_zero_means_all_cores(self):
+        assert effective_jobs(0, cpu_count=4) == 4
+        assert effective_jobs(-1, cpu_count=2) == 2
+
+    def test_clamps_to_visible_cpus(self):
+        assert effective_jobs(8, cpu_count=1) == 1
+        assert effective_jobs(8, cpu_count=4) == 4
+
+    def test_within_budget_passes_through(self):
+        assert effective_jobs(2, cpu_count=4) == 2
+        assert effective_jobs(4, cpu_count=4) == 4
+
+    def test_oversubscribe_escape_hatch(self):
+        assert effective_jobs(8, cpu_count=1, oversubscribe=True) == 8
+
+    def test_defaults_to_os_cpu_count(self):
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestWorkerPool:
+    """The long-lived pool mode the daemon dispatches through."""
+
+    def test_submit_and_result(self):
+        with WorkerPool(jobs=2) as pool:
+            futures = pool.map(_tasks("square", range(8)))
+            values = [f.result(timeout=30).value for f in futures]
+        assert values == [x * x for x in range(8)]
+
+    def test_workers_stay_warm_across_submissions(self):
+        with WorkerPool(jobs=1) as pool:
+            first = pool.submit(_tasks("pid_of", [0])[0]).result(timeout=30)
+            second = pool.submit(_tasks("pid_of", [1])[0]).result(timeout=30)
+        assert first.value == second.value
+
+    def test_task_error_resolves_future(self):
+        with WorkerPool(jobs=1) as pool:
+            result = pool.submit(_tasks("boom", [5])[0]).result(timeout=30)
+        assert not result.ok and not result.crashed
+        assert "bad input 5" in result.error
+
+    def test_crash_resolves_future_and_respawns(self):
+        with WorkerPool(jobs=1) as pool:
+            crashed = pool.submit(_tasks("die", [0])[0]).result(timeout=30)
+            assert crashed.crashed
+            assert "worker process died" in crashed.error
+            # The replacement worker keeps serving.
+            healthy = pool.submit(_tasks("square", [6])[0]).result(
+                timeout=30
+            )
+            assert healthy.value == 36
+            assert pool.crashes == 1
+
+    def test_shutdown_reaps_children(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        pool = WorkerPool(jobs=3)
+        pool.map(_tasks("nap", range(6)))
+        pool.shutdown()
+        assert _surviving_children(before) == []
+        pool.shutdown()  # idempotent
+
+    def test_shutdown_cancels_pending(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        pool = WorkerPool(jobs=1)
+        futures = pool.map(_tasks("slow", range(4)))
+        pool.shutdown(timeout=2, cancel_pending=True)
+        results = [f.result(timeout=10) for f in futures]
+        assert all(not r.ok for r in results)
+        assert any("cancelled" in (r.error or "") for r in results)
+        assert _surviving_children(before) == []
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(jobs=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(_tasks("square", [1])[0])
 
 
 def _run_cli(argv):

@@ -1,0 +1,160 @@
+"""Cache-key canonicalization and LRU result-cache behavior.
+
+The serving story rests on one invariant: requests that *mean the same
+run* hash to the same key (dict ordering, alias spellings, and
+defaulted-vs-explicit params are surface syntax), and requests that
+differ in any real parameter never collide.  These tests pin both
+directions, plus the LRU/counter mechanics of :class:`ResultCache`.
+"""
+
+import pytest
+
+from repro.server import (
+    OpSpec,
+    Param,
+    ProtocolError,
+    ResultCache,
+    canonical_key,
+    get_op,
+)
+
+
+def key_of(op, raw):
+    spec = get_op(op)
+    return canonical_key(spec.name, spec.canonicalize(raw))
+
+
+class TestCanonicalization:
+    def test_dict_ordering_is_irrelevant(self):
+        a = {"seed": 3, "faults": True, "inject_bug": False}
+        b = {"inject_bug": False, "faults": True, "seed": 3}
+        assert list(a) != list(b)
+        assert key_of("check", a) == key_of("check", b)
+
+    def test_defaults_fill_identically(self):
+        assert key_of("check", {"seed": 3}) == key_of(
+            "check", {"seed": 3, "faults": False, "inject_bug": False}
+        )
+
+    def test_seed_aliases_hash_identically(self):
+        assert key_of("check", {"seed": 7}) == key_of(
+            "check", {"rng_seed": 7}
+        )
+
+    def test_conflicting_alias_spellings_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            get_op("check").canonicalize({"seed": 1, "rng_seed": 1})
+        assert exc.value.code == "bad_params"
+
+    def test_differing_params_never_collide(self):
+        keys = set()
+        combos = [
+            {"seed": s, "faults": f, "inject_bug": b}
+            for s in range(10)
+            for f in (False, True)
+            for b in (False, True)
+        ]
+        for combo in combos:
+            keys.add(key_of("check", combo))
+        assert len(keys) == len(combos)
+
+    def test_ops_never_collide_on_shared_params(self):
+        # Same canonical params under different op names differ.
+        params = get_op("check").canonicalize({"seed": 0})
+        assert canonical_key("check", params) != canonical_key(
+            "other", params
+        )
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            get_op("check").canonicalize({"seed": 0, "nodez": 4})
+        assert exc.value.code == "bad_params"
+        assert "nodez" in exc.value.message
+
+    def test_missing_required_param_rejected(self):
+        spec = OpSpec(
+            name="x", fn="m:f", params=(Param("must", int),)
+        )
+        with pytest.raises(ProtocolError, match="must"):
+            spec.canonicalize({})
+
+    def test_type_coercion_is_strict(self):
+        spec = get_op("check")
+        with pytest.raises(ProtocolError):
+            spec.canonicalize({"seed": "3"})  # strings are not ints
+        with pytest.raises(ProtocolError):
+            spec.canonicalize({"seed": True})  # no bool→int punning
+        with pytest.raises(ProtocolError):
+            spec.canonicalize({"seed": 0, "faults": 1})  # nor int→bool
+
+    def test_string_params_accept_numeric_scalars(self):
+        # The CLI's k=v parser JSON-types values, so a single-point
+        # axis arrives as an int; it must mean the same request.
+        assert key_of("sweep", {"nodes": 2}) == key_of(
+            "sweep", {"nodes": "2"}
+        )
+        with pytest.raises(ProtocolError):
+            get_op("sweep").canonicalize({"nodes": True})
+
+    def test_choices_enforced(self):
+        with pytest.raises(ProtocolError) as exc:
+            get_op("simulate").canonicalize({"workload": "qsort"})
+        assert "workload" in exc.value.message
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as exc:
+            get_op("frobnicate")
+        assert exc.value.code == "unknown_op"
+
+    def test_float_params_accept_ints(self):
+        spec = OpSpec(name="x", fn="m:f", params=(Param("p", float, 0.5),))
+        assert spec.canonicalize({"p": 1}) == {"p": 1.0}
+        assert spec.canonicalize({}) == {"p": 0.5}
+
+    def test_sweep_expansion_matches_cli_grid_order(self):
+        spec = get_op("sweep")
+        params = spec.canonicalize(
+            {"experiment": "sssp", "nodes": "2,4", "copies": "1,2"}
+        )
+        points = [kwargs for _fn, kwargs in spec.expand(params)]
+        assert [(p["nodes"], p["copies"]) for p in points] == [
+            (2, 1),
+            (2, 2),
+            (4, 1),
+            (4, 2),
+        ]
+
+    def test_sweep_rejects_bad_int_lists(self):
+        spec = get_op("sweep")
+        params = spec.canonicalize({"nodes": "2,four"})
+        with pytest.raises(ProtocolError, match="comma-separated"):
+            spec.expand(params)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        hit, _ = cache.get("k")
+        assert not hit
+        cache.put("k", {"x": 1})
+        hit, value = cache.get("k")
+        assert hit and value == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now oldest
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_snapshot_counters(self):
+        cache = ResultCache(8)
+        cache.get("nope")
+        cache.put("yes", 1)
+        cache.get("yes")
+        snap = cache.snapshot()
+        assert snap == {"hits": 1, "misses": 1, "size": 1, "capacity": 8}
