@@ -27,7 +27,10 @@ Run directly to produce ``BENCH_perf.json``::
 benchmarks the sweep executor itself — a 200-seed ``check`` serial vs
 one worker per core (min 2) — and records the wall times, speedup,
 ``cpu_count``, and output-identity verdict under the report's ``sweep``
-key.  Every direct run appends a timestamped line to
+key.  Every run additionally benchmarks *space-parallel* execution of
+one partitioned machine (``repro.parallel.spacetime``): both workloads
+serial-driver vs one-worker-per-region, gated on bit-identity with the
+speedup recorded under ``space`` (full runs add a 256-node SSSP point).  Every direct run appends a timestamped line to
 ``BENCH_history.jsonl`` so throughput is trendable across commits.
 
 Under pytest the module runs the smoke-sized workloads once and checks
@@ -225,11 +228,101 @@ def benchmark_sweep(seeds: int = 200, jobs: Optional[int] = None) -> Dict:
     return result
 
 
+def benchmark_space(smoke: bool = False) -> Dict:
+    """Space-parallel identity and speedup: one partitioned machine,
+    serial driver vs one worker per region.
+
+    The gate is *bit-identity*: both bench workloads run through
+    :func:`repro.parallel.run_space` serially and in parallel and must
+    agree on the full checksum tuple (clock, messages, events, memory
+    image, trace).  Wall-clock speedup is recorded, never asserted —
+    on a single-core runner the region workers pay spawn/IPC overhead
+    with no extra cores to win it back (``parallel_slower`` flags it,
+    exactly like :func:`benchmark_sweep`).  Full runs add a 16x16-mesh
+    (256-node) SSSP point where the per-window work is large enough
+    for region parallelism to matter on a multi-core host.
+    """
+    from repro.parallel.spacetime import (
+        SpaceSpec,
+        run_checksums,
+        run_space,
+    )
+
+    cpu_count = os.cpu_count() or 1
+    cases = {
+        "sssp": SpaceSpec.make(
+            "repro.parallel.spaceworkloads:build_sssp",
+            {"n_vertices": 200 if smoke else 800, "regions": 2},
+            label="space-sssp",
+        ),
+        "beam": SpaceSpec.make(
+            "repro.parallel.spaceworkloads:build_beam",
+            {"n_layers": 6, "lattice_width": 48, "regions": 2}
+            if smoke
+            else {"regions": 2},
+            label="space-beam",
+        ),
+    }
+    if not smoke:
+        cases["sssp_256"] = SpaceSpec.make(
+            "repro.parallel.spaceworkloads:build_sssp",
+            {
+                "n_vertices": 800,
+                "n_nodes": 256,
+                "width": 16,
+                "height": 16,
+                "regions": 4,
+            },
+            label="space-sssp-256",
+        )
+
+    report: Dict = {"cpu_count": cpu_count}
+    for name, spec in cases.items():
+        jobs = spec.build(0).space_regions
+        walls = {}
+        checks = {}
+        for j in (1, jobs):
+            t0 = time.perf_counter()
+            run = run_space(spec, jobs=j)
+            walls[j] = time.perf_counter() - t0
+            run.raise_if_error()
+            checks[j] = run_checksums(run)
+        if checks[1] != checks[jobs]:
+            diffs = [k for k in checks[1] if checks[1][k] != checks[jobs][k]]
+            raise AssertionError(
+                f"space {name}: parallel run diverged from serial on {diffs}"
+            )
+        entry = {
+            "regions": jobs,
+            "jobs": jobs,
+            "wall_serial_s": round(walls[1], 3),
+            "wall_parallel_s": round(walls[jobs], 3),
+            "speedup": round(walls[1] / walls[jobs], 2)
+            if walls[jobs]
+            else 0.0,
+            "clock": checks[1]["clock"],
+            "events": checks[1]["events"],
+            "messages": checks[1]["messages"],
+            "identical_output": True,
+        }
+        if walls[jobs] > walls[1]:
+            entry["parallel_slower"] = True
+            if cpu_count == 1:
+                entry["note"] = (
+                    "single-core runner: region workers pay spawn/IPC "
+                    "overhead with no cores to win it back; only "
+                    "bit-identity is gated"
+                )
+        report[name] = entry
+    return report
+
+
 def run_suite(
     smoke: bool = False,
     repeats: int = 3,
     jobs: int = 1,
     sweep_bench: bool = True,
+    space_bench: bool = True,
 ) -> Dict:
     if smoke:
         repeats = 1
@@ -297,6 +390,10 @@ def run_suite(
             # the parallel fan-out); a single-core runner records an
             # honest ~1x speedup along with its cpu_count.
             results["sweep"] = benchmark_sweep()
+    if space_bench:
+        # Space-parallel identity (gated) and speedup (recorded) on
+        # one partitioned machine — both workloads, both drivers.
+        results["space"] = benchmark_space(smoke=smoke)
     return results
 
 
@@ -317,6 +414,8 @@ def append_history(results: Dict, path: Path) -> None:
         }
     if "sweep" in results:
         entry["sweep"] = results["sweep"]
+    if "space" in results:
+        entry["space"] = results["space"]
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry) + "\n")
 
@@ -359,6 +458,11 @@ def main(argv=None) -> int:
         help="skip the serial-vs-parallel executor benchmark on full runs",
     )
     parser.add_argument(
+        "--no-space-bench",
+        action="store_true",
+        help="skip the space-parallel identity/speedup benchmark",
+    )
+    parser.add_argument(
         "--gate-rates",
         action="store_true",
         help="with --smoke: fail unless measured events/sec clears the "
@@ -379,6 +483,7 @@ def main(argv=None) -> int:
         repeats=args.repeats,
         jobs=jobs,
         sweep_bench=not args.no_sweep_bench,
+        space_bench=not args.no_space_bench,
     )
     for name in ("sssp", "beam"):
         r = results[name]
@@ -398,6 +503,16 @@ def main(argv=None) -> int:
         )
         if s.get("note"):
             print(f"       note: {s['note']}")
+    if "space" in results:
+        for name, e in results["space"].items():
+            if name == "cpu_count":
+                continue
+            print(
+                f"space: {name}: {e['regions']} regions: "
+                f"{e['wall_parallel_s']}s vs {e['wall_serial_s']}s serial "
+                f"({e['speedup']}x on {results['space']['cpu_count']} "
+                f"core(s), bit-identical: {e['identical_output']})"
+            )
     Path(args.out).write_text(json.dumps(results, indent=1) + "\n")
     print(f"wrote {args.out}")
     append_history(results, Path(args.history))

@@ -392,45 +392,23 @@ def _build_plan(
     return plan
 
 
-def build_machine(config: StressConfig):
-    """Construct the machine, layout and monitor for one config.
-
-    Returns ``(machine, monitor, spawn_plans)`` where ``spawn_plans`` is
-    a list of ``(node_id, program)`` ready for ``machine.spawn``.
-    """
-    seed = config.seed
-    params = TimingParams(
+def _stress_params(config: StressConfig) -> TimingParams:
+    return TimingParams(
         page_words=config.page_words,
         queue_ring_base=8,
         tlb_entries=8,
         coherence_protocol=config.protocol,
     )
-    machine = PlusMachine(
-        config.n_nodes,
-        params=params,
-        width=config.width,
-        height=config.height,
-        tie_break_rng=(
-            random.Random(f"{seed}:ties") if config.random_ties else None
-        ),
-    )
-    if config.jitter:
-        machine.fabric.links = JitteredLinkModel(
-            params, random.Random(f"{seed}:jitter"), config.jitter
-        )
-    # Faults before the monitor (it adopts the plan at install time) and
-    # before any traffic (sequence numbering must cover every message).
-    plan = config.fault_plan()
-    if plan is not None:
-        machine.install_faults(plan)
-    # Retransmissions and NET_ACKs inflate faulty captures well past a
-    # lossless run's traffic, so give those runs a deeper buffer.
-    monitor = InvariantMonitor(
-        capacity=1_000_000 if plan is not None else 500_000
-    ).install(machine)
-    if config.inject_bug:
-        inject_skip_last_hop(machine)
 
+
+def _assemble_layout(machine, config: StressConfig):
+    """Segment/queue layout and thread programs for one config.
+
+    Shared by the plain and space-partitioned builders; everything here
+    is setup-time (direct pokes, no simulated traffic), so it runs
+    identically on either machine flavour.  Returns the spawn plans.
+    """
+    seed = config.seed
     layout = random.Random(f"{seed}:layout")
     n = config.n_nodes
     pools: List[List[int]] = []
@@ -465,7 +443,109 @@ def build_machine(config: StressConfig):
     for t in range(config.n_threads):
         plan = _build_plan(program_rng, pools, config.ops_per_thread)
         spawn_plans.append((slots[t], _make_program(plan, queue)))
+    return spawn_plans
+
+
+def build_machine(config: StressConfig):
+    """Construct the machine, layout and monitor for one config.
+
+    Returns ``(machine, monitor, spawn_plans)`` where ``spawn_plans`` is
+    a list of ``(node_id, program)`` ready for ``machine.spawn``.
+    """
+    seed = config.seed
+    params = _stress_params(config)
+    machine = PlusMachine(
+        config.n_nodes,
+        params=params,
+        width=config.width,
+        height=config.height,
+        tie_break_rng=(
+            random.Random(f"{seed}:ties") if config.random_ties else None
+        ),
+    )
+    if config.jitter:
+        machine.fabric.links = JitteredLinkModel(
+            params, random.Random(f"{seed}:jitter"), config.jitter
+        )
+    # Faults before the monitor (it adopts the plan at install time) and
+    # before any traffic (sequence numbering must cover every message).
+    plan = config.fault_plan()
+    if plan is not None:
+        machine.install_faults(plan)
+    # Retransmissions and NET_ACKs inflate faulty captures well past a
+    # lossless run's traffic, so give those runs a deeper buffer.
+    monitor = InvariantMonitor(
+        capacity=1_000_000 if plan is not None else 500_000
+    ).install(machine)
+    if config.inject_bug:
+        inject_skip_last_hop(machine)
+    spawn_plans = _assemble_layout(machine, config)
     return machine, monitor, spawn_plans
+
+
+def build_space_stress(
+    region: int = 0,
+    *,
+    seed: int,
+    inject_bug: bool = False,
+    faults: bool = False,
+    fault_overrides: Optional[Dict[str, object]] = None,
+    regions: int = 2,
+    window: int = 0,
+):
+    """Space-partitioned twin of :func:`build_machine` (SpaceSpec builder).
+
+    Same experiment shape, layout and programs as the plain builder for
+    the same seed; the machine is a
+    :class:`~repro.parallel.spacetime.SpaceMachine`, with per-region
+    randomness streams (region 0 keeps the plain run's seeds, region
+    ``r`` gets ``"{seed}:...:{r}"`` derivations) so every region's
+    schedule exploration is independent of how windows interleave.  The
+    invariant monitor is installed for ``region`` only — it is a
+    region-local observer; each worker instance watches its own region.
+    """
+    from repro.parallel.spacetime import SpaceMachine
+
+    config = StressConfig.from_seed(
+        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+    )
+    params = _stress_params(config)
+    tie_factory = None
+    if config.random_ties:
+        def tie_factory(r: int) -> random.Random:
+            return random.Random(
+                f"{seed}:ties" if r == 0 else f"{seed}:ties:{r}"
+            )
+    machine = SpaceMachine(
+        config.n_nodes,
+        params=params,
+        width=config.width,
+        height=config.height,
+        regions=regions,
+        window=window,
+        tie_break_rng_factory=tie_factory,
+    )
+    if config.jitter:
+        for r, fabric in enumerate(machine.fabrics):
+            fabric.links = JitteredLinkModel(
+                params,
+                random.Random(
+                    f"{seed}:jitter" if r == 0 else f"{seed}:jitter:{r}"
+                ),
+                config.jitter,
+            )
+    plan = config.fault_plan()
+    if plan is not None:
+        machine.install_faults(plan)
+    machine.set_active_region(region)
+    InvariantMonitor(
+        capacity=1_000_000 if plan is not None else 500_000
+    ).install(machine)
+    if config.inject_bug:
+        inject_skip_last_hop(machine)
+    for node_id, program in _assemble_layout(machine, config):
+        machine.spawn(node_id, program, name=f"stress-{seed}")
+    return machine
 
 
 def _harvest(result: StressResult, machine: PlusMachine) -> None:
@@ -484,8 +564,31 @@ def run_stress(
     max_events: int = 5_000_000,
     faults: bool = False,
     fault_overrides: Optional[Dict[str, object]] = None,
+    space_regions: int = 0,
+    space_jobs: int = 1,
+    space_window: int = 0,
+    space_verify: bool = False,
 ) -> StressResult:
-    """Run one seeded stress experiment and judge it with the oracle."""
+    """Run one seeded stress experiment and judge it with the oracle.
+
+    ``space_regions > 0`` runs the seed's experiment on the
+    space-partitioned machine instead (``space_jobs >= 2`` with one
+    worker process per region, else the in-process serial space driver);
+    ``space_verify`` runs *both* drivers and fails the seed unless their
+    outputs are bit-identical (trace checksum, final memory, clock).
+    """
+    if space_regions:
+        return _run_stress_space(
+            seed,
+            inject_bug=inject_bug,
+            max_events=max_events,
+            faults=faults,
+            fault_overrides=fault_overrides,
+            regions=space_regions,
+            jobs=space_jobs,
+            window=space_window,
+            verify=space_verify,
+        )
     config = StressConfig.from_seed(
         seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
     )
@@ -506,6 +609,108 @@ def run_stress(
     return result
 
 
+def _run_stress_space(
+    seed: int,
+    *,
+    inject_bug: bool,
+    max_events: int,
+    faults: bool,
+    fault_overrides: Optional[Dict[str, object]],
+    regions: int,
+    jobs: int,
+    window: int,
+    verify: bool,
+) -> StressResult:
+    """One stress seed on the space-partitioned machine.
+
+    Mirrors :func:`run_stress`'s harvest/oracle semantics: a live
+    :class:`PlusError` (from any region's strict monitor, the event
+    budget, or the window driver's deadlock watchdog) lands in
+    ``live_error`` with the same ``TypeName: text`` rendering, and clean
+    runs are judged by the :class:`CoherenceOracle` over the merged
+    cross-region capture, overlaid onto a fresh reference build.
+
+    With ``verify`` the seed runs under both drivers — serial in-process
+    and one worker process per region — and any checksum divergence is
+    itself the failure (this is the harness's bit-identity gate).
+    """
+    from repro.check.oracle import Violation
+    from repro.parallel.spacetime import SpaceSpec, run_checksums, run_space
+
+    config = StressConfig.from_seed(
+        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+    )
+    result = StressResult(seed=seed, config=config)
+    spec = SpaceSpec.make(
+        "repro.check.stress:build_space_stress",
+        {
+            "seed": seed,
+            "inject_bug": inject_bug,
+            "faults": faults,
+            "fault_overrides": fault_overrides,
+            "regions": regions,
+            "window": window,
+        },
+        max_events=max_events,
+        label=f"space seed {seed}",
+    )
+    if verify:
+        serial = run_space(spec, jobs=1)
+        run = run_space(spec, jobs=max(2, jobs))
+        want, got = run_checksums(serial), run_checksums(run)
+        if want != got:
+            diffs = ", ".join(
+                f"{k}: serial={want[k]!r} parallel={got[k]!r}"
+                for k in want
+                if want[k] != got[k]
+            )
+            result.live_error = (
+                f"SpaceDivergence: parallel run diverged from serial "
+                f"({diffs})"
+            )
+            _harvest_space(result, run)
+            return result
+    else:
+        run = run_space(spec, jobs=jobs)
+    _harvest_space(result, run)
+    if run.error is not None:
+        result.live_error = f"{type(run.error).__name__}: {run.error}"
+        return result
+    # Judge with the oracle: rebuild the layout (static, deterministic),
+    # overlay the harvested end state, replay the merged capture.
+    ref = run.overlay(spec.build(0))
+    report = CoherenceOracle(ref, run.merged_trace()).check()
+    # The oracle's drain check reads live CM state, which the overlay
+    # cannot carry; the harvests recorded it at the source.
+    unsettled = sorted(
+        entry for h in run.harvests for entry in h.cm_unsettled
+    )
+    report.violations[:0] = [
+        Violation(
+            rule="drain",
+            detail=(
+                f"coherence manager {node_id} still has in-flight state "
+                f"after the run (pending={pending}, chains={chains})"
+            ),
+            cycle=run.clock,
+            node=node_id,
+        )
+        for node_id, pending, chains in unsettled
+    ]
+    result.report = report
+    return result
+
+
+def _harvest_space(result: StressResult, run) -> None:
+    stats = run.merged_stats()
+    result.cycles = run.clock
+    result.messages = stats.total_messages
+    result.drops = stats.drops
+    result.dups = stats.dups
+    result.retransmits = stats.retransmits
+    result.recovered = stats.recovered
+
+
 def run_seeds(
     count: int,
     base_seed: int = 0,
@@ -516,6 +721,10 @@ def run_seeds(
     fault_overrides: Optional[Dict[str, object]] = None,
     jobs: int = 1,
     shard: Optional[str] = None,
+    space_regions: int = 0,
+    space_jobs: int = 1,
+    space_window: int = 0,
+    space_verify: bool = False,
 ) -> List[StressResult]:
     """Run ``count`` consecutive seeds; stop at the first failure unless
     ``keep_going`` (a *failure* means a bug-injection run the checkers
@@ -535,6 +744,18 @@ def run_seeds(
         "faults": faults,
         "fault_overrides": fault_overrides,
     }
+    if space_regions:
+        # Space mode: each seed's run spawns its own per-region worker
+        # pool, so the sweep itself must stay in-process (nesting
+        # multiprocess sweeps over multiprocess runs would oversubscribe
+        # every core and interleave pool lifecycles).
+        jobs = 1
+        common.update(
+            space_regions=space_regions,
+            space_jobs=space_jobs,
+            space_window=space_window,
+            space_verify=space_verify,
+        )
     tasks = [
         SweepTask.make(
             seed,

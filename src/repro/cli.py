@@ -9,6 +9,7 @@ Usage::
     python -m repro fig-3-1   [--nodes 8] [--jobs N]
     python -m repro costs
     python -m repro check     [--seeds 50] [--jobs N] [--shard i/N]
+    python -m repro run sssp|beam [--space-jobs N] [--space-regions R]
     python -m repro sweep sssp --nodes 4,8,16 --copies 1,2,4 [--jobs N]
     python -m repro sweep beam --nodes 8 --modes blocking,delayed [--jobs N]
     python -m repro profile sssp|beam|check [--top 25] [--out PROFILE.json]
@@ -285,6 +286,108 @@ def _cmd_costs(args) -> int:
     return 0
 
 
+def _space_regions(args) -> int:
+    """Region count for a space-partitioned run: explicit
+    ``--space-regions`` wins; otherwise one region per worker when
+    running parallel, two when exercising the serial space driver."""
+    if args.space_regions:
+        return args.space_regions
+    return args.space_jobs if args.space_jobs >= 2 else 2
+
+
+def _cmd_run(args) -> int:
+    """Space-parallel run of one workload on one partitioned machine.
+
+    ``--space-jobs 1`` drives every region in-process (the serial space
+    driver); ``--space-jobs N`` gives each region its own worker
+    process.  Both executions are bit-identical — ``--space-verify``
+    proves it on the spot by running both and comparing the full
+    checksum tuple (clock, messages, events, memory image, trace).
+    """
+    from repro.parallel.spacetime import (
+        SpaceSpec,
+        run_checksums,
+        run_space,
+    )
+
+    regions = _space_regions(args)
+    if args.workload == "sssp":
+        builder = "repro.parallel.spaceworkloads:build_sssp"
+        kwargs = {
+            "n_vertices": args.vertices,
+            "n_nodes": args.nodes,
+            "copies": args.copies,
+            "regions": regions,
+            "window": args.space_window,
+        }
+    else:  # beam
+        builder = "repro.parallel.spaceworkloads:build_beam"
+        kwargs = {
+            "n_nodes": args.nodes,
+            "beam": args.beam,
+            "sync_mode": args.mode,
+            "regions": regions,
+            "window": args.space_window,
+        }
+    spec = SpaceSpec.make(builder, kwargs, label=args.workload)
+
+    run = run_space(spec, jobs=args.space_jobs)
+    run.raise_if_error()
+    checks = run_checksums(run)
+    rows = [
+        [
+            h.region,
+            f"{len(h.memory)} node(s)",
+            h.events_fired,
+            h.stats.total_messages,
+            h.last_live,
+        ]
+        for h in run.harvests
+    ]
+    print(
+        format_table(
+            ["region", "nodes", "events", "messages", "last event"],
+            rows,
+            title=(
+                f"{args.workload}: {run.regions} region(s), "
+                f"window {run.window}, {args.space_jobs} job(s)"
+            ),
+        )
+    )
+    print(
+        f"  clock {run.clock:,}  events {run.events_fired:,}  "
+        f"messages {run.messages:,}"
+    )
+    print(f"  memory {checks['memory'][:16]}  trace {checks['trace'][:16]}")
+
+    if args.workload == "sssp":
+        # The one workload with an exact oracle: overlay the harvested
+        # memory image onto a fresh build and compare against Dijkstra.
+        from repro.apps.graphs import dijkstra, geometric_graph
+
+        ref = run.overlay(spec.build(0))
+        graph = geometric_graph(
+            args.vertices, degree=5, long_edge_fraction=0.08,
+            max_weight=20, seed=7,
+        )
+        if ref.space_app.distances() != dijkstra(graph, 0):
+            print("FAIL: distances diverged from Dijkstra")
+            return 1
+        print("  distances verified against Dijkstra")
+
+    if args.space_verify and args.space_jobs != 1:
+        serial = run_checksums(run_space(spec, jobs=1))
+        diffs = [k for k in checks if checks[k] != serial[k]]
+        if diffs:
+            print(f"FAIL: parallel diverged from serial on {diffs}")
+            return 1
+        print(
+            f"  verified: serial space run is bit-identical "
+            f"({len(checks)} checksums)"
+        )
+    return 0
+
+
 def _fault_args(args):
     """(faults_enabled, overrides) from the check command's fault flags.
 
@@ -309,6 +412,14 @@ def _cmd_check(args) -> int:
     from repro.check import run_seeds, run_stress
 
     faults, overrides = _fault_args(args)
+    space = {}
+    if args.space_jobs:
+        space = dict(
+            space_regions=_space_regions(args),
+            space_jobs=args.space_jobs,
+            space_window=args.space_window,
+            space_verify=args.space_verify,
+        )
 
     if args.seed is not None:
         # Reproduce one seed with a full transcript of any failure.
@@ -317,6 +428,7 @@ def _cmd_check(args) -> int:
             inject_bug=args.inject_bug,
             faults=faults,
             fault_overrides=overrides,
+            **space,
         )
         print(result.describe())
         if result.report is not None:
@@ -345,6 +457,7 @@ def _cmd_check(args) -> int:
         fault_overrides=overrides,
         jobs=_resolve_jobs(args),
         shard=args.shard,
+        **space,
     )
     cycles = sum(r.cycles for r in results)
     messages = sum(r.messages for r in results)
@@ -390,6 +503,14 @@ def _cmd_check(args) -> int:
     if failures:
         if bad_seeds:
             flags = " --faults" if args.faults else ""
+            if args.space_jobs:
+                flags += f" --space-jobs {args.space_jobs}"
+                if args.space_regions:
+                    flags += f" --space-regions {args.space_regions}"
+                if args.space_window:
+                    flags += f" --space-window {args.space_window}"
+                if args.space_verify:
+                    flags += " --space-verify"
             print(
                 f"reproduce with: python -m repro check{flags} --seed "
                 + f" / --seed ".join(str(s) for s in bad_seeds[:5])
@@ -668,6 +789,7 @@ COMMANDS = {
     "table-3-1": (_cmd_table_3_1, "Table 3-1: delayed-operation costs"),
     "fig-3-1": (_cmd_fig_3_1, "Figure 3-1: beam-search sync styles"),
     "costs": (_cmd_costs, "Section 3.1 latency budget"),
+    "run": (_cmd_run, "space-parallel run of one partitioned machine"),
     "check": (_cmd_check, "coherence oracle over seeded stress runs"),
     "sweep": (_cmd_sweep, "parameter-grid sweep across worker processes"),
     "profile": (_cmd_profile, "cProfile one workload; writes PROFILE.json"),
@@ -710,6 +832,41 @@ def build_parser() -> argparse.ArgumentParser:
                 help="run only the i-th of N interleaved task shards "
                 "(1-based); the union of all shards is the full sweep",
             )
+
+    def add_space(p, default_jobs=0):
+        p.add_argument(
+            "--space-jobs",
+            type=int,
+            default=default_jobs,
+            metavar="N",
+            help="space-partition the machine itself: one worker "
+            "process per mesh region (1 = serial space driver, "
+            "bit-identical to N; 0 = off)",
+        )
+        p.add_argument(
+            "--space-regions",
+            type=int,
+            default=0,
+            metavar="R",
+            help="mesh regions for --space-jobs (default: one per "
+            "worker, or 2 for the serial driver; clamped to the mesh "
+            "height)",
+        )
+        p.add_argument(
+            "--space-window",
+            type=int,
+            default=0,
+            metavar="W",
+            help="synchronization window in cycles (default: the "
+            "per-hop network latency; capped at the conservative "
+            "lookahead bound)",
+        )
+        p.add_argument(
+            "--space-verify",
+            action="store_true",
+            help="also run the serial space driver and require the "
+            "parallel run to match it checksum-for-checksum",
+        )
 
     for name, (_fn, help_) in COMMANDS.items():
         p = sub.add_parser(name, help=help_)
@@ -844,6 +1001,44 @@ def build_parser() -> argparse.ArgumentParser:
                 "(CI artifact)",
             )
             add_jobs(p, shard=True)
+            add_space(p)
+        elif name == "run":
+            p.add_argument(
+                "workload",
+                choices=("sssp", "beam"),
+                help="which workload to run space-partitioned",
+            )
+            p.add_argument(
+                "--nodes",
+                type=int,
+                default=16,
+                help="mesh size (default 16)",
+            )
+            p.add_argument(
+                "--vertices",
+                type=int,
+                default=800,
+                help="sssp: graph size (default 800)",
+            )
+            p.add_argument(
+                "--copies",
+                type=int,
+                default=3,
+                help="sssp: replication degree (default 3)",
+            )
+            p.add_argument(
+                "--beam",
+                type=int,
+                default=60,
+                help="beam: beam width (default 60)",
+            )
+            p.add_argument(
+                "--mode",
+                type=str,
+                default="delayed",
+                help="beam: sync style (default delayed)",
+            )
+            add_space(p, default_jobs=1)
         elif name == "serve":
             p.add_argument(
                 "--host",

@@ -92,6 +92,14 @@ class CoherenceManager:
         # are stale (the master has newer data).  Master copies are never
         # invalidated, so a page is always fully valid at its master.
         self._invalid_words: Dict[int, Set[int]] = {}
+        # Per-word invalidation generation, bumped every time an
+        # INVALIDATE marks the word.  A refetch response may only
+        # revalidate the local copy if no invalidate was applied while
+        # the read was in flight: over an unreliable mesh the master's
+        # response payload can be a retransmission snapshotted before a
+        # later write, and writing it back after that write's invalidate
+        # arrived would durably resurrect stale data.
+        self._inval_gen: Dict[Tuple[int, int], int] = {}
 
         # Background page-copy support: per-target-page set of offsets
         # dirtied by updates while the copy is streaming (those words must
@@ -484,8 +492,10 @@ class CoherenceManager:
         xid = msg.xid
         op = msg.op
         invalid = self._invalid_words.setdefault(page, set())
+        gen = self._inval_gen
         for offset, _value in writes:
             invalid.add(offset)
+            gen[(page, offset)] = gen.get((page, offset), 0) + 1
             self.snoop(page, offset, 0)  # drop/refresh the cached line
         self.counters.invalidations_applied += 1
         nxt = self.tables.next_of(page)
@@ -506,7 +516,19 @@ class CoherenceManager:
 
     def cpu_refetch(self, addr: PhysAddr, on_value: ValueCallback) -> None:
         """Re-fetch a locally-invalid word from its master copy, then
-        revalidate the local copy with the returned value."""
+        revalidate the local copy with the returned value.
+
+        The returned value is always handed to the processor — it is the
+        master's word at serve time, inside the read's issue/completion
+        window, so the read linearizes correctly.  But the *local copy*
+        is only revalidated when no invalidate for this word applied
+        while the read was in flight: a delayed or retransmitted
+        response can carry a payload snapshotted before a later write,
+        and revalidating with it would clear that write's invalidate
+        mark and leave stale data the oracle (rightly) rejects.  When
+        the generation moved, the word simply stays invalid and the next
+        read refetches again.
+        """
         master = self.tables.master_of(addr.page)
         if master.node == self.node_id:
             raise ProtocolError(
@@ -514,9 +536,14 @@ class CoherenceManager:
                 cycle=self.engine.now,
                 node=self.node_id,
             )
+        key = (addr.page, addr.offset)
+        gen = self._inval_gen.get(key, 0)
 
         def revalidate(value: int) -> None:
-            self._write_word(addr.page, addr.offset, value)
+            if self._inval_gen.get(key, 0) == gen:
+                self._write_word(addr.page, addr.offset, value)
+            else:
+                self.counters.stale_refetches += 1
             on_value(value)
 
         self.cpu_read_remote(master.word(addr.offset), revalidate)

@@ -54,11 +54,21 @@ class PlusMachine:
             raise ConfigError("a machine needs at least one node")
         self.params = params
         self.snoop_policy = snoop_policy
-        self.engine = Engine(tie_break_rng=tie_break_rng)
         self.mesh = Mesh(n_nodes, width, height)
-        self.fabric = Fabric(self.engine, self.mesh, params)
+        # Simulation substrate (engine + fabric) and per-node context
+        # binding are overridable hooks: the space-parallel
+        # SpaceMachine builds one engine/fabric *per mesh region* and
+        # swaps the active pair before each node captures its
+        # references (Node, CM and CPU all bind machine.engine /
+        # machine.fabric at construction time).  The base machine's
+        # behavior is byte-for-byte the classic single-engine assembly.
+        self._init_simulation(tie_break_rng)
         self.os = ReplicationManager(self)
-        self.nodes: List[Node] = [Node(i, self) for i in range(n_nodes)]
+        nodes: List[Node] = []
+        self.nodes = nodes
+        for i in range(n_nodes):
+            self._bind_node_context(i)
+            nodes.append(Node(i, self))
         if competitive is not None:
             self.competitive: Optional[CompetitiveReplicator] = competitive
         elif enable_competitive:
@@ -97,6 +107,19 @@ class PlusMachine:
         # which is what lets a parallel sweep be byte-for-byte
         # deterministic regardless of job count (fork or spawn).
         self._next_tid = 0
+
+    # ------------------------------------------------------------------
+    # Assembly hooks (overridden by the space-parallel SpaceMachine).
+    # ------------------------------------------------------------------
+    def _init_simulation(self, tie_break_rng) -> None:
+        """Create the simulation substrate: ``self.engine`` / ``self.fabric``."""
+        self.engine = Engine(tie_break_rng=tie_break_rng)
+        self.fabric = Fabric(self.engine, self.mesh, self.params)
+
+    def _bind_node_context(self, node_id: int) -> None:
+        """Called right before ``Node(node_id, self)`` is constructed, so
+        a subclass can point ``self.engine``/``self.fabric`` at the
+        engine the node should live on.  No-op for the base machine."""
 
     def next_tid(self) -> int:
         """Allocate a machine-unique thread id (monotonic from 0)."""

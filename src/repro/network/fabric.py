@@ -149,7 +149,15 @@ class _PairState:
 class Fabric:
     """Routes and times messages between coherence managers."""
 
-    def __init__(self, engine: Engine, mesh: Mesh, params: TimingParams) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        mesh: Mesh,
+        params: TimingParams,
+        *,
+        msg_id_base: int = 0,
+        msg_id_step: int = 1,
+    ) -> None:
         self.engine = engine
         self.mesh = mesh
         self.params = params
@@ -168,7 +176,18 @@ class Fabric:
         #: are a property of this fabric's traffic alone (a process that
         #: runs many simulations — a sweep worker — reproduces the same
         #: ids for the same run regardless of what ran before it).
-        self._next_msg_id = 0
+        #: ``msg_id_base``/``msg_id_step`` let several fabrics coexist in
+        #: one process with provably disjoint id streams (the
+        #: space-parallel driver gives region ``r`` of ``R`` the residue
+        #: class ``r mod R``); the default 0/1 is the classic single-
+        #: fabric dense numbering.
+        if msg_id_step < 1 or not 0 <= msg_id_base < msg_id_step:
+            raise ConfigError(
+                f"msg_id_base/msg_id_step must satisfy 0 <= base < step "
+                f"(got {msg_id_base}/{msg_id_step})"
+            )
+        self._next_msg_id = msg_id_base
+        self._msg_id_step = msg_id_step
         #: Free lists for recycled delivery events and Message objects.
         #: Message pooling trades allocation for reuse, which is only
         #: legal while nothing cares about object identity: a trace
@@ -263,7 +282,7 @@ class Fabric:
             # First injection stamps the fabric-local identity; a
             # retransmission re-sends the same object and keeps its id.
             msg.msg_id = self._next_msg_id
-            self._next_msg_id += 1
+            self._next_msg_id += self._msg_id_step
 
         if self.fault_plan is not None:
             return self._send_faulty(msg, receiver, state)
@@ -357,6 +376,32 @@ class Fabric:
                 delivery = _Delivery(receiver, msg, pool)
             engine_at(arrive + delay, delivery)
         return primary
+
+    # ------------------------------------------------------------------
+    def inject(self, arrive: int, msg: Message) -> None:
+        """Schedule delivery of an externally-timed message at ``arrive``.
+
+        The space-parallel driver uses this to re-inject cross-region
+        messages at window barriers: the *source* region's fabric
+        already routed, timed, traced and counted the send — this side
+        only files the delivery event into the destination engine's
+        calendar queue.  ``arrive`` must not be in the past (guaranteed
+        by the conservative window bound; ``Engine.at`` enforces it)."""
+        receiver = (
+            self._receivers[msg.dst]
+            if 0 <= msg.dst < len(self._receivers)
+            else None
+        )
+        if receiver is None:
+            raise ConfigError(f"no receiver attached for node {msg.dst}")
+        pool = self._delivery_pool
+        if pool:
+            delivery = pool.pop()
+            delivery.receiver = receiver
+            delivery.msg = msg
+        else:
+            delivery = _Delivery(receiver, msg, pool)
+        self.engine.at(arrive, delivery)
 
     # ------------------------------------------------------------------
     def note_applied(self, msg: Message) -> None:

@@ -152,7 +152,21 @@ def _worker_main(wid, task_q, conn, current) -> None:
     ``current[wid]`` always names the task position being executed
     (or _IDLE/_DONE), so the parent can attribute a crash to the task
     the worker was holding when it died.
+
+    Determinism test hook: ``REPRO_TEST_WORKER_DELAY_MS`` (e.g.
+    ``"0:150,2:40"``) makes worker ``wid`` sleep that many milliseconds
+    before sending each result.  It exists so tests can force arbitrary
+    completion orders and assert the ordered-flush aggregation (and the
+    space-parallel barrier driver) stay byte-identical; it delays
+    results, never reorders or alters them.
     """
+    delay_s = 0.0
+    spec = os.environ.get("REPRO_TEST_WORKER_DELAY_MS")
+    if spec:
+        for part in spec.split(","):
+            w, _, ms = part.partition(":")
+            if w.strip() == str(wid):
+                delay_s = float(ms) / 1000.0
     try:
         while True:
             item = task_q.get()
@@ -160,7 +174,10 @@ def _worker_main(wid, task_q, conn, current) -> None:
                 break
             pos, task = item
             current[wid] = pos
-            conn.send((pos, execute(task)))
+            result = execute(task)
+            if delay_s:
+                time.sleep(delay_s)
+            conn.send((pos, result))
             current[wid] = _IDLE
         current[wid] = _DONE
     finally:

@@ -1,0 +1,1155 @@
+"""Space-parallel simulation: one big machine, one engine per mesh region.
+
+The sweep executor parallelizes *independent* runs; this module
+parallelizes a *single* large simulation.  The mesh is partitioned into
+contiguous row bands ("regions"), each region runs on its own
+calendar-queue :class:`~repro.sim.engine.Engine`, and all regions
+advance in lock-step **windows** of ``W`` cycles separated by barriers.
+
+Why that is safe (conservative lookahead)
+-----------------------------------------
+Every cross-region message pays the full mesh latency: at least
+``net_fixed_cycles + net_hop_cycles * min_cross_region_hops`` cycles
+(= 8 + 4*1 = 12 with the paper's timing), and contention, FIFO floors,
+jitter and fault delays only *add* to that.  A message sent in the
+window ``[B - W, B)`` therefore arrives at or after ``B - W + L_min``,
+which is ``>= B`` whenever ``W <= L_min``.  So with ``W`` at most the
+lookahead bound, no message sent during a window can be due inside that
+same window on another region — each region can simulate a whole window
+in isolation, and the barrier flush delivers everything in time.
+
+The partitioned model
+---------------------
+A region's fabric (:class:`SpaceFabric`) times every send — including
+cross-region ones — against its own *private* link state, then stages
+cross-region deliveries per destination region instead of scheduling
+them.  At each barrier the driver routes staged messages to their
+destination regions, which sort them canonically (by
+``(arrival, source region, staging seq)``) and file them into their
+calendar queues before running the next window.
+
+This makes the space-partitioned machine its **own deterministic
+model**, parameterized by ``(regions, window)``:
+
+* With ``regions=1`` it reduces *exactly* (bit-for-bit: trace, memory,
+  clock, message ids) to the plain serial :class:`PlusMachine` — there
+  are no cross-region messages, region 0's fabric numbering and rng
+  streams are the plain machine's.
+* For any region count, the **parallel** execution (one worker process
+  per region over :class:`~repro.parallel.executor.WorkerPool`) is
+  bit-identical to the **serial in-process** execution of the same
+  partitioned model: both drive identical :class:`RegionState` objects
+  through identical window steps; only the transport differs.  That is
+  the equivalence the test suite checks exhaustively.
+* ``regions>1`` is *not* bit-identical to the unpartitioned machine:
+  the plain fabric resolves link contention globally at send time
+  (a zero-latency coupling between all nodes), while the partitioned
+  model resolves each region's contention locally.  Both are valid
+  timings of the same protocol; every correctness property (oracle,
+  invariants, convergence) must — and does — hold for either.
+
+Serialization points and gating
+-------------------------------
+The barrier itself is the only synchronization; there is no global
+event queue.  Features that reach across the machine with zero latency
+cannot be partitioned and are rejected up front: competitive
+replication, access profiling and live replication/migration (the
+setup-time replication used by every workload is fine — it happens
+before simulated time starts, identically in every region's build).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import importlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import errors as _errors
+from repro.core.params import PAPER_PARAMS, TimingParams
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    PlusError,
+    SimulationError,
+)
+from repro.machine import PlusMachine
+from repro.network.fabric import Fabric, FabricStats, _PairState
+from repro.network.message import Message
+from repro.sim.engine import Engine
+from repro.stats.counters import MachineCounters
+from repro.stats.report import RunReport
+from repro.stats.trace import ProtocolTrace, TraceEntry
+
+__all__ = [
+    "SpaceFabric",
+    "SpaceMachine",
+    "SpaceSpec",
+    "SpaceRun",
+    "RegionState",
+    "effective_regions",
+    "lookahead_bound",
+    "default_window",
+    "run_space",
+    "memory_checksum",
+    "trace_checksum",
+]
+
+
+# ----------------------------------------------------------------------
+# Partitioning.
+# ----------------------------------------------------------------------
+def effective_regions(requested: int, height: int) -> int:
+    """Clamp a region request to what the mesh can be banded into.
+
+    Regions are contiguous row bands, so a mesh can host at most
+    ``height`` of them; a 4x1 mesh degenerates to one region (which is
+    exactly the plain serial machine)."""
+    return max(1, min(requested, height))
+
+
+def partition_rows(height: int, regions: int) -> List[Tuple[int, int]]:
+    """Row ranges ``[start, stop)`` per region, as even as possible."""
+    return [
+        (r * height // regions, (r + 1) * height // regions)
+        for r in range(regions)
+    ]
+
+
+def lookahead_bound(params: TimingParams) -> int:
+    """The conservative lookahead: minimum cycles any cross-region
+    message spends in flight.  Adjacent row bands are one hop apart, so
+    the bound is the fixed overhead plus one hop; contention, FIFO
+    floors, link jitter and fault delays only increase arrival times."""
+    return params.net_fixed_cycles + params.net_hop_cycles
+
+
+def default_window(params: TimingParams) -> int:
+    """``W = net_hop_cycles * min_cross_region_hops`` (= 4 on the
+    paper's timing): the issue's conservative window, comfortably under
+    :func:`lookahead_bound`."""
+    return params.net_hop_cycles
+
+
+# ----------------------------------------------------------------------
+# The partitioned fabric.
+# ----------------------------------------------------------------------
+class SpaceFabric(Fabric):
+    """A per-region :class:`Fabric` that stages cross-region sends.
+
+    Intra-region traffic takes the base class's unmodified hot path.  A
+    cross-region send is routed and timed here — against this region's
+    private link states, stamping this region's msg-id residue class —
+    but instead of scheduling a delivery it appends
+    ``(arrival, staging_seq, message)`` to the destination region's
+    staging queue, which the window driver flushes at the next barrier.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        mesh,
+        params: TimingParams,
+        *,
+        region: int,
+        region_of: Sequence[int],
+        regions: int,
+    ) -> None:
+        super().__init__(
+            engine, mesh, params, msg_id_base=region, msg_id_step=regions
+        )
+        self.region = region
+        self._region_of = region_of
+        #: dst region -> [(arrive, staging seq, msg)] accumulated since
+        #: the last barrier flush.
+        self._staged: Dict[int, List[Tuple[int, int, Message]]] = {}
+        #: Monotonic per-source-fabric staging counter.  Together with
+        #: the source region index it gives every staged message a total
+        #: order that both drivers reproduce, so destination engines
+        #: assign injection sequence numbers identically everywhere.
+        self._stage_seq = 0
+
+    # -- the send path -------------------------------------------------
+    def send(self, msg: Message) -> int:
+        dst = msg.dst
+        region_of = self._region_of
+        if 0 <= dst < len(region_of) and region_of[dst] != self.region:
+            return self._send_cross(msg, dst)
+        return Fabric.send(self, msg)
+
+    def _send_cross(self, msg: Message, dst: int) -> int:
+        """Route/time/account a cross-region send, then stage it."""
+        pair = (msg.src, dst)
+        state = self._pairs.get(pair)
+        if state is None:
+            path = self.mesh.route(msg.src, dst)
+            state = self._pairs[pair] = _PairState(
+                path, self.links.states_for(path)
+            )
+        if msg.msg_id < 0:
+            msg.msg_id = self._next_msg_id
+            self._next_msg_id += self._msg_id_step
+        if self.fault_plan is not None:
+            return self._stage_faulty(msg, dst, state)
+        now = self.engine._now
+        size = msg.size_bytes
+        arrive = self.links.traverse_states(
+            state.states, now, size, not_before=state.next_floor
+        )
+        state.next_floor = arrive + 1
+        if self._trace is not None:
+            self._trace.record(now, msg, arrive)
+        stats = self.stats
+        stats._kind_counts[msg.kind.idx] += 1
+        stats.total_messages += 1
+        stats.total_hops += state.hops
+        stats.total_bytes += size
+        self._stage(dst, arrive, msg)
+        return arrive
+
+    def _stage_faulty(self, msg: Message, dst: int, state: _PairState) -> int:
+        """Mirror of ``Fabric._send_faulty`` that stages each delivery
+        copy instead of scheduling it."""
+        now = self.engine._now
+        stats = self.stats
+        stats.record(msg, state.hops)
+        fate, delays = self.fault_plan.judge(msg, now, state.path)
+        if not delays:
+            stats.drops += 1
+            if self._trace is not None:
+                self._trace.record(now, msg, -1, fate=fate)
+            return -1
+        arrive = self.links.traverse_states(
+            state.states, now, msg.size_bytes, not_before=state.next_floor
+        )
+        state.next_floor = arrive + 1
+        primary = arrive + delays[0]
+        if len(delays) > 1:
+            stats.dups += 1
+        if self._trace is not None:
+            self._trace.record(now, msg, primary, fate=fate)
+        for delay in delays:
+            self._stage(dst, arrive + delay, msg)
+        return primary
+
+    def _stage(self, dst: int, arrive: int, msg: Message) -> None:
+        seq = self._stage_seq
+        self._stage_seq = seq + 1
+        dst_region = self._region_of[dst]
+        bucket = self._staged.get(dst_region)
+        if bucket is None:
+            bucket = self._staged[dst_region] = []
+        bucket.append((arrive, seq, msg))
+
+    def collect_staged(self) -> Dict[int, List[Tuple[int, int, Message]]]:
+        """Drain and return everything staged since the last call."""
+        staged = self._staged
+        self._staged = {}
+        return staged
+
+
+# ----------------------------------------------------------------------
+# The partitioned machine.
+# ----------------------------------------------------------------------
+class SpaceMachine(PlusMachine):
+    """A :class:`PlusMachine` assembled as ``regions`` row-band regions.
+
+    Each region gets its own engine and :class:`SpaceFabric`; every
+    node's CM/CPU capture their region's pair at construction.  The
+    machine keeps ``self.engine``/``self.fabric`` pointing at the
+    *active* region (see :meth:`set_active_region`) so machine-level
+    helpers (spawn, poke/peek, monitor install) work per region.
+
+    Features whose hardware reaches across the whole machine with zero
+    latency are rejected: the constructor takes no competitive /
+    profiling knobs, and live replication ops check
+    :attr:`space_regions` (see ``memory/replication.py``).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        params: TimingParams = PAPER_PARAMS,
+        width: int = 0,
+        height: int = 0,
+        snoop_policy: str = "update",
+        *,
+        regions: int = 2,
+        window: int = 0,
+        tie_break_rng_factory=None,
+    ) -> None:
+        if regions < 1:
+            raise ConfigError(f"regions must be >= 1 (got {regions})")
+        self._requested_regions = regions
+        self._window_arg = window
+        self._tie_factory = tie_break_rng_factory
+        super().__init__(
+            n_nodes,
+            params=params,
+            width=width,
+            height=height,
+            snoop_policy=snoop_policy,
+        )
+
+    # -- assembly hooks ------------------------------------------------
+    def _init_simulation(self, tie_break_rng) -> None:
+        if tie_break_rng is not None:
+            raise ConfigError(
+                "SpaceMachine takes tie_break_rng_factory (one rng per "
+                "region), not a shared tie_break_rng"
+            )
+        mesh = self.mesh
+        params = self.params
+        regions = effective_regions(self._requested_regions, mesh.height)
+        bands = partition_rows(mesh.height, regions)
+        region_of = [0] * mesh.n_nodes
+        for node in range(mesh.n_nodes):
+            row = node // mesh.width
+            for r, (start, stop) in enumerate(bands):
+                if start <= row < stop:
+                    region_of[node] = r
+                    break
+        self.regions = regions
+        self.region_bands = bands
+        self.region_of = region_of
+        window = self._window_arg or default_window(params)
+        bound = lookahead_bound(params)
+        if window < 1:
+            raise ConfigError(f"window must be >= 1 cycle (got {window})")
+        if regions > 1 and window > bound:
+            raise ConfigError(
+                f"window {window} exceeds the conservative lookahead "
+                f"bound {bound} (net_fixed_cycles + net_hop_cycles): a "
+                "cross-region message could be due before the next "
+                "barrier"
+            )
+        self.window = window
+        factory = self._tie_factory
+        self.engines = [
+            Engine(tie_break_rng=factory(r) if factory is not None else None)
+            for r in range(regions)
+        ]
+        self.fabrics = [
+            SpaceFabric(
+                self.engines[r],
+                mesh,
+                params,
+                region=r,
+                region_of=region_of,
+                regions=regions,
+            )
+            for r in range(regions)
+        ]
+        self.engine = self.engines[0]
+        self.fabric = self.fabrics[0]
+
+    def _bind_node_context(self, node_id: int) -> None:
+        self.set_active_region(self.region_of[node_id])
+
+    def set_active_region(self, region: int) -> None:
+        """Point ``self.engine``/``self.fabric`` at one region."""
+        self.engine = self.engines[region]
+        self.fabric = self.fabrics[region]
+
+    @property
+    def space_regions(self) -> int:
+        """Region count; >1 means cross-machine hardware is gated off."""
+        return self.regions
+
+    def region_nodes(self, region: int) -> List:
+        """The node objects living in ``region``."""
+        return [
+            node
+            for node in self.nodes
+            if self.region_of[node.node_id] == region
+        ]
+
+    # -- fault arming --------------------------------------------------
+    def install_faults(self, plan):
+        """Arm every region's fabric with a region-private fault plan.
+
+        Region 0 keeps ``plan`` itself — so a one-region space machine
+        rolls the exact per-send stream of the plain machine — and each
+        other region gets a plan derived from the same knobs under a
+        region-suffixed seed.  Per-region streams are what make the
+        partitioned model deterministic: each region's sends consume its
+        own plan in its own engine order, independent of how windows
+        interleave the regions.
+        """
+        for r, fabric in enumerate(self.fabrics):
+            fabric.install_faults(plan if r == 0 else _region_plan(plan, r))
+        for node in self.nodes:
+            node.cm.enable_reliability()
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.fault_plan = self.fabric.fault_plan
+        return plan
+
+
+def _region_plan(plan, region: int):
+    """``plan``'s knobs under a region-suffixed seed (see above)."""
+    from repro.network.faults import FaultPlan
+
+    return FaultPlan(
+        f"{plan.seed}:space:{region}",
+        drop_prob=plan.drop_prob,
+        dup_prob=plan.dup_prob,
+        jitter=plan.jitter,
+        outage_rate=plan.outage_rate,
+        outage_cycles=plan.outage_cycles,
+        blackholes=plan.blackholes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Run specification and per-region state.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpaceSpec:
+    """Picklable description of one space-parallel run.
+
+    ``builder`` names (``"module:callable"``) a function
+    ``builder(region=r, **kwargs) -> SpaceMachine`` that deterministically
+    assembles the *whole* machine — layout, faults, threads — identically
+    in every process, arming region-local observers (monitor/trace) for
+    ``region`` only.  Every region worker and the driver run the same
+    builder, which is what makes serial and parallel execution
+    structurally identical rather than coincidentally so.
+    """
+
+    builder: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    max_events: int = 500_000_000
+    max_cycles: Optional[int] = None
+    label: str = "space"
+
+    @classmethod
+    def make(
+        cls,
+        builder: str,
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        max_events: int = 500_000_000,
+        max_cycles: Optional[int] = None,
+        label: str = "space",
+    ) -> "SpaceSpec":
+        return cls(
+            builder=builder,
+            kwargs=tuple(sorted((kwargs or {}).items())),
+            max_events=max_events,
+            max_cycles=max_cycles,
+            label=label,
+        )
+
+    def build(self, region: int):
+        modname, _, attr = self.builder.partition(":")
+        if not attr:
+            raise ConfigError(
+                f"space builder {self.builder!r} must look like "
+                "'module:callable'"
+            )
+        fn = getattr(importlib.import_module(modname), attr)
+        machine = fn(region=region, **dict(self.kwargs))
+        if not isinstance(machine, SpaceMachine):
+            raise ConfigError(
+                f"space builder {self.builder!r} must return a "
+                f"SpaceMachine (got {type(machine).__name__})"
+            )
+        return machine
+
+
+#: A staged cross-region message in driver transit:
+#: ``(arrive, src_region, staging_seq, msg)``.  Destination regions sort
+#: on the first three fields — a canonical total order both drivers
+#: reproduce — before injecting, so engine sequence numbers (and hence
+#: same-cycle firing order) come out identical everywhere.
+Staged = Tuple[int, int, int, Message]
+
+
+@dataclass
+class StepOutcome:
+    """What one region reports back from one window step (picklable)."""
+
+    region: int
+    #: Earliest pending event after the window, None if drained.
+    next_time: Optional[int]
+    #: Events fired during this step (drives the global budget).
+    fired: int
+    #: Engine.last_live after the step (global clock = max over regions).
+    last_live: int
+    #: Cross-region messages staged during the window, per dst region.
+    staged: Dict[int, List[Staged]]
+    #: ``(exc type name, rendered text, cycle)`` if the window raised.
+    error: Optional[Tuple[str, str, int]] = None
+
+
+@dataclass
+class RegionHarvest:
+    """A region's final state, shippable across a process boundary."""
+
+    region: int
+    now: int
+    last_live: int
+    pending: int
+    events_fired: int
+    stats: FabricStats
+    #: Materialized trace of this region's fabric (monitor or trace).
+    entries: List[TraceEntry] = field(default_factory=list)
+    applied: Dict[int, int] = field(default_factory=dict)
+    trace_dropped: int = 0
+    trace_capacity: int = 0
+    #: node id -> {local page -> words} for this region's nodes.
+    memory: Dict[int, Dict[int, List[int]]] = field(default_factory=dict)
+    #: node id -> {local page -> set(offsets)} (invalidate protocol).
+    invalid_words: Dict[int, Dict[int, set]] = field(default_factory=dict)
+    #: node id -> finalized NodeCounters for this region's nodes.
+    counters: Dict[int, Any] = field(default_factory=dict)
+    #: ``(node_id, pending, outstanding_chains)`` per region node whose
+    #: coherence manager did not drain (the oracle's drain check reads
+    #: live CM state, which a harvest-overlaid machine no longer has).
+    cm_unsettled: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Blocked-thread report lines of this region's nodes (node order).
+    blocked: List[str] = field(default_factory=list)
+    #: Reliable-channel stuck-state lines of this region's nodes.
+    stuck: List[str] = field(default_factory=list)
+    #: ``FaultPlan.describe()`` of this region's fabric, or None.
+    fault_desc: Optional[str] = None
+
+
+class RegionState:
+    """One region's live simulation state (driver- or worker-side).
+
+    Both execution modes drive this exact object through the same
+    ``step``/``finish`` calls; the serial driver holds ``regions`` of
+    them in-process, the parallel driver pins each to its own
+    single-worker pool.  Equivalence between the modes is therefore
+    structural: same code, same state, same inputs per step.
+    """
+
+    def __init__(self, spec: SpaceSpec, region: int) -> None:
+        self.spec = spec
+        self.region = region
+        machine = spec.build(region)
+        machine.set_active_region(region)
+        self.machine = machine
+        self.engine: Engine = machine.engines[region]
+        self.fabric: SpaceFabric = machine.fabrics[region]
+        self.nodes = machine.region_nodes(region)
+
+    def initial(self) -> Dict[str, Any]:
+        """Pre-run report: clamped region count, window, first event."""
+        return {
+            "regions": self.machine.regions,
+            "window": self.machine.window,
+            "next": self.engine._next_time(),
+        }
+
+    def step(
+        self, barrier: int, inject: List[Staged], max_events: int
+    ) -> StepOutcome:
+        """Inject barrier messages, run the window ``[.., barrier)``.
+
+        A :class:`PlusError` raised mid-window (protocol violation from
+        a strict monitor, event-budget overrun) is captured, not
+        propagated: every region always completes its window step, and
+        the driver surfaces the lowest-region error afterwards — the
+        same rule in both drivers, so failure output is deterministic.
+        """
+        fabric = self.fabric
+        for arrive, _src_region, _stage_seq, msg in inject:
+            fabric.inject(arrive, msg)
+        engine = self.engine
+        fired0 = engine.events_fired
+        error = None
+        try:
+            engine.run(until=barrier - 1, max_events=max_events)
+        except PlusError as exc:
+            error = (type(exc).__name__, str(exc), engine.now)
+        region = self.region
+        staged: Dict[int, List[Staged]] = {}
+        for dst, entries in fabric.collect_staged().items():
+            staged[dst] = [
+                (arrive, region, seq, msg) for (arrive, seq, msg) in entries
+            ]
+        return StepOutcome(
+            region=region,
+            next_time=engine._next_time() if error is None else None,
+            fired=engine.events_fired - fired0,
+            last_live=engine.last_live,
+            staged=staged,
+            error=error,
+        )
+
+    def finish(self, elapsed: int) -> RegionHarvest:
+        """Finalize counters against the global clock and harvest."""
+        machine = self.machine
+        engine = self.engine
+        fabric = self.fabric
+        memory: Dict[int, Dict[int, List[int]]] = {}
+        invalid: Dict[int, Dict[int, set]] = {}
+        counters: Dict[int, Any] = {}
+        unsettled: List[Tuple[int, int, int]] = []
+        blocked: List[str] = []
+        stuck: List[str] = []
+        for node in self.nodes:
+            node.finalize_counters(elapsed)
+            counters[node.node_id] = node.counters
+            memory[node.node_id] = {
+                page: list(frame.words)
+                for page, frame in node.memory._frames.items()
+            }
+            invalid[node.node_id] = {
+                page: set(words)
+                for page, words in node.cm._invalid_words.items()
+                if words
+            }
+            if not node.cm.idle():
+                unsettled.append(
+                    (
+                        node.node_id,
+                        len(node.cm.pending),
+                        node.cm.outstanding_chains,
+                    )
+                )
+            blocked.extend(node.cpu.blocked_report())
+            stuck.extend(node.cm.recovery_report())
+        trace = fabric._trace
+        harvest = RegionHarvest(
+            region=self.region,
+            now=engine.now,
+            last_live=engine.last_live,
+            pending=engine.pending_events,
+            events_fired=engine.events_fired,
+            stats=fabric.stats,
+            memory=memory,
+            invalid_words=invalid,
+            counters=counters,
+            cm_unsettled=unsettled,
+            blocked=blocked,
+            stuck=stuck,
+            fault_desc=(
+                fabric.fault_plan.describe()
+                if fabric.fault_plan is not None
+                else None
+            ),
+        )
+        if trace is not None:
+            harvest.entries = list(trace.entries)
+            harvest.applied = dict(trace.applied)
+            harvest.trace_dropped = trace.dropped
+            harvest.trace_capacity = trace.capacity
+        return harvest
+
+
+# ----------------------------------------------------------------------
+# Runners: serial in-process vs one worker process per region.
+# ----------------------------------------------------------------------
+class _SerialRunners:
+    """All regions in this process.  ``step_order`` permutes the order
+    region steps *execute* in (results are order-independent — that's
+    the point, and what the property tests assert); ``pickle_transport``
+    round-trips every inject list and outcome through pickle to mimic
+    the parallel mode's process boundary."""
+
+    def __init__(
+        self,
+        spec: SpaceSpec,
+        regions: int,
+        step_order: Optional[Sequence[int]] = None,
+        pickle_transport: bool = False,
+    ) -> None:
+        self.states = [RegionState(spec, r) for r in range(regions)]
+        self._order = (
+            list(step_order) if step_order is not None else list(range(regions))
+        )
+        if sorted(self._order) != list(range(regions)):
+            raise ConfigError(
+                f"step_order {step_order!r} is not a permutation of "
+                f"range({regions})"
+            )
+        self._pickle = pickle_transport
+
+    def step_all(
+        self,
+        barrier: int,
+        inject_map: Dict[int, List[Staged]],
+        max_events: int,
+    ) -> List[StepOutcome]:
+        outcomes: List[Optional[StepOutcome]] = [None] * len(self.states)
+        for r in self._order:
+            inject = inject_map.get(r, [])
+            if self._pickle:
+                inject = pickle.loads(pickle.dumps(inject))
+            outcome = self.states[r].step(barrier, inject, max_events)
+            if self._pickle:
+                outcome = pickle.loads(pickle.dumps(outcome))
+            outcomes[r] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def finish_all(self, elapsed: int) -> List[RegionHarvest]:
+        return [state.finish(elapsed) for state in self.states]
+
+    def close(self) -> None:
+        pass
+
+
+#: Worker-process registry: region -> live RegionState.  One pool worker
+#: serves exactly one region of one run (pools are per-run and a pool
+#: has one worker), so the region index is a sufficient key; a respawned
+#: worker after a crash has an empty registry, which `_worker_step`
+#: reports as a fatal (deterministic) error instead of silently
+#: rebuilding mid-run state.
+_WORKER_REGIONS: Dict[int, RegionState] = {}
+
+
+def _worker_prepare(*, spec: SpaceSpec, region: int) -> Dict[str, Any]:
+    state = RegionState(spec, region)
+    _WORKER_REGIONS[region] = state
+    return state.initial()
+
+
+def _worker_step(
+    *, region: int, barrier: int, inject: List[Staged], max_events: int
+) -> StepOutcome:
+    state = _WORKER_REGIONS.get(region)
+    if state is None:
+        raise SimulationError(
+            f"space region {region} lost its worker state (worker "
+            "restarted mid-run?)"
+        )
+    return state.step(barrier, inject, max_events)
+
+
+def _worker_finish(*, region: int, elapsed: int) -> RegionHarvest:
+    state = _WORKER_REGIONS.pop(region, None)
+    if state is None:
+        raise SimulationError(
+            f"space region {region} lost its worker state before harvest"
+        )
+    return state.finish(elapsed)
+
+
+class _PoolRunners:
+    """One single-worker :class:`WorkerPool` per region.
+
+    A pool of one pins the region to its worker process (region state
+    lives in that process between windows), keeps the fleet warm across
+    every window, and reuses all of the executor's crash detection.
+    """
+
+    def __init__(self, spec: SpaceSpec, regions: int, mp_context=None) -> None:
+        from repro.parallel.executor import WorkerPool
+        from repro.parallel.tasks import SweepTask
+
+        self._SweepTask = SweepTask
+        self.spec = spec
+        self.pools = [
+            WorkerPool(1, mp_context=mp_context) for _ in range(regions)
+        ]
+
+    def _call(self, region: int, fn: str, kwargs: Dict[str, Any]):
+        task = self._SweepTask.make(
+            region,
+            f"repro.parallel.spacetime:{fn}",
+            kwargs,
+            label=f"{self.spec.label}:r{region}:{fn}",
+        )
+        return self.pools[region].submit(task)
+
+    @staticmethod
+    def _value(result):
+        if not result.ok:
+            raise SimulationError(
+                f"space region worker failed ({result.label}): "
+                f"{result.error}"
+            )
+        return result.value
+
+    def prepare_all(self) -> List[Dict[str, Any]]:
+        futures = [
+            self._call(r, "_worker_prepare", {"spec": self.spec, "region": r})
+            for r in range(len(self.pools))
+        ]
+        return [self._value(f.result()) for f in futures]
+
+    def step_all(
+        self,
+        barrier: int,
+        inject_map: Dict[int, List[Staged]],
+        max_events: int,
+    ) -> List[StepOutcome]:
+        futures = [
+            self._call(
+                r,
+                "_worker_step",
+                {
+                    "region": r,
+                    "barrier": barrier,
+                    "inject": inject_map.get(r, []),
+                    "max_events": max_events,
+                },
+            )
+            for r in range(len(self.pools))
+        ]
+        return [self._value(f.result()) for f in futures]
+
+    def finish_all(self, elapsed: int) -> List[RegionHarvest]:
+        futures = [
+            self._call(r, "_worker_finish", {"region": r, "elapsed": elapsed})
+            for r in range(len(self.pools))
+        ]
+        return [self._value(f.result()) for f in futures]
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.shutdown(cancel_pending=True)
+
+
+# ----------------------------------------------------------------------
+# The window driver.
+# ----------------------------------------------------------------------
+@dataclass
+class SpaceRun:
+    """Outcome of one space-parallel run."""
+
+    spec: SpaceSpec
+    regions: int
+    window: int
+    #: End-of-run clock: max over regions of the last live cycle (or
+    #: ``max_cycles`` when a horizon was given — matching the plain
+    #: engine's ``run(until=...)`` clamp), or the raise cycle on error.
+    clock: int = 0
+    harvests: List[RegionHarvest] = field(default_factory=list)
+    #: Reconstructed error (same type and text as the plain machine
+    #: would raise), or None for a clean drain.
+    error: Optional[PlusError] = None
+    error_region: int = -1
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def messages(self) -> int:
+        return sum(h.stats.total_messages for h in self.harvests)
+
+    @property
+    def events_fired(self) -> int:
+        return sum(h.events_fired for h in self.harvests)
+
+    def merged_stats(self) -> FabricStats:
+        total = FabricStats()
+        for h in self.harvests:
+            stats = h.stats
+            for i, n in enumerate(stats._kind_counts):
+                total._kind_counts[i] += n
+            total.total_messages += stats.total_messages
+            total.total_hops += stats.total_hops
+            total.total_bytes += stats.total_bytes
+            total.drops += stats.drops
+            total.dups += stats.dups
+            total.retransmits += stats.retransmits
+            total.recovered += stats.recovered
+        return total
+
+    def merged_trace(self) -> ProtocolTrace:
+        """All regions' trace entries in one global-time order.
+
+        Entries merge on ``(time, region, position)``: within a region
+        the trace is already time-sorted (record time is the engine
+        clock), and cross-region causality never needs a finer tie-break
+        — any causally-ordered pair of entries is separated by at least
+        the lookahead bound.  The merged ``applied`` map is keyed by
+        globally-unique msg ids (region residue classes), canonically
+        ordered.
+        """
+        trace = ProtocolTrace(
+            capacity=sum(h.trace_capacity for h in self.harvests)
+            or 100_000
+        )
+        streams = [
+            [(e.time, h.region, i, e) for i, e in enumerate(h.entries)]
+            for h in self.harvests
+        ]
+        trace._entries = [item[3] for item in heapq.merge(*streams)]
+        trace._count = len(trace._entries)
+        applied: Dict[int, int] = {}
+        for h in self.harvests:
+            applied.update(h.applied)
+        trace.applied = dict(sorted(applied.items()))
+        trace.dropped = sum(h.trace_dropped for h in self.harvests)
+        return trace
+
+    def raise_if_error(self) -> None:
+        if self.error is not None:
+            raise self.error
+
+    # -- reconciliation ------------------------------------------------
+    def overlay(self, machine: SpaceMachine) -> SpaceMachine:
+        """Overlay the harvested end state onto a freshly-built machine.
+
+        ``machine`` must come from the run's own builder (same layout).
+        Per-node memory frames and invalidated-word sets are replaced by
+        the harvested state and ``machine.engine`` becomes a drained
+        view at the global clock, which is everything the coherence
+        oracle reads.
+        """
+        for harvest in self.harvests:
+            for node_id, frames in harvest.memory.items():
+                node = machine.nodes[node_id]
+                for page, words in frames.items():
+                    frame = node.memory._frames.get(page)
+                    if frame is None:
+                        node.memory.load_page(page, words)
+                    else:
+                        frame.words[:] = words
+            for node_id, pages in harvest.invalid_words.items():
+                cm = machine.nodes[node_id].cm
+                cm._invalid_words.clear()
+                for page, words in pages.items():
+                    cm._invalid_words[page] = set(words)
+        machine.engine = _EngineView(
+            now=self.clock,
+            pending_events=sum(h.pending for h in self.harvests),
+        )
+        return machine
+
+    def report(self, params: TimingParams) -> RunReport:
+        """Machine-level run report assembled from the harvests.
+
+        ``params`` are the machine's timing params (the caller built the
+        machine, so it holds them); everything else comes from the
+        harvests, making this equivalent to ``machine.report()`` on the
+        whole partitioned machine.
+        """
+        counters: Dict[int, Any] = {}
+        for harvest in self.harvests:
+            counters.update(harvest.counters)
+        machine_counters = MachineCounters(
+            nodes=[counters[i] for i in sorted(counters)]
+        )
+        return RunReport(
+            n_nodes=len(counters),
+            cycles=self.clock,
+            params=params,
+            counters=machine_counters,
+            fabric=self.merged_stats(),
+        )
+
+
+class _EngineView:
+    """A drained engine facade for the oracle (now + pending only)."""
+
+    def __init__(self, now: int, pending_events: int) -> None:
+        self.now = now
+        self.pending_events = pending_events
+
+
+def _rebuild_error(type_name: str, text: str) -> PlusError:
+    """Reconstruct a worker-raised :class:`PlusError` by type name.
+
+    ``PlusError.__init__`` re-renders its message (tags, excerpt), so a
+    faithful reconstruction must bypass it: allocate the class and seed
+    ``Exception`` with the already-rendered text, making
+    ``f"{type(e).__name__}: {e}"`` byte-identical to the original.
+    """
+    cls = getattr(_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, PlusError)):
+        cls = SimulationError
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, text)
+    # The context attributes PlusError.__init__ would have set; the
+    # original values are baked into the rendered text.
+    exc.cycle = None
+    exc.node = None
+    exc.msg = None
+    exc.excerpt = ()
+    return exc
+
+
+def run_space(
+    spec: SpaceSpec,
+    jobs: int = 1,
+    *,
+    step_order: Optional[Sequence[int]] = None,
+    pickle_transport: bool = False,
+    mp_context=None,
+) -> SpaceRun:
+    """Drive one space-partitioned run to completion.
+
+    ``jobs <= 1`` executes every region in this process (the serial
+    reference); ``jobs >= 2`` pins each region to its own worker
+    process.  Both modes run the identical window protocol over
+    identical :class:`RegionState` objects, so their outputs are
+    byte-identical — the space test suite's central claim.
+
+    ``step_order`` / ``pickle_transport`` are serial-mode test knobs
+    (see :class:`_SerialRunners`).
+    """
+    probe = spec.build(0)
+    regions = probe.regions
+    window = probe.window
+    params = probe.params
+    del probe
+
+    if jobs <= 1 or regions == 1:
+        runners = _SerialRunners(
+            spec, regions, step_order=step_order, pickle_transport=pickle_transport
+        )
+        prep = [state.initial() for state in runners.states]
+    else:
+        if step_order is not None:
+            raise ConfigError("step_order is a serial-mode test knob")
+        runners = _PoolRunners(spec, regions, mp_context=mp_context)
+        prep = runners.prepare_all()
+
+    run = SpaceRun(spec=spec, regions=regions, window=window)
+    try:
+        for r, info in enumerate(prep):
+            if info["regions"] != regions or info["window"] != window:
+                raise SimulationError(
+                    f"region {r} built a different partition "
+                    f"({info['regions']}/{info['window']} vs "
+                    f"{regions}/{window}): the builder is not "
+                    "deterministic across processes"
+                )
+        next_times: List[Optional[int]] = [p["next"] for p in prep]
+        inject_map: Dict[int, List[Staged]] = {}
+        remaining = spec.max_events
+        max_cycles = spec.max_cycles
+        clock = 0
+        error: Optional[Tuple[int, str, str, int]] = None
+        hit_horizon = False
+        while True:
+            candidates = [t for t in next_times if t is not None]
+            for entries in inject_map.values():
+                candidates.extend(entry[0] for entry in entries)
+            if not candidates:
+                break
+            t0 = min(candidates)
+            if max_cycles is not None and t0 > max_cycles:
+                hit_horizon = True
+                break
+            # Windows are aligned at multiples of W; skip straight to
+            # the window holding the globally-earliest pending event
+            # (empty windows would otherwise cost a barrier each).
+            barrier = (t0 // window) * window + window
+            if max_cycles is not None:
+                barrier = min(barrier, max_cycles + 1)
+            outcomes = runners.step_all(barrier, inject_map, remaining)
+            inject_map = {}
+            for outcome in outcomes:
+                next_times[outcome.region] = outcome.next_time
+                if outcome.last_live > clock:
+                    clock = outcome.last_live
+                remaining -= outcome.fired
+                for dst, entries in outcome.staged.items():
+                    inject_map.setdefault(dst, []).extend(entries)
+            for entries in inject_map.values():
+                # Canonical injection order: (arrive, src region,
+                # staging seq).  Deterministic in both drivers, hence
+                # identical engine seq assignment at the destination.
+                entries.sort(key=lambda e: (e[0], e[1], e[2]))
+            failed = [o for o in outcomes if o.error is not None]
+            if failed:
+                worst = min(failed, key=lambda o: o.region)
+                error = (worst.region,) + worst.error  # type: ignore[operator]
+                break
+        if error is not None:
+            clock = error[3]
+        elif max_cycles is not None:
+            # The plain engine's run(until=max_cycles) clamps the clock
+            # to the horizon even when the queue drained earlier.
+            clock = max_cycles
+        run.clock = clock
+        run.harvests = runners.finish_all(clock)
+        run.harvests.sort(key=lambda h: h.region)
+        if error is not None:
+            run.error_region = error[0]
+            run.error = _rebuild_error(error[1], error[2])
+            return run
+        blocked = [line for h in run.harvests for line in h.blocked]
+        if blocked:
+            detail = "\n  ".join(blocked)
+            if hit_horizon:
+                run.error = SimulationError(
+                    f"hit max_cycles={max_cycles} with threads "
+                    f"unfinished:\n  {detail}"
+                )
+                return run
+            # Deadlock watchdog, mirroring PlusMachine.run byte for
+            # byte (same wording, same fault-plan and stuck-channel
+            # detail, same trace-tail excerpt).
+            lines = [
+                "event queue drained with threads still blocked:",
+                f"  {detail}",
+            ]
+            fault_desc = run.harvests[0].fault_desc
+            if fault_desc is not None:
+                stats = run.merged_stats()
+                lines.append(
+                    f"  fault plan active ({fault_desc}): "
+                    f"{stats.drops} drops, {stats.dups} dups, "
+                    f"{stats.retransmits} retransmits — quiescence without "
+                    "completion suggests a lost message nobody retried"
+                )
+                stuck = [line for h in run.harvests for line in h.stuck]
+                if stuck:
+                    lines.append("  reliable-channel state:")
+                    lines.extend(f"    {line}" for line in stuck)
+            tail = run.merged_trace().tail() if any(
+                h.trace_capacity for h in run.harvests
+            ) else ()
+            run.error = DeadlockError(
+                "\n".join(lines), cycle=clock, excerpt=tail
+            )
+        return run
+    finally:
+        runners.close()
+
+
+# ----------------------------------------------------------------------
+# Checksums (bit-identity assertions for tests and benchmarks).
+# ----------------------------------------------------------------------
+def memory_checksum(harvests: Sequence[RegionHarvest]) -> str:
+    """Digest of every node's final memory words + invalid-word sets."""
+    digest = hashlib.sha256()
+    for harvest in sorted(harvests, key=lambda h: h.region):
+        for node_id in sorted(harvest.memory):
+            frames = harvest.memory[node_id]
+            for page in sorted(frames):
+                digest.update(
+                    f"n{node_id}p{page}:{frames[page]}".encode()
+                )
+            invalid = harvest.invalid_words.get(node_id, {})
+            for page in sorted(invalid):
+                digest.update(
+                    f"n{node_id}i{page}:{sorted(invalid[page])}".encode()
+                )
+    return digest.hexdigest()
+
+
+def trace_checksum(entries: Sequence[TraceEntry]) -> str:
+    """Digest of a (merged) trace's full formatted transcript."""
+    digest = hashlib.sha256()
+    for entry in entries:
+        digest.update(entry.describe().encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def run_checksums(run: SpaceRun) -> Dict[str, Any]:
+    """The bit-identity tuple tests and benchmarks compare."""
+    return {
+        "clock": run.clock,
+        "messages": run.messages,
+        "events": run.events_fired,
+        "bytes": run.merged_stats().total_bytes,
+        "hops": run.merged_stats().total_hops,
+        "memory": memory_checksum(run.harvests),
+        "trace": trace_checksum(run.merged_trace().entries),
+        "error": (
+            f"{type(run.error).__name__}: {run.error}"
+            if run.error is not None
+            else None
+        ),
+    }

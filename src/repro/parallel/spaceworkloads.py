@@ -1,0 +1,112 @@
+"""Space-partitioned builders for the benchmark workloads.
+
+Each builder has the :class:`~repro.parallel.spacetime.SpaceSpec`
+contract: called as ``builder(region=r, **kwargs)`` in every region
+worker (and the driver), it deterministically assembles the *complete*
+machine — graph, memory image, replication, threads — identically in
+every process, and returns the :class:`SpaceMachine`.  Only region
+``r``'s engine ever runs in that instance, so the setup cost is the
+price of structural identity between the serial and parallel drivers.
+
+The applications themselves (:class:`~repro.apps.sssp.SSSPApp`,
+:class:`~repro.apps.beam.BeamSearchApp`) are machine-agnostic: they
+spawn generator threads through ``machine.spawn`` and all their setup
+(shm alloc, poke, preload) happens before simulated time starts, which
+is exactly what the partitioned model requires.  The built app is left
+on ``machine.space_app`` so a caller that overlays the harvested end
+state onto a fresh build can ask it for results (e.g.
+``SSSPApp.distances`` reads through ``machine.peek``).
+"""
+
+from __future__ import annotations
+
+from repro.apps.beam import BeamConfig, BeamSearchApp, params_for
+from repro.apps.graphs import geometric_graph, layered_lattice
+from repro.apps.sssp import SSSPApp, SSSPConfig
+from repro.parallel.spacetime import SpaceMachine
+
+__all__ = ["build_sssp", "build_beam"]
+
+
+def build_sssp(
+    region: int = 0,
+    *,
+    n_vertices: int = 800,
+    n_nodes: int = 16,
+    width: int = 0,
+    height: int = 0,
+    copies: int = 3,
+    replicate_queues: bool = True,
+    seed: int = 7,
+    regions: int = 2,
+    window: int = 0,
+) -> SpaceMachine:
+    """The bench_perf shortest-path workload on a partitioned machine.
+
+    Defaults reproduce the Table 2-1 midpoint configuration bench_perf
+    measures (800-vertex geometric graph, seed 7, 3 copies, replicated
+    queues), scalable to bigger meshes via ``n_nodes``/``width``/
+    ``height``.
+    """
+    graph = geometric_graph(
+        n_vertices, degree=5, long_edge_fraction=0.08, max_weight=20,
+        seed=seed,
+    )
+    machine = SpaceMachine(
+        n_nodes=n_nodes,
+        width=width,
+        height=height,
+        regions=regions,
+        window=window,
+    )
+    app = SSSPApp(
+        machine,
+        graph,
+        SSSPConfig(copies=copies, replicate_queues=replicate_queues),
+    )
+    app.spawn_workers()
+    machine.space_app = app
+    # ``region`` selects which engine the caller will drive; the build
+    # itself is region-independent by design.
+    machine.set_active_region(region)
+    return machine
+
+
+def build_beam(
+    region: int = 0,
+    *,
+    n_layers: int = 12,
+    lattice_width: int = 128,
+    n_nodes: int = 16,
+    width: int = 0,
+    height: int = 0,
+    beam: int = 60,
+    sync_mode: str = "delayed",
+    seed: int = 5,
+    regions: int = 2,
+    window: int = 0,
+) -> SpaceMachine:
+    """The bench_perf beam-search workload on a partitioned machine
+    (Figure 3-1 hot configuration by default: 12x128 lattice, seed 5,
+    beam 60, delayed operations)."""
+    lattice = layered_lattice(
+        n_layers=n_layers,
+        width=lattice_width,
+        branching=3,
+        seed=seed,
+        hot_fraction=0.6,
+    )
+    config = BeamConfig(beam=beam, sync_mode=sync_mode)
+    machine = SpaceMachine(
+        n_nodes=n_nodes,
+        params=params_for(config),
+        width=width,
+        height=height,
+        regions=regions,
+        window=window,
+    )
+    app = BeamSearchApp(machine, lattice, config)
+    app.spawn_workers()
+    machine.space_app = app
+    machine.set_active_region(region)
+    return machine

@@ -135,6 +135,14 @@ class Engine:
                 "inlined as a literal in the scheduling fast paths"
             )
         self._now = 0
+        #: Last cycle any :meth:`run` call fired real (non-no-op) work.
+        #: Windowed drivers (``run(until=...)`` in bounded steps) read
+        #: this to recover the true end-of-run clock: each window ends
+        #: with ``now == until`` even when the tail of the window was
+        #: empty, so ``now`` alone can no longer tell "last live cycle"
+        #: from "last barrier".  A single full-drain ``run()`` leaves
+        #: ``now == _last_live`` by construction.
+        self._last_live = 0
         #: Overflow lane: far-future events as (time, seq, fn).
         self._heap: List[Tuple[int, int, Callback]] = []
         #: Near lane: per-cycle FIFO buckets; bucket ``t & _MASK`` holds
@@ -169,6 +177,12 @@ class Engine:
     def now(self) -> int:
         """Current simulation time in cycles."""
         return self._now
+
+    @property
+    def last_live(self) -> int:
+        """Last cycle any :meth:`run` call fired real work (see
+        ``_last_live``); 0 if no call has fired a live event yet."""
+        return self._last_live
 
     @property
     def events_fired(self) -> int:
@@ -349,6 +363,7 @@ class Engine:
         # clock back to it re-opens exactly the near-lane window those
         # entries were filed under.
         live = self._now
+        did_real = False
         # Move everything allocated before the run into the collector's
         # permanent generation for the duration of the loop: cyclic-GC
         # passes triggered by the loop's own allocation churn then scan
@@ -441,9 +456,12 @@ class Engine:
                         )
                 if fired - cycle_base != self._noop_fires - noop_base:
                     live = t
+                    did_real = True
             # Queues drained (or ``until`` reached): report the last
             # cycle that did real work, not a trailing no-op fire.
             self._now = live
+            if did_real:
+                self._last_live = live
             if until is not None and until > self._now:
                 self._now = until
         finally:

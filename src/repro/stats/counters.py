@@ -47,6 +47,7 @@ class NodeCounters:
     # -- coherence-manager activity -----------------------------------------
     updates_applied: int = 0     # update messages applied to local memory
     invalidations_applied: int = 0  # invalidate messages applied locally
+    stale_refetches: int = 0     # refetch responses outrun by an invalidate
     masters_written: int = 0     # writes/RMWs applied at a local master
     writes_forwarded: int = 0    # write requests forwarded towards a master
 

@@ -75,7 +75,7 @@ class _HeapEngine:
             fn()
 
 
-def _drive(engine, script):
+def _drive(engine, script, run=None):
     """Run ``script`` on ``engine``; returns the fired (now, tag) list.
 
     A script is a forest of nodes ``(delay, cancel_ref, children)``:
@@ -84,6 +84,10 @@ def _drive(engine, script):
     previously created timer, and schedules its children.  Every
     decision is a pure function of the script and firing order, so two
     engines agree on the fired list iff they fire in the same order.
+
+    ``run`` overrides how the engine is driven (default: one full
+    ``engine.run()``) — the windowed tests drive the same schedule
+    through many bounded ``run(until=...)`` calls instead.
     """
     fired = []
     handles = []
@@ -104,8 +108,25 @@ def _drive(engine, script):
 
     for node in script:
         schedule(node)
-    engine.run()
+    if run is None:
+        engine.run()
+    else:
+        run(engine)
     return fired
+
+
+def _windowed(window):
+    """Driver that advances in bounded windows, the way the
+    space-parallel driver does: ``run(until=barrier - 1)`` per window
+    until the queue drains."""
+
+    def run(engine):
+        barrier = 0
+        while engine.pending_events:
+            barrier += window
+            engine.run(until=barrier - 1)
+
+    return run
 
 
 # Delays straddling the calendar window (512): dense small values for
@@ -148,6 +169,50 @@ def test_engine_accounting_survives_random_schedules(script):
     _drive(engine, script)
     assert engine.pending_events == 0
     assert 0 == engine._cancelled_timers
+
+
+# Windows straddling every interesting boundary: single-cycle, the
+# space driver's default (4) and lookahead bound (12), and the calendar
+# window (512) with its neighbours.
+_windows = st.sampled_from([1, 3, 4, 12, 511, 512, 513, 5000])
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=_scripts, window=_windows)
+def test_windowed_run_matches_continuous_run(script, window):
+    real = _drive(Engine(), script, run=_windowed(window))
+    ref = _drive(_HeapEngine(), script)
+    assert real == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    script=_scripts,
+    window=_windows,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_windowed_run_random_ties_matches_continuous_run(script, window, seed):
+    real = _drive(
+        Engine(tie_break_rng=random.Random(seed)),
+        script,
+        run=_windowed(window),
+    )
+    ref = _drive(Engine(tie_break_rng=random.Random(seed)), script)
+    assert real == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=_scripts, window=_windows)
+def test_last_live_reports_final_event_cycle(script, window):
+    # ``run(until)`` parks ``now`` at the barrier even when the window
+    # tail was empty; ``last_live`` must still name the cycle that did
+    # the final real work — it is what the space driver reports as the
+    # machine's clock.
+    engine = Engine()
+    fired = _drive(engine, script, run=_windowed(window))
+    assert engine.last_live == max(t for t, _ in fired)
+    assert engine.now >= engine.last_live
+    assert engine.pending_events == 0
 
 
 class _EagerCompactionEngine(Engine):

@@ -126,6 +126,55 @@ class TestCoherence:
         assert threads[0].result == (3, 0)  # master read stays local
 
 
+class TestStaleRefetchRace:
+    def test_delayed_refetch_response_does_not_resurrect_stale_data(self):
+        """Regression: a refetch response delivered *after* a newer
+        write's invalidate must not revalidate the local copy with its
+        (now stale) payload.  Over an unreliable mesh this happens for
+        real — the reliable layer retransmits the response payload
+        snapshotted at first serve — so the race is forced here by
+        holding the READ_RESP at the receiving CM until the second
+        invalidate has applied."""
+        machine = _machine()
+        seg = machine.shm.alloc(1, home=0, replicas=[1])
+        machine.poke(seg.base, 111)
+        cm = machine.nodes[1].cm
+        idx = MsgKind.READ_RESP.idx
+        real = cm._handlers[idx]
+        held = []
+
+        def writer(ctx):
+            yield from ctx.write(seg.base, 222)  # invalidate #1 at node 1
+            yield from ctx.fence()
+            yield from ctx.compute(2000)  # let the refetch reach the master
+            yield from ctx.write(seg.base, 333)  # invalidate #2 races the resp
+            yield from ctx.fence()
+
+        def reader(ctx):
+            yield from ctx.compute(1000)  # after invalidate #1 lands
+            cm._handlers[idx] = held.append  # capture the refetch response
+            first = yield from ctx.read(seg.base)  # refetch, resp held
+            second = yield from ctx.read(seg.base)  # still invalid: refetch
+            return (first, second)
+
+        def pump():
+            done = machine.nodes[1].counters.invalidations_applied >= 2
+            if held and done:
+                cm._handlers[idx] = real
+                real(held.pop())
+                return
+            machine.engine.timer(25, pump)
+
+        machine.engine.timer(25, pump)
+        _, threads = run_threads(machine, (0, writer), (1, reader))
+        # The held response linearized at the master's serve time — the
+        # processor correctly observes 222 — but the local copy must not
+        # have been revalidated with it; the next read refetches and
+        # sees the newer write instead of a resurrected 222.
+        assert threads[1].result == (222, 333)
+        assert machine.nodes[1].counters.stale_refetches == 1
+
+
 class TestTraffic:
     def test_invalidate_messages_replace_updates(self):
         machine = _machine()
