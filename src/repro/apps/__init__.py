@@ -1,6 +1,16 @@
-"""Evaluation applications: shortest path, beam search, production system."""
+"""Evaluation applications: shortest path, beam search, production
+system, and the crash-recovery 2PC bank ledger."""
 
 from repro.apps.beam import BeamConfig, BeamResult, BeamSearchApp, run_beam
+from repro.apps.ledger import (
+    LedgerApp,
+    LedgerConfig,
+    LedgerResult,
+    derive_crashes,
+    run_ledger,
+    run_ledger_sweep,
+    verify_ledger,
+)
 from repro.apps.graphs import (
     Graph,
     Lattice,
@@ -33,6 +43,9 @@ __all__ = [
     "BeamSearchApp",
     "Graph",
     "Lattice",
+    "LedgerApp",
+    "LedgerConfig",
+    "LedgerResult",
     "ProdSysApp",
     "ProductionSystem",
     "Rule",
@@ -43,15 +56,19 @@ __all__ = [
     "StencilConfig",
     "StencilResult",
     "beam_search_reference",
+    "derive_crashes",
     "dijkstra",
     "geometric_graph",
     "initial_costs",
     "layered_lattice",
     "random_production_system",
     "run_beam",
+    "run_ledger",
+    "run_ledger_sweep",
     "run_prodsys",
     "run_reference",
     "run_sssp",
     "run_stencil",
     "stencil_reference",
+    "verify_ledger",
 ]

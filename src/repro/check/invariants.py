@@ -77,6 +77,16 @@ class InvariantMonitor(ProtocolTrace):
         #: msg_ids already counted per invariant key (fault runs only):
         #: a repeat of one of these is a wire retransmission, not a bug.
         self._seen_ids: Dict[Tuple, Set[int]] = {}
+        #: Crash awareness (plans with crash schedules): the machine
+        #: notifies crash/restart events; nodes currently down must stay
+        #: silent, every send must carry its sender's live epoch, and
+        #: the exactly-once chain checks become lenient once the first
+        #: crash has actually happened (flush-healed chains can legally
+        #: double-complete).
+        self.crash_events: List[Tuple[int, int, str]] = []
+        self._down_nodes: Set[int] = set()
+        #: Chain-duplicate reports waived under crash leniency.
+        self.crash_waived = 0
 
     # ------------------------------------------------------------------
     def install(self, machine) -> "InvariantMonitor":
@@ -122,6 +132,31 @@ class InvariantMonitor(ProtocolTrace):
                 excerpt=self.tail(),
             )
 
+    # ------------------------------------------------------------------
+    # Crash awareness (machine hooks).
+    # ------------------------------------------------------------------
+    def on_crash(self, node_id: int, cycle: int) -> None:
+        self._down_nodes.add(node_id)
+        self.crash_events.append((cycle, node_id, "crash"))
+
+    def on_restart(self, node_id: int, cycle: int) -> None:
+        self._down_nodes.discard(node_id)
+        self.crash_events.append((cycle, node_id, "restart"))
+
+    def _chain_fail(self, rule: str, detail: str, **kw) -> None:
+        """Chain-exactly-once failure, waived once a crash happened.
+
+        A chain broken by a node crash legitimately completes twice: the
+        dead node may have processed-and-forwarded a message pre-crash
+        that the reliable layer also flush-completes at the sender.
+        Before the first actual crash the strict check stands unchanged.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.has_crashes and self.crash_events:
+            self.crash_waived += 1
+            return
+        self._fail(rule, detail, **kw)
+
     @staticmethod
     def _chain_key(msg: Message, origin: int) -> Tuple[str, int, int]:
         cls = "w" if msg.op is None else "r"
@@ -149,6 +184,33 @@ class InvariantMonitor(ProtocolTrace):
     ) -> None:
         super().record(time, msg, arrive, fate)
         kind = msg.kind
+        plan = self.fault_plan
+        if plan is not None and plan.has_crashes:
+            if msg.src in self._down_nodes:
+                self._fail(
+                    "dead-node-silent",
+                    f"node {msg.src} sent a {kind.value} while crashed",
+                    cycle=time,
+                    node=msg.src,
+                    msg=msg,
+                )
+            machine = self._machine
+            if machine is not None and (
+                msg.seq >= 0 or kind is MsgKind.NET_ACK
+            ):
+                sender_epoch = msg.epoch >> 16
+                live = machine.node_epoch(msg.src)
+                if sender_epoch != live:
+                    self._fail(
+                        "dead-epoch-send",
+                        f"node {msg.src} sent a {kind.value} stamped with "
+                        f"epoch {sender_epoch}, but its live epoch is "
+                        f"{live} — a dead incarnation's message must "
+                        f"never (re)enter the wire",
+                        cycle=time,
+                        node=msg.src,
+                        msg=msg,
+                    )
         if kind is MsgKind.WRITE_ACK:
             # Acks carry no origin field; their destination is the
             # originator that the tail copy is releasing.
@@ -162,7 +224,7 @@ class InvariantMonitor(ProtocolTrace):
             if count > 1:
                 cls, origin, xid = key
                 label = "write" if cls == "w" else "RMW"
-                self._fail(
+                self._chain_fail(
                     "ack-exactly-once",
                     f"{label} chain origin={origin} xid={xid} "
                     f"acknowledged {count} times",
@@ -178,7 +240,7 @@ class InvariantMonitor(ProtocolTrace):
             count = self._resps.get(key, 0) + 1
             self._resps[key] = count
             if count > 1:
-                self._fail(
+                self._chain_fail(
                     "rmw-exactly-once",
                     f"RMW origin={msg.dst} xid={msg.xid} answered "
                     f"{count} times",
@@ -194,7 +256,7 @@ class InvariantMonitor(ProtocolTrace):
             if key in self._closed:
                 cls, origin, xid = key
                 label = "write" if cls == "w" else "RMW"
-                self._fail(
+                self._chain_fail(
                     "update-after-ack",
                     f"{label} chain origin={origin} xid={xid} sent an "
                     f"update after its final ack",

@@ -106,6 +106,11 @@ class OracleReport:
     pages_compared: int = 0
     words_replayed: int = 0
     layout_static: bool = True
+    #: True when the run crashed/restarted nodes: only the drain check
+    #: ran (see :meth:`CoherenceOracle.check`); end-to-end correctness
+    #: must come from an application invariant such as
+    #: :func:`check_conservation`.
+    crash_mode: bool = False
 
     @property
     def ok(self) -> bool:
@@ -114,6 +119,8 @@ class OracleReport:
     def summary(self) -> str:
         state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
         scope = "" if self.layout_static else ", dynamic layout (reduced checks)"
+        if self.crash_mode:
+            scope = ", crash run (drain check only)"
         return (
             f"oracle: {state} — {self.chains_checked} chains, "
             f"{self.reads_checked} reads, {self.pages_compared} page "
@@ -195,6 +202,18 @@ class CoherenceOracle:
                     ),
                 )
             )
+            return report
+        if getattr(self.machine, "crash_log", None):
+            # A run that crashed nodes legitimately breaks the wire-level
+            # claims: chains sever mid-walk, flush completion doubles
+            # acks, copies diverge during down windows, and reads may be
+            # answered with fabricated values.  What *must* still hold is
+            # that the machine drains — every surviving protocol actor
+            # reaches quiescence.  End-to-end correctness under crashes
+            # is an application property (see :func:`check_conservation`
+            # and the ledger workload).
+            report.crash_mode = True
+            self._check_drained(report)
             return report
         report.layout_static = not any(
             e.kind in _DYNAMIC_KINDS for e in self._entries
@@ -609,3 +628,23 @@ def verify(machine, trace: ProtocolTrace) -> OracleReport:
     report = CoherenceOracle(machine, trace).check()
     report.raise_if_failed()
     return report
+
+
+def check_conservation(
+    observed: int, expected: int, *, what: str = "ledger total"
+) -> None:
+    """End-to-end conservation invariant for crash-mode workloads.
+
+    Transactional workloads (the 2PC bank ledger in
+    :mod:`repro.apps.ledger`) conserve a global quantity across every
+    crash/restart interleaving — money moves between accounts but the
+    total never changes.  This is the oracle check that survives
+    crashes: it needs no wire trace, only the application's final
+    state.  Raises :class:`CoherenceViolation` on mismatch.
+    """
+    if observed != expected:
+        raise CoherenceViolation(
+            f"[conservation] {what} is {observed}, expected {expected} "
+            f"(drift {observed - expected:+d}) — a crash interleaving "
+            f"created or destroyed value"
+        )

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.check.invariants import InvariantMonitor
 from repro.check.oracle import CoherenceOracle, OracleReport
 from repro.core.params import OpCode, TimingParams
-from repro.errors import PlusError
+from repro.errors import ConfigError, PlusError
 from repro.machine import PlusMachine
 from repro.network.faults import FaultPlan
 from repro.network.router import LinkModel
@@ -147,6 +147,12 @@ class StressConfig:
     fault_jitter: int = 0
     outage_rate: float = 0.0
     outage_cycles: int = 0
+    #: Node crash/restart knobs (all zero = nobody dies).  ``crashes``
+    #: holds explicit ``(node, at_cycle, down_cycles)`` windows.
+    crash_rate: float = 0.0
+    crash_down_cycles: int = 0
+    crashes: Tuple[Tuple[int, int, int], ...] = ()
+    durability: str = "preserve"
 
     @property
     def n_nodes(self) -> int:
@@ -159,7 +165,12 @@ class StressConfig:
             or self.dup_prob
             or self.fault_jitter
             or self.outage_rate
+            or self.has_crashes
         )
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.crash_rate or self.crashes)
 
     def fault_plan(self) -> Optional[FaultPlan]:
         """The run's :class:`FaultPlan`, or None on a lossless mesh."""
@@ -172,6 +183,10 @@ class StressConfig:
             jitter=self.fault_jitter,
             outage_rate=self.outage_rate,
             outage_cycles=self.outage_cycles,
+            crash_rate=self.crash_rate,
+            crash_down_cycles=self.crash_down_cycles,
+            crashes=self.crashes,
+            durability=self.durability,
         )
 
     @classmethod
@@ -180,6 +195,7 @@ class StressConfig:
         seed: int,
         inject_bug: bool = False,
         faults: bool = False,
+        chaos: bool = False,
         overrides: Optional[Dict[str, object]] = None,
     ) -> "StressConfig":
         """Derive one experiment from ``seed``.
@@ -187,9 +203,13 @@ class StressConfig:
         ``faults=True`` additionally derives wire-fault knobs from their
         own seeded stream (so fault sweeps cover mild to vicious meshes
         without changing the experiment shapes of fault-free seeds).
-        ``overrides`` pins individual config fields — typically fault
-        knobs given explicitly on the command line.
+        ``chaos=True`` implies ``faults`` and further derives a node
+        crash/restart schedule — the full hostile preset.  ``overrides``
+        pins individual config fields — typically fault knobs given
+        explicitly on the command line.
         """
+        if chaos:
+            faults = True
         rng = random.Random(f"{seed}:shape")
         width, height = rng.choice(_MESH_SHAPES)
         n_nodes = width * height
@@ -223,6 +243,18 @@ class StressConfig:
                 fault_fields["outage_rate"] = 1 / 20_000
                 fault_fields["outage_cycles"] = frng.choice((200, 800))
             config = replace(config, **fault_fields)
+        if chaos:
+            # Crash knobs ride their own stream so --chaos keeps the
+            # message-fault knobs of the same seed's --faults run.  Down
+            # windows stay far below the reliable layer's retry budget
+            # (~204k cycles) so a crashed peer always restarts inside it.
+            crng = random.Random(f"{seed}:crashes")
+            config = replace(
+                config,
+                crash_rate=crng.choice((1 / 6_000, 1 / 12_000)),
+                crash_down_cycles=crng.choice((300, 900, 2_000)),
+                durability=crng.choice(("preserve", "preserve", "scrub")),
+            )
         if overrides:
             config = replace(config, **overrides)
         return config
@@ -244,6 +276,16 @@ class StressConfig:
         if self.outage_rate:
             knobs.append(
                 f"outage={self.outage_rate:g}/cyc x{self.outage_cycles}"
+            )
+        if self.crash_rate:
+            knobs.append(
+                f"crash={self.crash_rate:g}/cyc "
+                f"x{self.crash_down_cycles} ({self.durability})"
+            )
+        if self.crashes:
+            knobs.append(
+                f"crashes={','.join(f'{n}@{at}+{down}' for n, at, down in self.crashes)}"
+                f" ({self.durability})"
             )
         extra = f" [{', '.join(knobs)}]" if knobs else ""
         return (
@@ -268,6 +310,16 @@ class StressResult:
     dups: int = 0
     retransmits: int = 0
     recovered: int = 0
+    #: Crash/restart counters (zero unless the plan takes nodes down).
+    crashes: int = 0
+    recoveries: int = 0
+    crash_events: List[Tuple[int, int, str, int]] = field(
+        default_factory=list
+    )
+    crash_flushes: int = 0
+    crash_strays: int = 0
+    crash_redrives: int = 0
+    stale_epoch_drops: int = 0
 
     @property
     def ok(self) -> bool:
@@ -291,6 +343,12 @@ class StressResult:
             if self.config.has_faults
             else ""
         )
+        if self.config.has_crashes:
+            wire += (
+                f" (crashes={self.crashes} recoveries={self.recoveries} "
+                f"flushes={self.crash_flushes} redrives={self.crash_redrives} "
+                f"strays={self.crash_strays})"
+            )
         lines = [
             f"seed {self.seed}: {state} — {self.config.describe()}; "
             f"{self.cycles} cycles, {self.messages} messages{wire}"
@@ -556,6 +614,20 @@ def _harvest(result: StressResult, machine: PlusMachine) -> None:
     result.dups = stats.dups
     result.retransmits = stats.retransmits
     result.recovered = stats.recovered
+    result.crash_events = list(machine.crash_log)
+    result.crashes = sum(
+        1 for _, _, kind, _ in machine.crash_log if kind == "crash"
+    )
+    result.recoveries = sum(
+        1 for _, _, kind, _ in machine.crash_log if kind == "restart"
+    )
+    for node in machine.nodes:
+        cm = node.cm
+        result.crash_flushes += cm.crash_flushes
+        result.crash_strays += cm.crash_strays
+        result.crash_redrives += cm.crash_redrives
+        if cm.reliable is not None:
+            result.stale_epoch_drops += cm.reliable.stale_epoch_drops
 
 
 def run_stress(
@@ -563,6 +635,7 @@ def run_stress(
     inject_bug: bool = False,
     max_events: int = 5_000_000,
     faults: bool = False,
+    chaos: bool = False,
     fault_overrides: Optional[Dict[str, object]] = None,
     space_regions: int = 0,
     space_jobs: int = 1,
@@ -571,6 +644,11 @@ def run_stress(
 ) -> StressResult:
     """Run one seeded stress experiment and judge it with the oracle.
 
+    ``chaos=True`` is the full hostile preset: seeded message faults
+    *plus* a node crash/restart schedule (not available in space mode —
+    the region drivers checkpoint per-window state that a whole-node
+    crash would invalidate).
+
     ``space_regions > 0`` runs the seed's experiment on the
     space-partitioned machine instead (``space_jobs >= 2`` with one
     worker process per region, else the in-process serial space driver);
@@ -578,6 +656,11 @@ def run_stress(
     outputs are bit-identical (trace checksum, final memory, clock).
     """
     if space_regions:
+        if chaos:
+            raise ConfigError(
+                "--chaos (node crashes) is not supported with space "
+                "partitioning; drop --space-regions or use --faults"
+            )
         return _run_stress_space(
             seed,
             inject_bug=inject_bug,
@@ -590,7 +673,11 @@ def run_stress(
             verify=space_verify,
         )
     config = StressConfig.from_seed(
-        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+        seed,
+        inject_bug=inject_bug,
+        faults=faults,
+        chaos=chaos,
+        overrides=fault_overrides,
     )
     result = StressResult(seed=seed, config=config)
     machine, monitor, spawn_plans = build_machine(config)
@@ -718,6 +805,7 @@ def run_seeds(
     keep_going: bool = False,
     on_result: Optional[Callable[[StressResult], None]] = None,
     faults: bool = False,
+    chaos: bool = False,
     fault_overrides: Optional[Dict[str, object]] = None,
     jobs: int = 1,
     shard: Optional[str] = None,
@@ -742,6 +830,7 @@ def run_seeds(
     common: Dict[str, object] = {
         "inject_bug": inject_bug,
         "faults": faults,
+        "chaos": chaos,
         "fault_overrides": fault_overrides,
     }
     if space_regions:
@@ -778,6 +867,7 @@ def run_seeds(
                 task_result.index,
                 inject_bug=inject_bug,
                 faults=faults,
+                chaos=chaos,
                 overrides=fault_overrides,
             ),
             live_error=task_result.error,

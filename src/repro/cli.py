@@ -9,6 +9,8 @@ Usage::
     python -m repro fig-3-1   [--nodes 8] [--jobs N]
     python -m repro costs
     python -m repro check     [--seeds 50] [--jobs N] [--shard i/N]
+    python -m repro check     --chaos [--seeds 100] [--transcript PATH]
+    python -m repro ledger    [--seeds 50] [--jobs N]
     python -m repro run sssp|beam [--space-jobs N] [--space-regions R]
     python -m repro sweep sssp --nodes 4,8,16 --copies 1,2,4 [--jobs N]
     python -m repro sweep beam --nodes 8 --modes blocking,delayed [--jobs N]
@@ -412,6 +414,13 @@ def _cmd_check(args) -> int:
     from repro.check import run_seeds, run_stress
 
     faults, overrides = _fault_args(args)
+    if args.chaos and args.space_jobs:
+        print(
+            "check: --chaos (node crashes) cannot be combined with "
+            "--space-jobs; drop one of them",
+            file=sys.stderr,
+        )
+        return 2
     space = {}
     if args.space_jobs:
         space = dict(
@@ -428,9 +437,12 @@ def _cmd_check(args) -> int:
             inject_bug=args.inject_bug,
             faults=faults,
             fault_overrides=overrides,
+            chaos=args.chaos,
             **space,
         )
         print(result.describe())
+        for cycle, node, kind, epoch in result.crash_events:
+            print(f"  [crash] cycle {cycle}: node {node} {kind} (epoch {epoch})")
         if result.report is not None:
             print(result.report.summary())
         if args.inject_bug:
@@ -455,6 +467,7 @@ def _cmd_check(args) -> int:
         on_result=show,
         faults=faults,
         fault_overrides=overrides,
+        chaos=args.chaos,
         jobs=_resolve_jobs(args),
         shard=args.shard,
         **space,
@@ -473,7 +486,7 @@ def _cmd_check(args) -> int:
             f"{len(results)} seed(s) checked, {failures} failure(s) "
             f"({cycles:,} cycles, {messages:,} messages simulated)"
         )
-    if faults:
+    if faults or args.chaos:
         drops = sum(r.drops for r in results)
         dups = sum(r.dups for r in results)
         retransmits = sum(r.retransmits for r in results)
@@ -489,6 +502,22 @@ def _cmd_check(args) -> int:
             # harness failure, not a pass.
             print("fault sweep exercised no retransmissions; failing")
             failures += 1
+    if args.chaos:
+        crashes = sum(r.crashes for r in results)
+        recoveries = sum(r.recoveries for r in results)
+        flushes = sum(r.crash_flushes for r in results)
+        redrives = sum(r.crash_redrives for r in results)
+        strays = sum(r.crash_strays for r in results)
+        print(
+            f"node crashes: {crashes:,} crashes, {recoveries:,} "
+            f"recoveries, {flushes:,} flushed messages, {redrives:,} "
+            f"re-driven requests, {strays:,} strays absorbed"
+        )
+        if recoveries == 0:
+            # Same reasoning as the retransmit floor: a chaos sweep
+            # where no node ever came back did not exercise recovery.
+            print("chaos sweep exercised no crash recovery; failing")
+            failures += 1
     bad_seeds = [
         r.seed
         for r in results
@@ -498,11 +527,19 @@ def _cmd_check(args) -> int:
         with open(args.transcript, "w", encoding="utf-8") as fh:
             for r in results:
                 if r.seed in bad_seeds:
-                    fh.write(r.describe() + "\n\n")
+                    fh.write(r.describe() + "\n")
+                    for cycle, node, kind, epoch in r.crash_events:
+                        fh.write(
+                            f"  [crash] cycle {cycle}: node {node} "
+                            f"{kind} (epoch {epoch})\n"
+                        )
+                    fh.write("\n")
         print(f"failing-seed transcript written to {args.transcript}")
     if failures:
         if bad_seeds:
             flags = " --faults" if args.faults else ""
+            if args.chaos:
+                flags += " --chaos"
             if args.space_jobs:
                 flags += f" --space-jobs {args.space_jobs}"
                 if args.space_regions:
@@ -517,6 +554,89 @@ def _cmd_check(args) -> int:
             )
         return 1
     return 0
+
+
+def _cmd_ledger(args) -> int:
+    """Seeded 2PC bank-ledger crash/recovery sweep (conservation oracle).
+
+    Each seed derives a crash schedule (coordinator and participant
+    crashes both occur across the sweep), runs the two-phase-commit
+    ledger on top of the paper's delayed operations, and verifies the
+    end-to-end money-conservation invariant after recovery.  A seed
+    whose schedule produced no actual recovery fails: the sweep must
+    exercise the machinery, not time out around it.
+    """
+    from repro.apps.ledger import run_ledger, run_ledger_sweep
+
+    if args.seed is not None:
+        result = run_ledger(
+            args.seed,
+            n_participants=args.participants,
+            n_txns=args.txns,
+        )
+        print(result.describe())
+        for cycle, node, kind, epoch in result.crash_events:
+            print(f"  [crash] cycle {cycle}: node {node} {kind} (epoch {epoch})")
+        return 0 if result.ok and result.recoveries >= 1 else 1
+
+    failures = 0
+
+    def show(result) -> None:
+        nonlocal failures
+        bad = not result.ok or result.recoveries < 1
+        if bad:
+            failures += 1
+        if args.verbose or bad:
+            print(result.describe())
+
+    results = run_ledger_sweep(
+        args.seeds,
+        base_seed=args.base_seed,
+        n_participants=args.participants,
+        n_txns=args.txns,
+        jobs=_resolve_jobs(args),
+        keep_going=args.keep_going,
+        on_result=show,
+    )
+    crashes = sum(r.crashes for r in results)
+    recoveries = sum(r.recoveries for r in results)
+    coord = sum(
+        1
+        for r in results
+        if any(n == 0 and k == "crash" for _c, n, k, _e in r.crash_events)
+    )
+    part = sum(
+        1
+        for r in results
+        if any(n != 0 and k == "crash" for _c, n, k, _e in r.crash_events)
+    )
+    print(
+        f"{len(results)} ledger seed(s), {failures} failure(s); "
+        f"{crashes} crashes / {recoveries} recoveries "
+        f"(coordinator-crash seeds: {coord}, participant-crash "
+        f"seeds: {part})"
+    )
+    bad_seeds = [
+        r.seed for r in results if not r.ok or r.recoveries < 1
+    ]
+    if args.transcript and bad_seeds:
+        with open(args.transcript, "w", encoding="utf-8") as fh:
+            for r in results:
+                if r.seed in bad_seeds:
+                    fh.write(r.describe() + "\n")
+                    for cycle, node, kind, epoch in r.crash_events:
+                        fh.write(
+                            f"  [crash] cycle {cycle}: node {node} "
+                            f"{kind} (epoch {epoch})\n"
+                        )
+                    fh.write("\n")
+        print(f"failing-seed transcript written to {args.transcript}")
+    if failures and bad_seeds:
+        print(
+            "reproduce with: python -m repro ledger --seed "
+            + " / --seed ".join(str(s) for s in bad_seeds[:5])
+        )
+    return 1 if failures else 0
 
 
 def _cmd_profile(args) -> int:
@@ -719,6 +839,7 @@ def _cmd_serve(args) -> int:
         socket_path=args.socket,
         jobs=args.jobs,
         cache_size=args.cache_size,
+        cache_file=args.cache_file,
         max_pending=args.max_pending,
         quota=args.quota,
         log=log_stream,
@@ -791,6 +912,7 @@ COMMANDS = {
     "costs": (_cmd_costs, "Section 3.1 latency budget"),
     "run": (_cmd_run, "space-parallel run of one partitioned machine"),
     "check": (_cmd_check, "coherence oracle over seeded stress runs"),
+    "ledger": (_cmd_ledger, "2PC bank-ledger crash/recovery sweep"),
     "sweep": (_cmd_sweep, "parameter-grid sweep across worker processes"),
     "profile": (_cmd_profile, "cProfile one workload; writes PROFILE.json"),
     "serve": (_cmd_serve, "run the simulation daemon (JSON lines/socket)"),
@@ -994,6 +1116,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "(implies faults)",
             )
             p.add_argument(
+                "--chaos",
+                action="store_true",
+                help="also crash and restart nodes: each seed derives a "
+                "crash rate, down window and durability mode on top of "
+                "the wire faults; fails if no recovery ever happened "
+                "(incompatible with --space-jobs)",
+            )
+            p.add_argument(
                 "--transcript",
                 type=str,
                 default=None,
@@ -1002,6 +1132,56 @@ def build_parser() -> argparse.ArgumentParser:
             )
             add_jobs(p, shard=True)
             add_space(p)
+        elif name == "ledger":
+            p.add_argument(
+                "--seeds",
+                type=int,
+                default=50,
+                help="number of consecutive seeds to run (default 50)",
+            )
+            p.add_argument(
+                "--base-seed",
+                type=int,
+                default=1,
+                help="first seed of the range (default 1)",
+            )
+            p.add_argument(
+                "--seed",
+                type=int,
+                default=None,
+                help="reproduce a single seed instead of a range",
+            )
+            p.add_argument(
+                "--participants",
+                type=int,
+                default=2,
+                help="participant (shard) nodes besides the "
+                "coordinator (default 2)",
+            )
+            p.add_argument(
+                "--txns",
+                type=int,
+                default=24,
+                help="two-phase transfers per seed (default 24)",
+            )
+            p.add_argument(
+                "--keep-going",
+                action="store_true",
+                help="do not stop at the first failing seed",
+            )
+            p.add_argument(
+                "--verbose",
+                action="store_true",
+                help="print every seed's outcome, not just failures",
+            )
+            p.add_argument(
+                "--transcript",
+                type=str,
+                default=None,
+                help="write failing seeds' transcripts (with crash "
+                "events) to this file (CI artifact)",
+            )
+            add_jobs(p)
         elif name == "run":
             p.add_argument(
                 "workload",
@@ -1071,6 +1251,15 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=128,
                 help="LRU result-cache capacity (default 128)",
+            )
+            p.add_argument(
+                "--cache-file",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="persist the result cache to this JSON file: "
+                "loaded at boot, rewritten atomically after each "
+                "insert, keyed by the protocol schema version",
             )
             p.add_argument(
                 "--max-pending",

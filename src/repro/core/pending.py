@@ -24,9 +24,12 @@ Callback = Callable[[], None]
 class PendingWrites:
     """Bounded table of in-flight write transactions, keyed by xid."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, xids=None) -> None:
         self.capacity = capacity
-        self._xids = count()
+        # ``xids`` lets a crash-replacement instance continue its
+        # predecessor's counter, so a transaction id never aliases a
+        # pre-crash write that a late in-flight ack might still name.
+        self._xids = count() if xids is None else xids
         self._addr_of: Dict[int, PhysAddr] = {}
         self._count_at: Dict[PhysAddr, int] = {}
         self._room_waiters = WaitQueue("pending-room")
@@ -52,6 +55,10 @@ class PendingWrites:
     def pending_at(self, addr: PhysAddr) -> bool:
         """True when a write to ``addr`` is still propagating."""
         return self._count_at.get(addr, 0) > 0
+
+    def knows(self, xid: int) -> bool:
+        """True when ``xid`` names a live in-flight write."""
+        return xid in self._addr_of
 
     # ------------------------------------------------------------------
     def add(self, addr: PhysAddr) -> int:

@@ -32,6 +32,34 @@ unchanged, which is what the coherence oracle checks.
 
 With no fault plan installed none of this exists: the coherence manager
 bypasses the channels entirely and the wire itself is exact.
+
+Crash epochs
+------------
+
+When the fault plan can take whole nodes down, every sequenced message
+additionally carries a crash-epoch stamp: ``(sender_epoch << 16) |
+believed_receiver_epoch``, and every NET_ACK carries ``(acker_epoch <<
+16) | echo_of_sender_epoch``.  A node that crashes and restarts bumps
+its epoch; the stamps let both sides detect the restart instead of
+resurrecting pre-crash state:
+
+* A receiver seeing a *higher* sender epoch resets that in-channel
+  (the restarted sender restarts its sequence space at 0); a *lower*
+  sender epoch is a stale incarnation's retransmission and is dropped
+  silently.
+* A receiver addressed with a *stale belief* of its own epoch (the
+  sender has not yet learned of the restart) drops the message — never
+  buffers it, so a pre-crash sequence number cannot be replayed into
+  the new stream — but still acks, advertising its new epoch.
+* A sender seeing a *higher* acker epoch (or a higher sender epoch on
+  any inbound message) flushes its unacked queue for that peer — each
+  flushed message is handed to the coherence manager's
+  ``on_reliable_flush`` so blocked originators are unstuck — and
+  restarts the out-channel at sequence 0 against the new incarnation.
+
+On a machine where no node ever crashes every epoch is 0, every stamp
+packs to 0, and none of the comparisons fire: the wire format and
+behaviour are bit-identical to the crash-free layer.
 """
 
 from __future__ import annotations
@@ -58,7 +86,7 @@ class _Pending:
 class _OutChannel:
     """Sender half of one (src, dst) reliable connection."""
 
-    __slots__ = ("dst", "next_seq", "unacked", "timer", "attempts")
+    __slots__ = ("dst", "next_seq", "unacked", "timer", "attempts", "peer_epoch")
 
     def __init__(self, dst: int) -> None:
         self.dst = dst
@@ -67,6 +95,8 @@ class _OutChannel:
         self.timer = None
         #: Consecutive timeout rounds with no ack progress (backoff level).
         self.attempts = 0
+        #: Last known crash epoch of the destination.
+        self.peer_epoch = 0
 
 
 class _InChannel:
@@ -78,13 +108,15 @@ class _InChannel:
     the fault plan's jitter, so the buffer stays small).
     """
 
-    __slots__ = ("src", "expected", "buffer", "duplicates")
+    __slots__ = ("src", "expected", "buffer", "duplicates", "epoch")
 
     def __init__(self, src: int) -> None:
         self.src = src
         self.expected = 0
         self.buffer: Dict[int, Message] = {}
         self.duplicates = 0
+        #: Crash epoch of the sender incarnation this stream belongs to.
+        self.epoch = 0
 
     def offer(self, msg: Message) -> Optional[List[Message]]:
         """Accept one wire arrival.
@@ -119,6 +151,14 @@ class ReliableChannels:
         self.max_retries = params.net_max_retries
         self._out: Dict[int, _OutChannel] = {}
         self._in: Dict[int, _InChannel] = {}
+        #: This node's crash epoch (incarnation number).  Survives the
+        #: volatile-state clear of a crash — conceptually it lives in the
+        #: node's boot ROM — and is bumped by each restart.
+        self.epoch = 0
+        #: Wire arrivals dropped for belonging to a dead incarnation.
+        self.stale_epoch_drops = 0
+        #: Unacked messages flushed because the peer restarted.
+        self.flushed_on_restart = 0
 
     # ------------------------------------------------------------------
     # Sender side.
@@ -135,6 +175,7 @@ class ReliableChannels:
             ch = self._out[dst] = _OutChannel(dst)
         seq = ch.next_seq
         msg.seq = seq
+        msg.epoch = (self.epoch << 16) | ch.peer_epoch
         ch.next_seq = seq + 1
         engine = self.engine
         ch.unacked.append(_Pending(seq, msg, engine._now))
@@ -182,9 +223,51 @@ class ReliableChannels:
         trace = self.fabric._trace
         return tuple(trace.tail()) if trace is not None else ()
 
+    def _note_peer_epoch(self, dst: int, peer_epoch: int) -> None:
+        """React to evidence that ``dst`` is now at ``peer_epoch``.
+
+        A higher epoch means the peer crashed and restarted: everything
+        queued for the dead incarnation is flushed (handed to the
+        coherence manager's ``on_reliable_flush`` so blocked originators
+        are resolved) and the out-channel re-handshakes from sequence 0
+        against the new incarnation.
+        """
+        ch = self._out.get(dst)
+        if ch is None:
+            # No traffic that way yet: still record the epoch, so the
+            # first message we *do* send is stamped against the live
+            # incarnation (not epoch 0, which it would silently drop).
+            if peer_epoch > 0:
+                ch = self._out[dst] = _OutChannel(dst)
+                ch.peer_epoch = peer_epoch
+            return
+        if peer_epoch <= ch.peer_epoch:
+            return
+        ch.peer_epoch = peer_epoch
+        ch.next_seq = 0
+        ch.attempts = 0
+        if ch.timer is not None:
+            ch.timer.cancel()
+            ch.timer = None
+        if ch.unacked:
+            flushed, ch.unacked = ch.unacked, deque()
+            self.flushed_on_restart += len(flushed)
+            on_flush = self.cm.on_reliable_flush
+            for pending in flushed:
+                on_flush(pending.msg)
+        # Complementary hole: requests the dead incarnation *did* ack at
+        # the wire but crashed before acting on.  Nothing is left
+        # unacked for those, yet their responses will never come — the
+        # CM re-drives them against the live incarnation.
+        self.cm.on_peer_restart(dst)
+
     def on_net_ack(self, msg: Message) -> None:
         """Cumulative acknowledgement from ``msg.src``: everything up to
         and including sequence number ``msg.value`` arrived."""
+        if msg.epoch & 0xFFFF != self.epoch:
+            # An ack addressed to a previous incarnation of this node.
+            return
+        self._note_peer_epoch(msg.src, msg.epoch >> 16)
         ch = self._out.get(msg.src)
         if ch is None:
             return
@@ -219,7 +302,34 @@ class ReliableChannels:
         ch = self._in.get(src)
         if ch is None:
             ch = self._in[src] = _InChannel(src)
-        ready = ch.offer(msg)
+        sender_epoch = msg.epoch >> 16
+        if sender_epoch != ch.epoch or msg.epoch & 0xFFFF != self.epoch:
+            # Crash-epoch slow path (never taken on a machine where no
+            # node has crashed: every stamp is 0 there).
+            if sender_epoch < ch.epoch:
+                # A dead incarnation's retransmission; not even worth an
+                # ack — the sender no longer exists.
+                self.stale_epoch_drops += 1
+                return
+            if sender_epoch > ch.epoch:
+                # The sender restarted: its sequence space begins again
+                # at 0.  Anything buffered belongs to the dead stream.
+                ch.epoch = sender_epoch
+                ch.expected = 0
+                ch.buffer.clear()
+                self._note_peer_epoch(src, sender_epoch)
+            if msg.epoch & 0xFFFF != self.epoch:
+                # The sender has not yet learned that *we* restarted;
+                # its sequence numbers are meaningless against our fresh
+                # stream.  Drop (never buffer — a pre-crash seq must not
+                # leak into the new stream) but ack below so the sender
+                # sees our new epoch and flushes.
+                self.stale_epoch_drops += 1
+                ready = None
+            else:
+                ready = ch.offer(msg)
+        else:
+            ready = ch.offer(msg)
         fabric = self.fabric
         if ready:
             dispatch = self.cm.dispatch
@@ -232,8 +342,36 @@ class ReliableChannels:
                 src=self.node_id,
                 dst=src,
                 value=ch.expected - 1,
+                epoch=(self.epoch << 16) | sender_epoch,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Crash / restart (driven by the machine's crash driver).
+    # ------------------------------------------------------------------
+    def on_peer_crash(self, peer: int) -> None:
+        """The machine observed ``peer`` die (fiat fault model, like the
+        copy-list repair).  Out-of-order arrivals buffered from its
+        current incarnation can never complete — the gap below them died
+        with the sender's retransmit window — so they are dropped now
+        rather than left to fake in-flight state forever."""
+        ch = self._in.get(peer)
+        if ch is not None and ch.buffer:
+            self.stale_epoch_drops += len(ch.buffer)
+            ch.buffer.clear()
+
+    def on_crash(self) -> None:
+        """Discard all volatile channel state: retransmit queues, their
+        timers, and every receive window.  The epoch survives."""
+        for ch in self._out.values():
+            if ch.timer is not None:
+                ch.timer.cancel()
+        self._out.clear()
+        self._in.clear()
+
+    def on_restart(self) -> None:
+        """Come back as a new incarnation; peers will re-handshake."""
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Diagnostics.
@@ -252,6 +390,12 @@ class ReliableChannels:
     def describe(self) -> List[str]:
         """Stuck-state report for the machine watchdog."""
         lines = []
+        if self.epoch or self.stale_epoch_drops or self.flushed_on_restart:
+            lines.append(
+                f"node {self.node_id}: epoch {self.epoch}, "
+                f"{self.stale_epoch_drops} stale-epoch drops, "
+                f"{self.flushed_on_restart} flushed on peer restart"
+            )
         for dst, ch in sorted(self._out.items()):
             if ch.unacked:
                 head = ch.unacked[0]

@@ -16,7 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.params import PAPER_PARAMS, TimingParams
 from repro.errors import ConfigError, DeadlockError, SimulationError
@@ -99,6 +99,17 @@ class PlusMachine:
 
         self.shm = SharedMemory(self)
         self._ran = False
+        # Node crash/restart state (populated only when a fault plan
+        # with a crash schedule is installed; empty otherwise).
+        #: Nodes currently down.
+        self._down: Set[int] = set()
+        #: Chronological ``(cycle, node, "crash"|"restart", epoch)`` log.
+        self.crash_log: List[Tuple[int, int, str, int]] = []
+        #: ``(dead_node, dead_ppage) -> CopyList`` recorded at crash time
+        #: (pre-repair), so flushed chain traffic can be re-routed.
+        self._crash_pages: Dict[Tuple[int, int], Any] = {}
+        #: Per-node callbacks to run after a restart (recovery threads).
+        self._restart_hooks: Dict[int, List[Callable[[int], None]]] = {}
         # Machine-local id streams.  Thread ids (like message ids, which
         # live on the fabric) must not come from process-global counters:
         # they appear in transcripts and deadlock reports, and a sweep
@@ -149,10 +160,159 @@ class PlusMachine:
         self.fabric.install_faults(plan)
         for node in self.nodes:
             node.cm.enable_reliability()
+        if plan.has_crashes:
+            self._arm_crashes(plan)
         monitor = self.invariant_monitor
         if monitor is not None:
             monitor.fault_plan = plan
         return plan
+
+    # ------------------------------------------------------------------
+    # Node crash / restart.
+    # ------------------------------------------------------------------
+    def _arm_crashes(self, plan: FaultPlan) -> None:
+        """Schedule the plan's crash windows and arm crash tolerance."""
+        for node in self.nodes:
+            node.cm.enable_crashes()
+            node.cm.crash_route = self._crash_route
+        engine = self.engine
+        for node_id, at, down in plan.crashes:
+            if not 0 <= node_id < self.n_nodes:
+                raise ConfigError(
+                    f"targeted crash names node {node_id}, but the "
+                    f"machine has {self.n_nodes} nodes"
+                )
+            engine.at(
+                at, lambda n=node_id, d=down: self._targeted_crash(n, d)
+            )
+        if plan.crash_rate:
+            for node in self.nodes:
+                sched = plan.node_crashes(node.node_id)
+                engine.at(
+                    sched.start,
+                    lambda n=node.node_id: self._scheduled_crash(n),
+                )
+
+    def _workload_finished(self) -> bool:
+        return all(n.cpu.all_done for n in self.nodes)
+
+    def _targeted_crash(self, node_id: int, down_cycles: int) -> None:
+        if self._workload_finished() or node_id in self._down:
+            return
+        self.crash_node(node_id)
+        self.engine.at(
+            self.engine.now + down_cycles,
+            lambda: self.restart_node(node_id),
+        )
+
+    def _scheduled_crash(self, node_id: int) -> None:
+        # Once the workload is finished the schedule stops rescheduling
+        # itself; otherwise the crash events would keep the event queue
+        # alive forever and the run could never drain.
+        if self._workload_finished():
+            return
+        sched = self.fabric.fault_plan.node_crashes(node_id)
+        if node_id in self._down:
+            # A targeted window already holds the node down; skip this
+            # window and try the next one.
+            sched.advance()
+            self.engine.at(
+                sched.start, lambda: self._scheduled_crash(node_id)
+            )
+            return
+        end = sched.end
+        self.crash_node(node_id)
+
+        def restart() -> None:
+            self.restart_node(node_id)
+            sched.advance()
+            self.engine.at(
+                sched.start, lambda: self._scheduled_crash(node_id)
+            )
+
+        self.engine.at(end, restart)
+
+    def _crash_route(self, dead_node: int, dead_ppage: int):
+        """CopyList for a page the dead node held, or None (CM hook)."""
+        return self._crash_pages.get((dead_node, dead_ppage))
+
+    @property
+    def down_nodes(self) -> List[int]:
+        """Nodes currently crashed (sorted)."""
+        return sorted(self._down)
+
+    def node_epoch(self, node_id: int) -> int:
+        """Crash epoch (restart count) of one node."""
+        reliable = self.nodes[node_id].cm.reliable
+        return 0 if reliable is None else reliable.epoch
+
+    def on_restart(self, node_id: int, fn: Callable[[int], None]) -> None:
+        """Register ``fn(node_id)`` to run each time ``node_id`` comes
+        back up (applications spawn their recovery threads here)."""
+        self._restart_hooks.setdefault(node_id, []).append(fn)
+
+    def crash_node(self, node_id: int) -> None:
+        """Take a node down *now*: volatile state is atomically lost.
+
+        CPU thread contexts, the CM's service queue and caches, and the
+        reliable layer's windows all die; local memory frames survive
+        the down window (a ``durability="scrub"`` plan zeroes them at
+        restart).  Copy-lists naming the node are repaired immediately —
+        the OS's global page directory observes the failure — so
+        surviving nodes route around the corpse.
+        """
+        if node_id in self._down:
+            raise ConfigError(f"node {node_id} is already down")
+        node = self.nodes[node_id]
+        now = self.engine.now
+        self._down.add(node_id)
+        self.crash_log.append((now, node_id, "crash", self.node_epoch(node_id)))
+        # Record, pre-repair, which copy-list every page of the dead
+        # node belonged to: flushed in-flight chain traffic re-routes
+        # through these.
+        for vpage in self.os.known_vpages():
+            clist = self.os.copylist(vpage)
+            for copy in clist.copies:
+                if copy.node == node_id:
+                    self._crash_pages[(node_id, copy.page)] = clist
+        node.cpu.kill_all()
+        node.cm.on_crash()
+        node.cm.down = True
+        node.cache.flush()
+        for other in self.nodes:
+            if other.node_id != node_id and other.cm.reliable is not None:
+                other.cm.reliable.on_peer_crash(node_id)
+        plan = self.fabric.fault_plan
+        durability = plan.durability if plan is not None else "preserve"
+        self.os.repair_after_crash(node_id, durability)
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.on_crash(node_id, now)
+
+    def restart_node(self, node_id: int) -> None:
+        """Bring a crashed node back as a new incarnation (epoch + 1)."""
+        if node_id not in self._down:
+            return
+        node = self.nodes[node_id]
+        self._down.discard(node_id)
+        node.cm.down = False
+        node.cm.on_restart()
+        now = self.engine.now
+        self.crash_log.append(
+            (now, node_id, "restart", self.node_epoch(node_id))
+        )
+        plan = self.fabric.fault_plan
+        if plan is not None and plan.durability == "scrub":
+            memory = node.memory
+            for page in list(memory.frames()):
+                words = memory.words_of(page)
+                for i in range(len(words)):
+                    words[i] = 0
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.on_restart(node_id, now)
+        for fn in self._restart_hooks.get(node_id, ()):
+            fn(node_id)
 
     # ------------------------------------------------------------------
     # Program loading.
@@ -257,6 +417,22 @@ class PlusMachine:
                 if stuck:
                     lines.append("  reliable-channel state:")
                     lines.extend(f"    {line}" for line in stuck)
+                if self.fabric.fault_plan.has_crashes:
+                    down = self.down_nodes
+                    epochs = [
+                        self.node_epoch(n.node_id) for n in self.nodes
+                    ]
+                    lines.append(
+                        f"  node liveness: "
+                        f"{'nodes ' + str(down) + ' down' if down else 'all nodes up'}, "
+                        f"epochs={epochs}, "
+                        f"{len(self.crash_log)} crash/restart events"
+                    )
+                    for cycle, nid, event, epoch in self.crash_log[-12:]:
+                        lines.append(
+                            f"    cycle {cycle}: node {nid} {event} "
+                            f"(epoch {epoch})"
+                        )
             trace = self.fabric._trace
             raise DeadlockError(
                 "\n".join(lines),

@@ -376,6 +376,58 @@ class ReplicationManager:
         if pending["count"] == 0:
             all_acked()
 
+    def repair_after_crash(self, node_id: int, durability: str) -> None:
+        """Repair every copy-list that names a crashed node.
+
+        Called by the machine at the instant of the crash (the OS's
+        replicated page directory observes node failure immediately; the
+        paper's fault model, like the delete-copy path, repairs tables
+        by fiat).  For each page the dead node held:
+
+        * A *non-master copy* is orphaned: it is dropped from the
+          copy-list, its frame freed, and every mapping of it shot down
+          by fiat, exactly as :meth:`delete_copy` does.  Surviving
+          traffic routes around the corpse; update chains that were
+          mid-flight through it are healed by the reliable layer's
+          flush re-routing against the rebuilt tables.
+        * A *master with surviving copies* depends on ``durability``:
+          under ``"preserve"`` the dead node's memory (and therefore
+          the authoritative master data) survives the down window, so
+          the mastership stays put — writes routed to it are flushed as
+          lost-but-acknowledged while it is down.  Under ``"scrub"``
+          the data will be zeroed at restart, so the first surviving
+          copy is promoted to master and the dead node's stale page is
+          dropped like an orphan.
+        * A *sole copy* always stays registered: there is nowhere else
+          the data could live (under ``"scrub"`` it simply comes back
+          zeroed).
+        """
+        machine = self._machine
+        dead = machine.nodes[node_id]
+        for vpage, clist in self._copylists.items():
+            copy = clist.copy_on(node_id)
+            if copy is None:
+                continue
+            if len(clist) == 1:
+                continue  # sole copy: nowhere else to go
+            if copy == clist.master:
+                if durability != "scrub":
+                    continue  # master data survives in place
+                survivor = next(
+                    c for c in clist.copies if c.node != node_id
+                )
+                clist.promote(survivor)
+                machine.nodes[survivor.node].cm.on_promoted_master(
+                    survivor.page
+                )
+            clist.remove(copy)
+            dead.cm.tables.unregister(copy.page)
+            dead.memory.free_frame(copy.page)
+            self._rebuild_tables(vpage)
+            for node in machine.nodes:
+                if node.page_table.mapping_of(vpage) == copy:
+                    node.page_table.invalidate(vpage)
+
     def promote_master(self, vpage: int, node_id: int) -> None:
         """Make ``node_id``'s copy the master (page-migration support)."""
         clist = self.copylist(vpage)

@@ -21,11 +21,21 @@ what the wire does to the message:
   between long up periods (exponentially distributed with rate
   ``outage_rate`` per cycle) and down windows of ``outage_cycles``;
   every message whose route crosses a down link at send time is lost.
+* **node crashes** — whole nodes die and restart.  A crash schedule per
+  node (``crash_rate`` / ``crash_down_cycles``, or explicit targeted
+  ``crashes`` windows) is consumed by the machine's crash driver, not by
+  ``Fabric.send``: a crash atomically discards the node's volatile state
+  (CPU threads, cache, CM queues, reliable-layer windows) and a restart
+  bumps the node's crash epoch so peers re-handshake instead of
+  resurrecting pre-crash traffic.  The ``durability`` knob decides
+  whether the node's local memory pages survive the crash ("preserve")
+  or come back zeroed ("scrub").
 
 Every random stream is derived from the plan's seed alone — the per-send
-stream from ``seed`` and each link's outage schedule from
-``(seed, link)`` — so a faulty run replays exactly, independent of how
-many links are queried or in what order.
+stream from ``seed``, each link's outage schedule from ``(seed, link)``
+and each node's crash schedule from ``(seed, node)`` — so a faulty run
+replays exactly, independent of how many links or nodes are queried or
+in what order.
 """
 
 from __future__ import annotations
@@ -82,6 +92,39 @@ class _LinkOutages:
         return windows
 
 
+class _NodeCrashes:
+    """Lazy crash/restart schedule of one node.
+
+    Same shape as :class:`_LinkOutages`: alternating exponentially
+    distributed up gaps and fixed-length down windows, generated on
+    demand from a node-private RNG.  The machine's crash driver walks
+    the windows with :meth:`advance` (crash at ``start``, restart at
+    ``end``), so unlike link outages the schedule is consumed by
+    scheduled events rather than per-send queries.
+    """
+
+    __slots__ = ("_rng", "_rate", "_length", "start", "end")
+
+    def __init__(self, rng: random.Random, rate: float, length: int) -> None:
+        self._rng = rng
+        self._rate = rate
+        self._length = length
+        self.start = 1 + int(rng.expovariate(rate))
+        self.end = self.start + length
+
+    def advance(self) -> None:
+        """Move the cursor to the next crash window."""
+        gap = 1 + int(self._rng.expovariate(self._rate))
+        self.start = self.end + gap
+        self.end = self.start + self._length
+
+
+#: Memory durability across a crash: "preserve" keeps the node's local
+#: pages intact through the down window (battery-backed memory);
+#: "scrub" zeroes every local frame on restart (cold boot).
+DURABILITY_MODES = ("preserve", "scrub")
+
+
 class FaultPlan:
     """Deterministic per-send fault decisions for one run.
 
@@ -90,6 +133,14 @@ class FaultPlan:
     ``blackholes`` lists node ids whose *inbound* messages always drop:
     a scheduled, targeted fault used to prove the retry budget surfaces
     :class:`~repro.errors.NodeUnreachable` instead of hanging.
+
+    ``crash_rate`` / ``crash_down_cycles`` give every node a seeded
+    crash/restart schedule; ``crashes`` adds explicit targeted windows
+    as ``(node, at_cycle, down_cycles)`` triples (the ``--crash-node``
+    CLI path).  Crash decisions use per-node RNG streams that never
+    touch the shared per-send stream, so enabling crashes does not
+    perturb drop/dup/jitter decisions (and a zero-crash plan is
+    bit-identical to one without the knobs).
     """
 
     def __init__(
@@ -102,6 +153,10 @@ class FaultPlan:
         outage_rate: float = 0.0,
         outage_cycles: int = 0,
         blackholes: Iterable[int] = (),
+        crash_rate: float = 0.0,
+        crash_down_cycles: int = 0,
+        crashes: Iterable[Tuple[int, int, int]] = (),
+        durability: str = "preserve",
     ) -> None:
         if not 0.0 <= drop_prob <= 1.0:
             raise ConfigError(f"drop_prob {drop_prob} outside [0, 1]")
@@ -113,6 +168,14 @@ class FaultPlan:
             raise ConfigError(f"negative outage_rate {outage_rate}")
         if outage_rate and outage_cycles < 1:
             raise ConfigError("outage_rate needs outage_cycles >= 1")
+        if crash_rate < 0.0:
+            raise ConfigError(f"negative crash_rate {crash_rate}")
+        if crash_rate and crash_down_cycles < 1:
+            raise ConfigError("crash_rate needs crash_down_cycles >= 1")
+        if durability not in DURABILITY_MODES:
+            raise ConfigError(
+                f"durability {durability!r} not one of {DURABILITY_MODES}"
+            )
         self.seed = seed
         self.drop_prob = drop_prob
         self.dup_prob = dup_prob
@@ -120,8 +183,38 @@ class FaultPlan:
         self.outage_rate = outage_rate
         self.outage_cycles = outage_cycles
         self.blackholes: FrozenSet[int] = frozenset(blackholes)
+        self.crash_rate = crash_rate
+        self.crash_down_cycles = crash_down_cycles
+        self.crashes: Tuple[Tuple[int, int, int], ...] = tuple(
+            (int(n), int(at), int(down)) for n, at, down in crashes
+        )
+        for node, at, down in self.crashes:
+            if at < 1 or down < 1:
+                raise ConfigError(
+                    f"targeted crash ({node}, {at}, {down}) needs "
+                    f"at_cycle >= 1 and down_cycles >= 1"
+                )
+        self.durability = durability
         self._roll = random.Random(f"{seed}:faults:roll")
         self._outages: Dict[Link, _LinkOutages] = {}
+        self._crashes: Dict[int, _NodeCrashes] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def has_crashes(self) -> bool:
+        """True when this plan can ever take a node down."""
+        return bool(self.crash_rate or self.crashes)
+
+    def node_crashes(self, node: int) -> _NodeCrashes:
+        """The (lazily created) crash schedule of one node."""
+        sched = self._crashes.get(node)
+        if sched is None:
+            sched = self._crashes[node] = _NodeCrashes(
+                random.Random(f"{self.seed}:faults:crash:{node}"),
+                self.crash_rate,
+                self.crash_down_cycles,
+            )
+        return sched
 
     # ------------------------------------------------------------------
     def link_outages(self, link: Link) -> _LinkOutages:
@@ -183,4 +276,12 @@ class FaultPlan:
             )
         if self.blackholes:
             knobs.append(f"blackholes={sorted(self.blackholes)}")
+        if self.crash_rate:
+            knobs.append(
+                f"crash={self.crash_rate:g}/cyc x{self.crash_down_cycles}"
+            )
+        if self.crashes:
+            knobs.append(f"crashes={list(self.crashes)}")
+        if self.has_crashes and self.durability != "preserve":
+            knobs.append(f"durability={self.durability}")
         return f"faults(seed={self.seed}: {', '.join(knobs) or 'none'})"

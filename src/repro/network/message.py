@@ -121,6 +121,13 @@ class Message:
     #: sublayer when a FaultPlan is installed; -1 means unsequenced (the
     #: lossless-mesh fast path, and NET_ACK messages themselves).
     seq: int = -1
+    #: Crash-epoch stamp packed as ``(sender_epoch << 16) | believed``
+    #: where ``believed`` is the sender's view of the receiver's epoch
+    #: (on NET_ACK: ``(acker_epoch << 16) | echo_of_sender_epoch``).
+    #: Stays 0 for every message on a machine where no node has ever
+    #: crashed, so crash-free runs pack identically to the pre-crash
+    #: wire format.
+    epoch: int = 0
     #: Machine-unique message identity, stamped by ``Fabric.send`` from
     #: the fabric's own counter on first injection (-1 until then); a
     #: retransmission reuses the object and therefore the id.  Ids are

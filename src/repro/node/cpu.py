@@ -117,6 +117,28 @@ class CPU:
     def all_done(self) -> bool:
         return all(t.status is ThreadStatus.DONE for t in self.threads)
 
+    def kill_all(self) -> List[SimThread]:
+        """Crash support: terminate every non-finished thread context.
+
+        The generators are closed (running their ``finally`` blocks, as
+        a real crash would not — but simulated threads hold no cleanup
+        state) and marked DONE so the scheduler, the watchdog's blocked
+        report and ``all_done`` treat them as gone.  In-flight engine
+        continuations referencing a killed thread are voided by the
+        DONE guards in :meth:`_step` / :meth:`_unblock`.
+        """
+        killed = []
+        for t in self.threads:
+            if t.status is ThreadStatus.DONE:
+                continue
+            t.gen.close()
+            t.status = ThreadStatus.DONE
+            t.continuation = None
+            killed.append(t)
+        self._current = None
+        self._last = None
+        return killed
+
     def blocked_report(self) -> List[str]:
         """Human-readable description of non-finished threads."""
         lines = []
@@ -186,6 +208,8 @@ class CPU:
         self._try_dispatch()
 
     def _unblock(self, thread: SimThread, cont: Callable[[], None]) -> None:
+        if thread.status is ThreadStatus.DONE:
+            return  # killed by a node crash while the wakeup was in flight
         stall = self.engine._now - thread.stall_start
         counters = self.counters
         kind = thread.stall_kind
@@ -255,6 +279,8 @@ class CPU:
     # Request execution.
     # ------------------------------------------------------------------
     def _step(self, thread: SimThread, send_value: Any) -> None:
+        if thread.status is ThreadStatus.DONE:
+            return  # killed by a node crash while the continuation was queued
         assert self._current is thread
         try:
             request = thread.gen.send(send_value)
@@ -350,6 +376,8 @@ class CPU:
                 )
 
         def after_mmu() -> None:
+            if thread.status is ThreadStatus.DONE:
+                return  # killed by a node crash during the MMU charge
             # Re-check after every wake-up: another thread on this node
             # can issue a fresh write to the same address between the
             # old write's ack and this thread being dispatched again.
@@ -370,6 +398,8 @@ class CPU:
         paddr, mmu_cycles = self.node.translate(vaddr)
 
         def issue() -> None:
+            if thread.status is ThreadStatus.DONE:
+                return  # killed by a node crash during the issue charge
             self.node.cache.note_write(paddr.page, paddr.offset)
             self._await(
                 thread,
@@ -385,6 +415,8 @@ class CPU:
         paddr, mmu_cycles = self.node.translate(request.vaddr)
 
         def issue() -> None:
+            if thread.status is ThreadStatus.DONE:
+                return  # killed by a node crash during the issue charge
             self._await(
                 thread,
                 "sync",

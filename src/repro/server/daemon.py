@@ -84,6 +84,7 @@ class ReproDaemon:
         socket_path: Optional[str] = None,
         jobs: int = 0,
         cache_size: int = 128,
+        cache_file: Optional[str] = None,
         max_pending: int = 32,
         quota: int = 4,
         request_timeout: float = 600.0,
@@ -93,7 +94,7 @@ class ReproDaemon:
         self.port = port
         self.socket_path = socket_path
         self.jobs = effective_jobs(jobs)
-        self.cache = ResultCache(cache_size)
+        self.cache = ResultCache(cache_size, persist_path=cache_file)
         self.stats = ServiceStats()
         self.max_pending = max(1, max_pending)
         self.quota = max(1, quota)

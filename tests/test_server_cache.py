@@ -158,3 +158,67 @@ class TestResultCache:
         cache.get("yes")
         snap = cache.snapshot()
         assert snap == {"hits": 1, "misses": 1, "size": 1, "capacity": 8}
+
+
+class TestPersistence:
+    def test_entries_survive_a_restart(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(8, persist_path=path)
+        cache.put("a", {"x": 1})
+        cache.put("b", [1, 2, 3])
+        warm = ResultCache(8, persist_path=path)
+        assert warm.loaded == 2
+        hit, value = warm.get("a")
+        assert hit and value == {"x": 1}
+        hit, value = warm.get("b")
+        assert hit and value == [1, 2, 3]
+
+    def test_reload_preserves_lru_order(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(8, persist_path=path)
+        for k in ("a", "b", "c"):
+            cache.put(k, k)
+        cache.get("a")  # hits persist nothing, order comes from puts
+        warm = ResultCache(2, persist_path=path)
+        # Capacity shrank: only the most recent puts survive the load.
+        assert warm.loaded == 2
+        assert "b" in warm and "c" in warm and "a" not in warm
+
+    def test_missing_file_means_cold_start(self, tmp_path):
+        cache = ResultCache(8, persist_path=str(tmp_path / "nope.json"))
+        assert cache.loaded == 0 and len(cache) == 0
+
+    def test_torn_or_foreign_files_are_ignored(self, tmp_path):
+        import json
+
+        from repro.server.protocol import PROTOCOL_VERSION
+
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"schema": ')
+        assert ResultCache(8, persist_path=str(torn)).loaded == 0
+
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(
+            json.dumps({"schema": PROTOCOL_VERSION + 1, "entries": [["k", 1]]})
+        )
+        assert ResultCache(8, persist_path=str(foreign)).loaded == 0
+
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text(
+            json.dumps({"schema": PROTOCOL_VERSION, "entries": {"k": 1}})
+        )
+        assert ResultCache(8, persist_path=str(malformed)).loaded == 0
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(8, persist_path=path)
+        cache.put("k", 1)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["cache.json"]
+
+    def test_snapshot_reports_loaded_only_when_persisting(self, tmp_path):
+        assert "loaded" not in ResultCache(8).snapshot()
+        path = str(tmp_path / "cache.json")
+        ResultCache(8, persist_path=path).put("k", 1)
+        snap = ResultCache(8, persist_path=path).snapshot()
+        assert snap["loaded"] == 1

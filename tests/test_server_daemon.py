@@ -420,3 +420,22 @@ class TestCLI:
         assert _parse_param("workload=sssp") == ("workload", "sssp")
         with pytest.raises(SystemExit):
             _parse_param("no-equals-sign")
+
+
+class TestPersistentCache:
+    def test_restart_starts_warm_from_cache_file(self, tmp_path):
+        cache_file = str(tmp_path / "results.json")
+        with make_daemon(cache_file=cache_file) as daemon:
+            with ReproClient(port=daemon.port) as client:
+                first = client.request("check", {"seed": 2})
+            assert first["ok"] and not first["cached"]
+            assert daemon.dispatches == 1
+        # A brand-new daemon over the same file serves the hit without
+        # dispatching any worker at all.
+        with make_daemon(cache_file=cache_file) as daemon:
+            with ReproClient(port=daemon.port) as client:
+                second = client.request("check", {"seed": 2})
+            assert daemon.dispatches == 0
+        assert second["ok"] and second["cached"]
+        assert second["cache"]["loaded"] >= 1
+        assert canonical_result(first) == canonical_result(second)
