@@ -30,8 +30,16 @@ one worker per core (min 2) — and records the wall times, speedup,
 key.  Every run additionally benchmarks *space-parallel* execution of
 one partitioned machine (``repro.parallel.spacetime``): both workloads
 serial-driver vs one-worker-per-region, gated on bit-identity with the
-speedup recorded under ``space`` (full runs add a 256-node SSSP point).  Every direct run appends a timestamped line to
-``BENCH_history.jsonl`` so throughput is trendable across commits.
+speedup recorded under ``space`` (full runs add a 256-node SSSP point).
+
+The ``scale`` section builds the 1,024-node torus machine — ~1M mapped
+pages full-size, ~100k under ``--smoke`` — and records construction
+time, sustained events/sec (with a 16-node same-workload reference and
+the ratio), mean hops, and peak RSS; ``--gate-scale`` turns the
+tentpole acceptance numbers into a CI gate (construction < 10 s, RSS
+< 1 GB, events/sec within 50% of the committed rate).  Every direct
+run appends a timestamped line to ``BENCH_history.jsonl`` so
+throughput is trendable across commits.
 
 Under pytest the module runs the smoke-sized workloads once and checks
 the measurement machinery, not the throughput (wall-clock assertions
@@ -317,12 +325,105 @@ def benchmark_space(smoke: bool = False) -> Dict:
     return report
 
 
+def _scale_machine(n_nodes: int, requests: int, backing_pages: int):
+    """Build the scale-workload machine: the *post-placement locality
+    regime* on a torus.
+
+    Each node's affine page is homed one node over (``affine_offset=1``,
+    95% of accesses) with the remaining 5% zipfian celebrity traffic —
+    the traffic shape the paper's placement policies exist to produce,
+    so per-event simulator cost is comparable across machine sizes
+    instead of being dominated by route length.  ``backing_pages`` cold
+    mapped-but-untouched pages supply the million-page construction axis.
+    """
+    from repro.apps.placement import (
+        PlacementApp,
+        PlacementConfig,
+        _install_policy,
+    )
+    from repro.core.params import PAPER_PARAMS
+
+    cfg = PlacementConfig(
+        policy="static",
+        pages=min(256, 4 * n_nodes),
+        requests=requests,
+        affine_offset=1,
+        affine_fraction=0.95,
+        backing_pages=backing_pages,
+        seed=0,
+    )
+    machine = PlusMachine(
+        n_nodes=n_nodes, params=PAPER_PARAMS.evolved(topology="torus")
+    )
+    _install_policy(machine, cfg)
+    app = PlacementApp(machine, cfg)
+    app.spawn_workers()
+    return machine, app
+
+
+def benchmark_scale(smoke: bool = False) -> Dict:
+    """The 1,024-node scale benchmark (tentpole acceptance numbers).
+
+    Builds a 32x32 torus with ~100k (smoke) or ~1M (full) mapped pages,
+    measures construction wall time, sustained events/sec on the scale
+    workload, and peak process RSS, plus a 16-node run of the *same*
+    workload as the like-for-like throughput reference.  Cycles and the
+    read checksum double as behavioural fingerprints — the workload is
+    deterministic, so any drift means simulated behaviour changed.
+    """
+    import resource
+
+    n_nodes = 1024
+    backing = 102_400 if smoke else 1_048_576
+    requests = 60 if smoke else 200
+
+    t0 = time.perf_counter()
+    machine, app = _scale_machine(n_nodes, requests, backing)
+    construct_s = time.perf_counter() - t0
+    mapped = sum(node.memory.allocated_frames for node in machine.nodes)
+    t0 = time.perf_counter()
+    report = machine.run()
+    run_s = time.perf_counter() - t0
+    events = machine.engine.events_fired
+    rate = events / run_s if run_s else 0.0
+
+    # Like-for-like reference: the same workload shape on 16 nodes,
+    # sized for steady state.
+    ref_machine, _ = _scale_machine(16, 4000, 0)
+    t0 = time.perf_counter()
+    ref_machine.run()
+    ref_s = time.perf_counter() - t0
+    ref_rate = (
+        ref_machine.engine.events_fired / ref_s if ref_s else 0.0
+    )
+
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    return {
+        "smoke": smoke,
+        "nodes": n_nodes,
+        "topology": "torus",
+        "mapped_pages": mapped,
+        "construct_s": round(construct_s, 3),
+        "run_s": round(run_s, 3),
+        "events": events,
+        "events_per_sec": round(rate),
+        "events_per_sec_16node": round(ref_rate),
+        "ratio_vs_16node": round(rate / ref_rate, 3) if ref_rate else 0.0,
+        "cycles": machine.engine.now,
+        "messages": report.fabric.total_messages,
+        "mean_hops": round(report.fabric.mean_hops, 3),
+        "checksum": app.checksum(),
+        "ru_maxrss_mb": round(rss_mb, 1),
+    }
+
+
 def run_suite(
     smoke: bool = False,
     repeats: int = 3,
     jobs: int = 1,
     sweep_bench: bool = True,
     space_bench: bool = True,
+    scale_bench: bool = True,
 ) -> Dict:
     if smoke:
         repeats = 1
@@ -394,6 +495,37 @@ def run_suite(
         # Space-parallel identity (gated) and speedup (recorded) on
         # one partitioned machine — both workloads, both drivers.
         results["space"] = benchmark_space(smoke=smoke)
+    if scale_bench:
+        # The tentpole scale point: 1,024 nodes, ~1M (full) or ~100k
+        # (smoke) mapped pages on a torus.
+        results["scale"] = benchmark_scale(smoke=smoke)
+        if not smoke:
+            # Also record the smoke-sized scale point so CI can verify
+            # behaviour and gate throughput without the 1M-page build.
+            results["scale_smoke"] = benchmark_scale(smoke=True)
+        else:
+            try:
+                committed = json.loads(BASELINE_PATH.read_text())
+            except (OSError, ValueError):
+                committed = {}
+            expected = committed.get("scale_smoke")
+            if expected:
+                got = results["scale"]
+                for key in (
+                    "mapped_pages",
+                    "events",
+                    "cycles",
+                    "messages",
+                    "checksum",
+                ):
+                    if got[key] != expected[key]:
+                        raise AssertionError(
+                            f"scale smoke {key} drifted from "
+                            f"BENCH_perf.json: expected {expected[key]}, "
+                            f"got {got[key]} — if the behaviour change is "
+                            "intended, regenerate with "
+                            "`python benchmarks/bench_perf.py`"
+                        )
     return results
 
 
@@ -416,6 +548,20 @@ def append_history(results: Dict, path: Path) -> None:
         entry["sweep"] = results["sweep"]
     if "space" in results:
         entry["space"] = results["space"]
+    if "scale" in results:
+        sc = results["scale"]
+        entry["scale"] = {
+            k: sc[k]
+            for k in (
+                "nodes",
+                "mapped_pages",
+                "construct_s",
+                "run_s",
+                "events_per_sec",
+                "ratio_vs_16node",
+                "ru_maxrss_mb",
+            )
+        }
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry) + "\n")
 
@@ -463,6 +609,18 @@ def main(argv=None) -> int:
         help="skip the space-parallel identity/speedup benchmark",
     )
     parser.add_argument(
+        "--no-scale-bench",
+        action="store_true",
+        help="skip the 1,024-node scale benchmark",
+    )
+    parser.add_argument(
+        "--gate-scale",
+        action="store_true",
+        help="fail the scale benchmark on budget overruns: construction "
+        ">=10s, peak RSS >=1 GB, or events/sec more than 50% below the "
+        "committed BENCH_perf.json scale rate",
+    )
+    parser.add_argument(
         "--gate-rates",
         action="store_true",
         help="with --smoke: fail unless measured events/sec clears the "
@@ -484,6 +642,7 @@ def main(argv=None) -> int:
         jobs=jobs,
         sweep_bench=not args.no_sweep_bench,
         space_bench=not args.no_space_bench,
+        scale_bench=not args.no_scale_bench,
     )
     for name in ("sssp", "beam"):
         r = results[name]
@@ -513,13 +672,27 @@ def main(argv=None) -> int:
                 f"({e['speedup']}x on {results['space']['cpu_count']} "
                 f"core(s), bit-identical: {e['identical_output']})"
             )
+    if "scale" in results:
+        sc = results["scale"]
+        print(
+            f"scale: {sc['nodes']} nodes ({sc['topology']}): "
+            f"{sc['mapped_pages']} pages mapped in {sc['construct_s']}s, "
+            f"{sc['events_per_sec']} events/s "
+            f"({sc['ratio_vs_16node']}x the 16-node rate of "
+            f"{sc['events_per_sec_16node']}), "
+            f"mean hops {sc['mean_hops']}, "
+            f"peak RSS {sc['ru_maxrss_mb']} MB"
+        )
     Path(args.out).write_text(json.dumps(results, indent=1) + "\n")
     print(f"wrote {args.out}")
     append_history(results, Path(args.history))
     print(f"appended history to {args.history}")
+    code = 0
     if args.gate_rates:
-        return _gate_rates(results, args.gate_tolerance)
-    return 0
+        code = _gate_rates(results, args.gate_tolerance)
+    if args.gate_scale:
+        code = _gate_scale(results) or code
+    return code
 
 
 def _gate_rates(results: Dict, tolerance: float) -> int:
@@ -558,11 +731,61 @@ def _gate_rates(results: Dict, tolerance: float) -> int:
     return 1 if failures else 0
 
 
+def _gate_scale(results: Dict, tolerance: float = 0.5) -> int:
+    """CI scale gate: budgets + throughput floor for the 1,024-node run.
+
+    Two absolute budgets (the tentpole acceptance numbers with headroom
+    for slow runners): construction of the ~100k/~1M-page machine must
+    finish under 10 s, and peak process RSS must stay under 1 GB — the
+    flyweight page directory keeps the full 1M-page machine around
+    140 MB, so 1 GB only trips if per-page object costs come back.  The
+    throughput floor compares events/sec against the rate committed in
+    ``BENCH_perf.json`` (``scale_smoke`` for smoke runs, ``scale``
+    otherwise) with a generous tolerance: the gate exists to catch a
+    scaling collapse, not host jitter.
+    """
+    scale = results.get("scale")
+    if scale is None:
+        print("gate: no scale results; nothing to gate")
+        return 0
+    failures = 0
+
+    budgets = (("construct_s", 10.0, "s"), ("ru_maxrss_mb", 1024.0, "MB"))
+    for key, budget, unit in budgets:
+        got = scale[key]
+        verdict = "ok" if got < budget else "FAIL"
+        print(f"gate: scale {key}: {got}{unit} vs budget {budget}{unit} — {verdict}")
+        if got >= budget:
+            failures += 1
+
+    try:
+        committed = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError):
+        committed = {}
+    rec = committed.get("scale_smoke" if scale["smoke"] else "scale")
+    if rec:
+        floor = rec["events_per_sec"] * (1.0 - tolerance)
+        got = scale["events_per_sec"]
+        verdict = "ok" if got >= floor else "FAIL"
+        print(
+            f"gate: scale events/s: {got} vs floor {floor:.0f} "
+            f"(recorded {rec['events_per_sec']}, "
+            f"tolerance {tolerance:.0%}) — {verdict}"
+        )
+        if got < floor:
+            failures += 1
+    else:
+        print("gate: no committed scale rate; skipping throughput floor")
+    return 1 if failures else 0
+
+
 # ----------------------------------------------------------------------
 # pytest entry points (smoke-sized: correctness of the harness, not speed)
 # ----------------------------------------------------------------------
 def test_perf_harness_smoke():
-    results = run_suite(smoke=True)
+    # scale_bench off: the 1,024-node build belongs to the CI scale job
+    # and the dedicated scale tests, not the quick harness check.
+    results = run_suite(smoke=True, scale_bench=False)
     for name in ("sssp", "beam"):
         r = results[name]
         assert r["events"] > 0

@@ -75,20 +75,31 @@ class JitteredLinkModel(LinkModel):
     __slots__ = ("rng", "amplitude")
 
     def __init__(
-        self, params: TimingParams, rng: random.Random, amplitude: int
+        self, params: TimingParams, rng: random.Random, amplitude: int,
+        topology=None,
     ) -> None:
-        super().__init__(params)
+        super().__init__(params, topology)
         self.rng = rng
         self.amplitude = amplitude
 
-    def traverse_states(self, states, depart, size_bytes, not_before=0):
-        # Overriding the states-based primitive covers both entry points:
-        # ``traverse`` delegates here, and the fabric's per-pair cache
-        # calls this directly with pre-resolved link states.
-        arrive = super().traverse_states(states, depart, size_bytes, not_before)
+    def _jitter(self, arrive: int) -> int:
         if self.amplitude:
             arrive += self.rng.randrange(self.amplitude + 1)
         return arrive
+
+    def traverse_states(self, states, depart, size_bytes, not_before=0):
+        # The faulty-send path resolves an explicit link path and lands
+        # here (via ``traverse``).
+        return self._jitter(
+            super().traverse_states(states, depart, size_bytes, not_before)
+        )
+
+    def traverse_steps(self, src, steps, depart, size_bytes, not_before=0):
+        # The lossless fast path walks a step plan without touching
+        # ``traverse_states``; cover it separately.
+        return self._jitter(
+            super().traverse_steps(src, steps, depart, size_bytes, not_before)
+        )
 
 
 def inject_skip_last_hop(machine: PlusMachine) -> None:
@@ -523,7 +534,8 @@ def build_machine(config: StressConfig):
     )
     if config.jitter:
         machine.fabric.links = JitteredLinkModel(
-            params, random.Random(f"{seed}:jitter"), config.jitter
+            params, random.Random(f"{seed}:jitter"), config.jitter,
+            topology=machine.mesh,
         )
     # Faults before the monitor (it adopts the plan at install time) and
     # before any traffic (sequence numbering must cover every message).
@@ -591,6 +603,7 @@ def build_space_stress(
                     f"{seed}:jitter" if r == 0 else f"{seed}:jitter:{r}"
                 ),
                 config.jitter,
+                topology=fabric.mesh,
             )
     plan = config.fault_plan()
     if plan is not None:

@@ -14,7 +14,8 @@ Usage::
     python -m repro run sssp|beam [--space-jobs N] [--space-regions R]
     python -m repro sweep sssp --nodes 4,8,16 --copies 1,2,4 [--jobs N]
     python -m repro sweep beam --nodes 8 --modes blocking,delayed [--jobs N]
-    python -m repro profile sssp|beam|check [--top 25] [--out PROFILE.json]
+    python -m repro sweep --placement --nodes 256 [--jobs N]
+    python -m repro profile sssp|beam|check|placement [--top 25]
 
 Each command builds the workload, runs the simulation(s), verifies the
 results against the sequential oracle, and prints the paper-style table.
@@ -705,9 +706,33 @@ def _cmd_profile(args) -> int:
             )
         return None
 
-    runner = {"sssp": run_sssp, "beam": run_beam, "check": run_check}[
-        args.workload
-    ]
+    def run_placement():
+        from repro.apps.placement import (
+            PlacementApp,
+            PlacementConfig,
+            _install_policy,
+        )
+        from repro.core.params import PAPER_PARAMS
+
+        nodes, requests = (16, 120) if smoke else (64, 400)
+        config = PlacementConfig(
+            policy="migrate", pages=128, requests=requests
+        )
+        machine = PlusMachine(
+            n_nodes=nodes, params=PAPER_PARAMS.evolved(topology="torus")
+        )
+        _install_policy(machine, config)
+        app = PlacementApp(machine, config)
+        app.spawn_workers()
+        machine.run()
+        return machine
+
+    runner = {
+        "sssp": run_sssp,
+        "beam": run_beam,
+        "check": run_check,
+        "placement": run_placement,
+    }[args.workload]
 
     profiler = cProfile.Profile()
     t0 = time.perf_counter()
@@ -769,6 +794,13 @@ def _cmd_sweep(args) -> int:
     """Run a parameter grid across worker processes, print one table."""
     from repro.parallel import SweepTask, expand_grid, run_sweep, shard_tasks
 
+    if args.placement:
+        args.experiment = "placement"
+    if args.experiment is None:
+        raise SystemExit(
+            "repro sweep: name an experiment (sssp, beam, placement) "
+            "or pass --placement"
+        )
     if args.experiment == "sssp":
         axes = {"nodes": _int_list(args.nodes), "copies": _int_list(args.copies)}
         fn = "repro.parallel.grid:sssp_point"
@@ -782,6 +814,32 @@ def _cmd_sweep(args) -> int:
             "total_over_update",
         ]
         title = f"SSSP sweep ({args.vertices} vertices)"
+    elif args.experiment == "placement":
+        axes = {
+            "policy": [p for p in args.policies.split(",") if p],
+            "topology": [t for t in args.topologies.split(",") if t],
+            "nodes": _int_list(args.nodes),
+        }
+        fn = "repro.parallel.grid:placement_point"
+        extra = {
+            "pages": args.pages,
+            "requests": args.requests,
+            "seed": args.seed,
+        }
+        columns = [
+            "policy",
+            "topology",
+            "nodes",
+            "cycles",
+            "messages",
+            "mean_hops",
+            "replications",
+            "migrations",
+        ]
+        title = (
+            f"Placement-policy sweep ({args.pages} hot pages, "
+            f"zipfian skew)"
+        )
     else:  # beam
         axes = {
             "nodes": _int_list(args.nodes),
@@ -1005,8 +1063,16 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "sweep":
             p.add_argument(
                 "experiment",
-                choices=("sssp", "beam"),
+                nargs="?",
+                default=None,
+                choices=("sssp", "beam", "placement"),
                 help="which workload's parameter grid to sweep",
+            )
+            p.add_argument(
+                "--placement",
+                action="store_true",
+                help="shorthand for the placement experiment "
+                "(policy x topology x nodes grid)",
             )
             p.add_argument(
                 "--nodes",
@@ -1038,6 +1104,39 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=60,
                 help="beam: beam width (default 60)",
+            )
+            p.add_argument(
+                "--policies",
+                type=str,
+                default="static,replicate,migrate",
+                help="placement: comma-separated policies "
+                "(default static,replicate,migrate)",
+            )
+            p.add_argument(
+                "--topologies",
+                type=str,
+                default="mesh,torus",
+                help="placement: comma-separated topologies "
+                "(default mesh,torus)",
+            )
+            p.add_argument(
+                "--pages",
+                type=int,
+                default=128,
+                help="placement: hot (celebrity) page pool size "
+                "(default 128)",
+            )
+            p.add_argument(
+                "--requests",
+                type=int,
+                default=120,
+                help="placement: accesses issued per node (default 120)",
+            )
+            p.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="placement: access-stream seed (default 0)",
             )
             add_jobs(p, shard=True)
         elif name == "check":
@@ -1317,7 +1416,7 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "profile":
             p.add_argument(
                 "workload",
-                choices=("sssp", "beam", "check"),
+                choices=("sssp", "beam", "check", "placement"),
                 help="which workload to run under cProfile",
             )
             p.add_argument(

@@ -35,7 +35,7 @@ from repro.core.ops import OpOutcome, execute_op
 from repro.core.params import OpCode, TimingParams
 from repro.core.pending import PendingWrites
 from repro.core.reliable import ReliableChannels
-from repro.errors import ProtocolError
+from repro.errors import AddressError, ProtocolError
 from repro.memory.address import PhysAddr, PhysPage
 from repro.memory.physical import LocalMemory
 from repro.network.fabric import Fabric
@@ -68,7 +68,7 @@ class CoherenceManager:
         self.params = params
         self.counters = counters
 
-        self.tables = CMTables(node_id)
+        self.tables = CMTables(node_id, memory)
         self.pending = PendingWrites(params.pending_writes_capacity)
         self.delayed = DelayedOpsCache(node_id, params.delayed_slots)
 
@@ -1330,9 +1330,31 @@ class CoherenceManager:
                 xid=xid,
             )
             return
-        value = self.memory.read(addr.page, addr.offset)
+        try:
+            value = self.memory.read(addr.page, addr.offset)
+        except AddressError:
+            # Live deletion reclaimed this frame and the request outlived
+            # the drain window (congested large machines).  The deleted
+            # copy's table entry survives as a forwarding tombstone —
+            # chase it to a live copy.
+            master = self._master_of_tolerant(addr.page)
+            self.fabric.release(msg)
+            if master is None:
+                self._finish_read(origin, xid, 0)
+                return
+            self._send(
+                MsgKind.READ_REQ,
+                master.node,
+                addr=master.word(addr.offset),
+                origin=origin,
+                xid=xid,
+            )
+            return
         self.fabric.release(msg)
-        self._send(MsgKind.READ_RESP, origin, value=value, xid=xid)
+        # _finish_read, not a bare send: a request forwarded by a
+        # deleted copy's tombstone can land back on the origin itself
+        # (page migrated home), where the response completes locally.
+        self._finish_read(origin, xid, value)
 
     def _receive_write_req(self, msg: Message) -> None:
         addr = msg.addr
@@ -1440,8 +1462,16 @@ class CoherenceManager:
             self.fabric.release(msg)
             self._complete_chain(origin, xid, op)
             return
-        self._write_words(page, writes)
-        self.counters.updates_applied += 1
+        try:
+            self._write_words(page, writes)
+            self.counters.updates_applied += 1
+        except AddressError:
+            # This copy was live-deleted and its frame reclaimed while
+            # the update crossed the mesh; the copy is out of the list,
+            # so there is nothing local to keep coherent — but the
+            # chain must still run to completion, so fall through to
+            # the forwarding step using the tombstone next pointer.
+            pass
         nxt = self.tables.next_of(page)
         if nxt is None:
             self.fabric.release(msg)

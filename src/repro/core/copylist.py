@@ -114,10 +114,21 @@ class CMTables:
     Maintained by the operating system (:mod:`repro.memory.replication`);
     consulted by the coherence manager on every write and delayed
     operation.
+
+    An unreplicated home page needs no stored entry at all: its master
+    is itself and it has no successor.  The tables treat any live local
+    frame without an explicit entry as exactly that (*implicit
+    self-mastery*), so mapping a million cold pages costs zero table
+    bytes; explicit entries appear only once the replication machinery
+    touches a page.  The first implicit lookup caches its entry so
+    steady-state traffic pays one dict hit, like always.
     """
 
-    def __init__(self, node_id: int) -> None:
+    def __init__(self, node_id: int, memory=None) -> None:
         self.node_id = node_id
+        #: The node's LocalMemory, consulted to validate implicit
+        #: entries (a frame must be live to be its own master).
+        self._memory = memory
         self._master: Dict[int, PhysPage] = {}
         self._next: Dict[int, Optional[PhysPage]] = {}
 
@@ -134,15 +145,42 @@ class CMTables:
         self._master.pop(ppage, None)
         self._next.pop(ppage, None)
 
+    def forget(self, ppage: int) -> None:
+        """Drop any stale entry when a recycled frame id is re-issued.
+
+        A freed frame keeps its entries as a forwarding tombstone; once
+        the allocator hands the id to a brand-new page the tombstone
+        must not shadow the new page's implicit self-mastery.
+        """
+        if ppage in self._master:
+            del self._master[ppage]
+            self._next.pop(ppage, None)
+
     def knows(self, ppage: int) -> bool:
-        return ppage in self._master
+        if ppage in self._master:
+            return True
+        mem = self._memory
+        return mem is not None and mem.has_frame(ppage)
 
     # ------------------------------------------------------------------
+    def _implicit(self, ppage: int) -> Optional[PhysPage]:
+        """Materialize the implicit entry of an unreplicated home page."""
+        mem = self._memory
+        if mem is not None and mem.has_frame(ppage):
+            phys = PhysPage(self.node_id, ppage)
+            self._master[ppage] = phys
+            self._next[ppage] = None
+            return phys
+        return None
+
     def master_of(self, ppage: int) -> PhysPage:
         """Global address of the master copy for local page ``ppage``."""
         try:
             return self._master[ppage]
         except KeyError:
+            phys = self._implicit(ppage)
+            if phys is not None:
+                return phys
             raise ReplicationError(
                 f"node {self.node_id}: no master-table entry for "
                 f"physical page {ppage}"
@@ -153,6 +191,8 @@ class CMTables:
         try:
             return self._next[ppage]
         except KeyError:
+            if self._implicit(ppage) is not None:
+                return None
             raise ReplicationError(
                 f"node {self.node_id}: no next-copy-table entry for "
                 f"physical page {ppage}"

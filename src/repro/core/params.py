@@ -115,6 +115,12 @@ class TimingParams:
         default_factory=lambda: dict(DEFAULT_OP_CYCLES)
     )
 
+    # -- network topology -------------------------------------------------
+    # The paper's machine is a 2-D mesh; "torus" adds wrap-around links
+    # in both dimensions (wrap-around dimension-order routing, shorter
+    # arc per dimension, deterministic tie-break — see network/topology).
+    topology: str = "mesh"
+
     # -- network costs ---------------------------------------------------
     # One-way latency is net_fixed_cycles + net_hop_cycles * hops, which
     # reproduces the measured 24-cycle adjacent round trip (2 * (8 + 4))
@@ -168,6 +174,8 @@ class TimingParams:
             raise ConfigError(
                 f"unknown coherence protocol {self.coherence_protocol!r}"
             )
+        if self.topology not in ("mesh", "torus"):
+            raise ConfigError(f"unknown topology {self.topology!r}")
         if self.ack_timeout_cycles < 1:
             raise ConfigError("ack_timeout_cycles must be >= 1")
         if self.ack_backoff_max_cycles < self.ack_timeout_cycles:

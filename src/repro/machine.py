@@ -25,7 +25,7 @@ from repro.memory.profiling import AccessProfiler
 from repro.memory.replication import ReplicationManager
 from repro.network.fabric import Fabric
 from repro.network.faults import FaultPlan
-from repro.network.topology import Mesh
+from repro.network.topology import make_topology
 from repro.node.cpu import SimThread
 from repro.node.node import Node
 from repro.sim.engine import Engine
@@ -54,7 +54,9 @@ class PlusMachine:
             raise ConfigError("a machine needs at least one node")
         self.params = params
         self.snoop_policy = snoop_policy
-        self.mesh = Mesh(n_nodes, width, height)
+        # ``mesh`` is the machine's topology (historically always a
+        # Mesh; ``params.topology`` selects e.g. a torus instead).
+        self.mesh = make_topology(params.topology, n_nodes, width, height)
         # Simulation substrate (engine + fabric) and per-node context
         # binding are overridable hooks: the space-parallel
         # SpaceMachine builds one engine/fabric *per mesh region* and
@@ -271,10 +273,13 @@ class PlusMachine:
         # node belonged to: flushed in-flight chain traffic re-routes
         # through these.
         for vpage in self.os.known_vpages():
-            clist = self.os.copylist(vpage)
-            for copy in clist.copies:
-                if copy.node == node_id:
-                    self._crash_pages[(node_id, copy.page)] = clist
+            copy = self.os.copy_on_node(vpage, node_id)
+            if copy is not None:
+                # Materialize only pages the dead node actually holds;
+                # cold flat pages homed elsewhere stay 8-byte entries.
+                self._crash_pages[(node_id, copy.page)] = self.os.copylist(
+                    vpage
+                )
         node.cpu.kill_all()
         node.cm.on_crash()
         node.cm.down = True
@@ -305,9 +310,7 @@ class PlusMachine:
         if plan is not None and plan.durability == "scrub":
             memory = node.memory
             for page in list(memory.frames()):
-                words = memory.words_of(page)
-                for i in range(len(words)):
-                    words[i] = 0
+                memory.zero_page(page)
         monitor = self.invariant_monitor
         if monitor is not None:
             monitor.on_restart(node_id, now)
@@ -344,7 +347,7 @@ class PlusMachine:
     def poke(self, vaddr: int, value: int) -> None:
         """Write ``value`` into every copy of ``vaddr`` instantly."""
         vpage, offset = divmod(vaddr, self.params.page_words)
-        for copy in self.os.copylist(vpage).copies:
+        for copy in self.os.copies_of(vpage):
             node = self.nodes[copy.node]
             node.memory.write(copy.page, offset, value)
             node.cache.snoop(copy.page, offset, value)
@@ -352,13 +355,13 @@ class PlusMachine:
     def peek(self, vaddr: int) -> int:
         """Read ``vaddr`` from its master copy instantly."""
         vpage, offset = divmod(vaddr, self.params.page_words)
-        master = self.os.copylist(vpage).master
+        master = self.os.master_copy(vpage)
         return self.nodes[master.node].memory.read(master.page, offset)
 
     def peek_copy(self, vaddr: int, node_id: int) -> int:
         """Read ``vaddr`` from the copy held by ``node_id`` (testing aid)."""
         vpage, offset = divmod(vaddr, self.params.page_words)
-        copy = self.os.copylist(vpage).copy_on(node_id)
+        copy = self.os.copy_on_node(vpage, node_id)
         if copy is None:
             raise ConfigError(f"node {node_id} holds no copy of page {vpage}")
         return self.nodes[node_id].memory.read(copy.page, offset)

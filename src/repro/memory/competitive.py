@@ -85,15 +85,18 @@ class CompetitiveReplicator:
 
     def _maybe_replicate(self, node_id: int, vpage: int) -> None:
         os = self._machine.os
-        clist = os.copylist(vpage)
-        if node_id in clist or len(clist) >= self.max_copies:
+        copies = os.copies_of(vpage)
+        if (
+            any(c.node == node_id for c in copies)
+            or len(copies) >= self.max_copies
+        ):
             return
         key = (node_id, vpage)
         self._in_progress.add(key)
 
         if (
             self.migrate_unshared
-            and len(clist) == 1
+            and len(copies) == 1
             and self._dominates(node_id, vpage)
         ):
             self._migrate(node_id, vpage, key)
@@ -111,7 +114,7 @@ class CompetitiveReplicator:
     def _migrate(self, node_id: int, vpage: int, key) -> None:
         """Copy, promote, then live-delete the old home (Section 2.4)."""
         os = self._machine.os
-        old_home = os.copylist(vpage).master.node
+        old_home = os.master_copy(vpage).node
 
         def deleted() -> None:
             self._in_progress.discard(key)

@@ -75,7 +75,15 @@ class PageTable:
         #: replication / deletion), mirroring a hardware translation
         #: cache.  TLB hit/miss accounting is unaffected: the memo is
         #: consulted *after* the TLB bookkeeping, never instead of it.
+        #: Bounded at ``ADDR_CACHE_LIMIT`` entries (flushed wholesale at
+        #: the cap, like any remap flush): at millions of mapped pages
+        #: an unbounded memo is a leak, and the memo only changes which
+        #: object carries a translation, never its value.
         self._addr_cache: Dict[int, PhysAddr] = {}
+
+    #: Cap on the vaddr -> PhysAddr memo (identity cache, not a TLB:
+    #: eviction changes no observable translation result or accounting).
+    ADDR_CACHE_LIMIT = 4096
 
     # ------------------------------------------------------------------
     def translate_page(self, vpage: int) -> Tuple[PhysPage, int]:
@@ -111,11 +119,12 @@ class PageTable:
         if phys is not None:
             tlb._map.move_to_end(vpage)
             tlb.hits += 1
-            addr = self._addr_cache.get(vaddr)
+            cache = self._addr_cache
+            addr = cache.get(vaddr)
             if addr is None:
-                addr = self._addr_cache[vaddr] = PhysAddr(
-                    phys.node, phys.page, offset
-                )
+                if len(cache) >= self.ADDR_CACHE_LIMIT:
+                    cache.clear()
+                addr = cache[vaddr] = PhysAddr(phys.node, phys.page, offset)
             return addr, 0
         tlb.misses += 1
         phys = self._entries.get(vpage)

@@ -1,25 +1,45 @@
-"""Per-node physical memory: word-addressed page frames.
+"""Per-node physical memory: word-addressed page frames in a flat arena.
 
-Each PLUS node carries 8 or 32 Mbytes of local DRAM (Section 5).  The
-simulator only materialises frames that are actually allocated, so the
-frame pool is a dictionary rather than a flat array.
+Each PLUS node carries 8 or 32 Mbytes of local DRAM (Section 5).  Frame
+storage is compact ``array('l')`` flat memory rather than per-page Python
+lists: one machine word per simulated word, bulk page copies as C-speed
+slice assignments, and no per-element object boxing — what lets a
+1,024-node machine map a million pages without drowning in list headers.
+
+Frames are *lazy-zero*: allocation only marks the frame id live; the
+backing array materializes on the first write (reads of an
+unmaterialized frame return 0, snapshots return zeros).  A freed frame's
+storage parks on a spare pool and is re-zeroed in place when the next
+frame materializes, so migration-heavy policies recycle arrays instead
+of churning the allocator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from array import array
+from typing import Iterator, List, Optional
 
 from repro.errors import AddressError
 from repro.core.params import WORD_MASK
 
+#: Flat-storage element type: platform long (8 bytes on LP64) — wide
+#: enough for the 32-bit masked word values with native C indexing.
+_TYPECODE = "l"
+_ITEMSIZE = array(_TYPECODE).itemsize
+
 
 class PageFrame:
-    """One physical page of 32-bit words."""
+    """One standalone physical page of 32-bit words (array-backed).
+
+    :class:`LocalMemory` no longer builds frames from these — its pool
+    is a flat arena — but the class remains the unit-sized frame
+    abstraction for tests and tools that want a single page.
+    """
 
     __slots__ = ("words",)
 
     def __init__(self, page_words: int) -> None:
-        self.words: List[int] = [0] * page_words
+        self.words = array(_TYPECODE, bytes(page_words * _ITEMSIZE))
 
     def read(self, offset: int) -> int:
         return self.words[offset]
@@ -34,27 +54,57 @@ class PageFrame:
                 f"page copy of {len(values)} words into "
                 f"{len(self.words)}-word frame"
             )
-        self.words[:] = [v & WORD_MASK for v in values]
+        self.words[:] = array(_TYPECODE, [v & WORD_MASK for v in values])
 
     def snapshot(self) -> List[int]:
         """An independent copy of the frame contents."""
-        return list(self.words)
+        return self.words.tolist()
 
 
 class LocalMemory:
-    """The physical memory of one node: a pool of numbered page frames."""
+    """The physical memory of one node: a paged arena of numbered frames.
+
+    The arena is indexed by integer frame id: ``_storage[page]`` holds
+    the frame's ``array('l')`` words, or ``None`` while the frame is
+    allocated-but-unmaterialized (lazy-zero) or free; ``_live[page]``
+    distinguishes the two.
+    """
+
+    __slots__ = (
+        "node_id",
+        "page_words",
+        "max_frames",
+        "_storage",
+        "_live",
+        "_free",
+        "_spare",
+        "_zero",
+        "_next_page",
+    )
 
     def __init__(self, node_id: int, page_words: int, max_frames: int = 1 << 20) -> None:
         self.node_id = node_id
         self.page_words = page_words
         self.max_frames = max_frames
-        self._frames: Dict[int, PageFrame] = {}
-        self._next_page = 0
+        #: Frame id -> backing array (None = unmaterialized or free).
+        self._storage: List[Optional[array]] = []
+        #: Frame id -> 1 if allocated (dense flags, one byte per id).
+        self._live = bytearray()
         self._free: List[int] = []
+        #: Storage arrays recovered from freed frames, re-zeroed in
+        #: place when the next frame materializes.
+        self._spare: List[array] = []
+        #: Shared all-zeros template for O(page) memcpy zeroing.
+        self._zero = array(_TYPECODE, bytes(page_words * _ITEMSIZE))
+        self._next_page = 0
 
     # ------------------------------------------------------------------
     def allocate_frame(self) -> int:
-        """Allocate a zeroed frame; returns its local page id."""
+        """Allocate a zeroed frame; returns its local page id.
+
+        Lazy: no storage is touched until the first write, so mapping a
+        million pages costs a million flag bytes, not a million arrays.
+        """
         if self._free:
             page = self._free.pop()
         else:
@@ -65,56 +115,82 @@ class LocalMemory:
                 )
             page = self._next_page
             self._next_page += 1
-        self._frames[page] = PageFrame(self.page_words)
+            self._storage.append(None)
+            self._live.append(0)
+        self._live[page] = 1
         return page
 
     def free_frame(self, page: int) -> None:
-        """Release a frame back to the pool."""
-        self._frame(page)  # validates
-        del self._frames[page]
+        """Release a frame; its storage parks on the spare pool."""
+        self._check(page)
+        storage = self._storage[page]
+        if storage is not None:
+            self._storage[page] = None
+            self._spare.append(storage)
+        self._live[page] = 0
         self._free.append(page)
 
     def has_frame(self, page: int) -> bool:
-        return page in self._frames
+        return 0 <= page < self._next_page and self._live[page] != 0
 
     def frames(self) -> Iterator[int]:
-        """Iterate over allocated local page ids."""
-        return iter(self._frames)
+        """Iterate over allocated local page ids (ascending)."""
+        live = self._live
+        return (page for page in range(self._next_page) if live[page])
 
     # ------------------------------------------------------------------
-    def _frame(self, page: int) -> PageFrame:
-        try:
-            return self._frames[page]
-        except KeyError:
+    def _check(self, page: int) -> None:
+        if not (0 <= page < self._next_page and self._live[page]):
             raise AddressError(
                 f"node {self.node_id} has no physical page {page}"
-            ) from None
+            )
+
+    def _materialize(self, page: int) -> array:
+        """Back a live frame with (zeroed) storage; reuses spares."""
+        spare = self._spare
+        if spare:
+            storage = spare.pop()
+            storage[:] = self._zero
+        else:
+            storage = self._zero[:]
+        self._storage[page] = storage
+        return storage
 
     def read(self, page: int, offset: int) -> int:
         """Read one word from frame ``page`` at ``offset``."""
-        frame = self._frames.get(page)
-        if frame is None:
-            self._frame(page)  # raises the canonical AddressError
-        return frame.words[offset]
+        if 0 <= page < self._next_page and self._live[page]:
+            storage = self._storage[page]
+            if storage is not None:
+                return storage[offset]
+            pw = self.page_words
+            if -pw <= offset < pw:
+                return 0
+            raise IndexError("array index out of range")
+        raise AddressError(f"node {self.node_id} has no physical page {page}")
 
     def write(self, page: int, offset: int, value: int) -> None:
         """Write one word to frame ``page`` at ``offset``."""
-        frame = self._frames.get(page)
-        if frame is None:
-            self._frame(page)  # raises the canonical AddressError
-        frame.words[offset] = value & WORD_MASK
+        if 0 <= page < self._next_page and self._live[page]:
+            storage = self._storage[page]
+            if storage is None:
+                storage = self._materialize(page)
+            storage[offset] = value & WORD_MASK
+            return
+        raise AddressError(f"node {self.node_id} has no physical page {page}")
 
-    def words_of(self, page: int) -> List[int]:
-        """The live word list of frame ``page`` (hot-path read access).
+    def words_of(self, page: int) -> array:
+        """The live word array of frame ``page`` (hot-path read access).
 
         Callers that make several reads against one frame (the RMW
-        executor) resolve the frame once and index the list directly.
-        The list is the frame's backing store — treat it as read-only.
+        executor) resolve the frame once and index the array directly.
+        The array is the frame's backing store — treat it as read-only.
         """
-        frame = self._frames.get(page)
-        if frame is None:
-            self._frame(page)  # raises the canonical AddressError
-        return frame.words
+        if 0 <= page < self._next_page and self._live[page]:
+            storage = self._storage[page]
+            if storage is None:
+                storage = self._materialize(page)
+            return storage
+        raise AddressError(f"node {self.node_id} has no physical page {page}")
 
     def write_batch(self, page: int, writes) -> None:
         """Apply ``(offset, value)`` pairs to one frame, resolved once.
@@ -123,14 +199,51 @@ class LocalMemory:
         writes through here so the frame lookup happens once per message
         rather than once per word.
         """
-        words = self._frame(page).words
+        self._check(page)
+        storage = self._storage[page]
+        if storage is None:
+            storage = self._materialize(page)
         for offset, value in writes:
-            words[offset] = value & WORD_MASK
+            storage[offset] = value & WORD_MASK
 
     def load_page(self, page: int, values: List[int]) -> None:
         """Overwrite an entire frame (used by the page-copy engine)."""
-        self._frame(page).load(values)
+        self._check(page)
+        if len(values) != self.page_words:
+            raise AddressError(
+                f"page copy of {len(values)} words into "
+                f"{self.page_words}-word frame"
+            )
+        storage = self._storage[page]
+        if storage is None:
+            # Fully overwritten below — skip the zeroing pass.
+            spare = self._spare
+            storage = spare.pop() if spare else self._zero[:]
+            self._storage[page] = storage
+        storage[:] = array(_TYPECODE, [v & WORD_MASK for v in values])
 
     def snapshot_page(self, page: int) -> List[int]:
         """Copy out an entire frame (used by the page-copy engine)."""
-        return self._frame(page).snapshot()
+        self._check(page)
+        storage = self._storage[page]
+        if storage is None:
+            return [0] * self.page_words
+        return storage.tolist()
+
+    def zero_page(self, page: int) -> None:
+        """Reset a frame to all zeros in place (crash-scrub path)."""
+        self._check(page)
+        storage = self._storage[page]
+        if storage is not None:
+            storage[:] = self._zero
+
+    # -- capacity accounting -------------------------------------------
+    @property
+    def allocated_frames(self) -> int:
+        """Currently-allocated (mapped) frames, materialized or not."""
+        return self._next_page - len(self._free)
+
+    @property
+    def materialized_frames(self) -> int:
+        """Frames currently backed by real storage (diagnostics)."""
+        return sum(1 for s in self._storage if s is not None)

@@ -22,8 +22,9 @@ Two replication paths exist:
 
 from __future__ import annotations
 
+from array import array
 from itertools import count
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.copylist import CopyList
 from repro.errors import ConfigError, MappingError, ReplicationError
@@ -32,15 +33,42 @@ from repro.network.message import Message, MsgKind
 
 Callback = Callable[[], None]
 
+#: Packed flat-directory entry: ``home << _FLAT_SHIFT | ppage``.  Frame
+#: ids stay under 2^20 (LocalMemory.max_frames), so 34 bits of headroom
+#: leaves room for millions of nodes in the high bits of a signed 64-bit
+#: array slot.
+_FLAT_SHIFT = 34
+_FLAT_MASK = (1 << _FLAT_SHIFT) - 1
+#: Sentinel: the vpage has a materialized CopyList in ``_copylists``.
+_MATERIALIZED = -1
+#: Sentinel: the vpage number was reserved but never created.
+_HOLE = -2
+
 
 class ReplicationManager:
-    """Central page directory plus replication/migration machinery."""
+    """Central page directory plus replication/migration machinery.
+
+    The directory is *flat-first*: an unreplicated page is one packed
+    ``(home, frame)`` integer in an ``array('q')`` indexed by virtual
+    page number — 8 bytes, no :class:`CopyList`, no
+    :class:`~repro.memory.address.PhysPage`, no CM-table entries (the
+    tables treat unregistered live frames as implicitly self-mastered).
+    A real CopyList is materialized only when the replication machinery
+    first touches the page; everything that only *reads* placement goes
+    through the read-only accessors (:meth:`master_copy`,
+    :meth:`copies_of`, :meth:`copy_on_node`) and never materializes.
+    This is what lets a 1,024-node machine map a million pages in a few
+    hundred megabytes instead of tens of per-page objects each.
+    """
 
     def __init__(self, machine) -> None:
         # ``machine`` is the PlusMachine; typed loosely to avoid an import
         # cycle.  Uses: .nodes (list of Node), .mesh, .fabric, .engine,
         # .params.
         self._machine = machine
+        #: vpage -> packed (home, frame); _MATERIALIZED or _HOLE sentinels.
+        self._flat = array("q")
+        #: Materialized copy-lists only (replicated or once-replicated).
         self._copylists: Dict[int, CopyList] = {}
         self._next_vpage = count()
         self._copy_xids = count()
@@ -54,22 +82,89 @@ class ReplicationManager:
         """Reserve a fresh virtual page number."""
         return next(self._next_vpage)
 
+    def _materialize(self, vpage: int) -> CopyList:
+        """Promote a flat entry to a real CopyList (mutation pending).
+
+        The master's CM-table entry is registered explicitly at the same
+        moment, replacing its implicit self-mastery with identical
+        values, so the hardware view is unchanged.
+        """
+        packed = self._flat[vpage]
+        master = PhysPage(packed >> _FLAT_SHIFT, packed & _FLAT_MASK)
+        clist = CopyList(vpage, master)
+        self._copylists[vpage] = clist
+        self._flat[vpage] = _MATERIALIZED
+        self._machine.nodes[master.node].cm.tables.register(
+            master.page, master, None
+        )
+        return clist
+
     def copylist(self, vpage: int) -> CopyList:
-        """The copy-list of ``vpage`` (raises MappingError if unknown)."""
-        try:
-            return self._copylists[vpage]
-        except KeyError:
-            raise MappingError(f"virtual page {vpage} does not exist") from None
+        """The copy-list of ``vpage`` (raises MappingError if unknown).
+
+        Materializes a flat page's CopyList: callers are the replication
+        machinery and inspection paths that want the full object.  Pure
+        placement reads should prefer the read-only accessors below.
+        """
+        clist = self._copylists.get(vpage)
+        if clist is not None:
+            return clist
+        if 0 <= vpage < len(self._flat) and self._flat[vpage] >= 0:
+            return self._materialize(vpage)
+        raise MappingError(f"virtual page {vpage} does not exist") from None
 
     def known_vpages(self) -> Iterable[int]:
-        return self._copylists.keys()
+        flat = self._flat
+        return (v for v in range(len(flat)) if flat[v] != _HOLE)
+
+    # -- read-only placement accessors (never materialize) -------------
+    def master_copy(self, vpage: int) -> PhysPage:
+        """The master copy of ``vpage`` without materializing it."""
+        if 0 <= vpage < len(self._flat):
+            packed = self._flat[vpage]
+            if packed >= 0:
+                return PhysPage(packed >> _FLAT_SHIFT, packed & _FLAT_MASK)
+        return self.copylist(vpage).master
+
+    def copies_of(self, vpage: int) -> List[PhysPage]:
+        """All copies, master first, without materializing."""
+        if 0 <= vpage < len(self._flat):
+            packed = self._flat[vpage]
+            if packed >= 0:
+                return [PhysPage(packed >> _FLAT_SHIFT, packed & _FLAT_MASK)]
+        return self.copylist(vpage).copies
+
+    def copy_on_node(self, vpage: int, node_id: int) -> Optional[PhysPage]:
+        """The copy held by ``node_id``, or None, without materializing."""
+        if 0 <= vpage < len(self._flat):
+            packed = self._flat[vpage]
+            if packed >= 0:
+                if packed >> _FLAT_SHIFT == node_id:
+                    return PhysPage(node_id, packed & _FLAT_MASK)
+                return None
+        return self.copylist(vpage).copy_on(node_id)
+
+    def copy_count(self, vpage: int) -> int:
+        """Number of copies of ``vpage`` without materializing."""
+        if 0 <= vpage < len(self._flat) and self._flat[vpage] >= 0:
+            return 1
+        return len(self.copylist(vpage))
 
     def resolve(self, node_id: int, vpage: int) -> PhysPage:
         """Central-table lookup: the copy closest to ``node_id``.
 
         This is the resolver page tables call on a local-table miss.
         """
-        clist = self.copylist(vpage)
+        clist = self._copylists.get(vpage)
+        if clist is None:
+            # Flat page: the sole copy is the answer for every asker.
+            if 0 <= vpage < len(self._flat):
+                packed = self._flat[vpage]
+                if packed >= 0:
+                    return PhysPage(
+                        packed >> _FLAT_SHIFT, packed & _FLAT_MASK
+                    )
+            raise MappingError(f"virtual page {vpage} does not exist")
         own = clist.copy_on(node_id)
         if own is not None:
             return own
@@ -82,16 +177,26 @@ class ReplicationManager:
     # Page creation.
     # ------------------------------------------------------------------
     def create_page(self, home: int, vpage: Optional[int] = None) -> int:
-        """Create an unreplicated page mastered on node ``home``."""
+        """Create an unreplicated page mastered on node ``home``.
+
+        Flat fast path: one frame allocation plus one packed array slot.
+        ``tables.forget`` clears any forwarding tombstone left on a
+        recycled frame id so it cannot shadow the new page.
+        """
+        flat = self._flat
         if vpage is None:
-            vpage = self.alloc_vpage()
-        elif vpage in self._copylists:
+            vpage = next(self._next_vpage)
+        elif (
+            vpage in self._copylists
+            or (vpage < len(flat) and flat[vpage] != _HOLE)
+        ):
             raise ReplicationError(f"virtual page {vpage} already exists")
         node = self._machine.nodes[home]
         ppage = node.memory.allocate_frame()
-        master = PhysPage(home, ppage)
-        self._copylists[vpage] = CopyList(vpage, master)
-        node.cm.tables.register(ppage, master, None)
+        node.cm.tables.forget(ppage)
+        while len(flat) <= vpage:
+            flat.append(_HOLE)
+        flat[vpage] = (home << _FLAT_SHIFT) | ppage
         return vpage
 
     # ------------------------------------------------------------------
@@ -340,7 +445,14 @@ class ReplicationManager:
         pending = {"count": 0}
 
         def finalize() -> None:
-            machine.nodes[node_id].cm.tables.unregister(copy.page)
+            # The frame is reclaimed, but its CM table entry stays as a
+            # forwarding tombstone: on a congested machine a request
+            # issued against the old mapping can outlive the drain
+            # window, and the dying node must still know where the
+            # page's master went (the CM's read/update paths fall back
+            # to this entry when the frame is gone).  The entry is a
+            # pair of pointers per migrated frame — negligible next to
+            # the reclaimed page.
             machine.nodes[node_id].memory.free_frame(copy.page)
             machine.nodes[via_node].cm.unregister_copy_handler(xid)
             if on_done is not None:

@@ -7,9 +7,11 @@ traffic statistics.
 
 This module sits on the simulator's hottest path — every protocol
 message of every benchmark crosses ``Fabric.send`` — so it avoids
-per-message allocation beyond one slotted delivery event: routes and hop
-counts come from a per-pair cache, receivers are resolved by list index,
-and the tracing hook costs a single ``is None`` test when disabled.
+per-message allocation beyond one slotted delivery event: routes are
+walked arithmetically (O(1) per hop, no materialized link lists — see
+``LinkModel.traverse_steps``), per-pair state is a single FIFO-floor
+integer, receivers are resolved by list index, and the tracing hook
+costs a single ``is None`` test when disabled.
 
 An optional :class:`~repro.network.faults.FaultPlan` turns the perfect
 mesh into an unreliable one: installed with :meth:`Fabric.install_faults`
@@ -23,14 +25,14 @@ change, one ``is None`` test.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.params import TimingParams
 from repro.errors import ConfigError
 from repro.network.faults import FaultPlan
 from repro.network.message import Message, MsgKind, N_KINDS
 from repro.network.router import LinkModel
-from repro.network.topology import Link, Mesh
+from repro.network.topology import Topology
 from repro.sim.engine import Engine
 
 Receiver = Callable[[Message], None]
@@ -130,29 +132,13 @@ class _Delivery:
         receiver(msg)
 
 
-class _PairState:
-    """Per-(src, dst) routing state resolved once and reused per send."""
-
-    __slots__ = ("path", "states", "hops", "next_floor")
-
-    def __init__(self, path: List[Link], states: list) -> None:
-        self.path = path
-        #: The route's LinkState records, pre-resolved so per-send timing
-        #: needs no link hashing (see ``LinkModel.states_for``).
-        self.states = states
-        self.hops = len(path)
-        #: Earliest cycle the next same-pair message may be delivered
-        #: (point-to-point FIFO: one past the last delivery time).
-        self.next_floor = 0
-
-
 class Fabric:
     """Routes and times messages between coherence managers."""
 
     def __init__(
         self,
         engine: Engine,
-        mesh: Mesh,
+        mesh: Topology,
         params: TimingParams,
         *,
         msg_id_base: int = 0,
@@ -161,11 +147,17 @@ class Fabric:
         self.engine = engine
         self.mesh = mesh
         self.params = params
-        self.links = LinkModel(params)
+        self.links = LinkModel(params, mesh)
         self.stats = FabricStats()
         #: Receiver per node id, resolved once at attach time.
         self._receivers: List[Optional[Receiver]] = [None] * mesh.n_nodes
-        self._pairs: Dict[Tuple[int, int], _PairState] = {}
+        #: Per-(src, dst) point-to-point FIFO floors, keyed by the dense
+        #: pair index ``src * n_positions + dst``: the earliest cycle the
+        #: next same-pair message may be delivered (one past the last
+        #: delivery).  This — two ints per *communicating* pair — is all
+        #: the per-pair state left; routes are walked arithmetically.
+        self._floors: Dict[int, int] = {}
+        self._n_positions = mesh.n_positions
         #: Installed :class:`~repro.stats.trace.ProtocolTrace`, or None.
         #: When None (the default) tracing costs one ``is None`` test.
         self._trace = None
@@ -270,13 +262,8 @@ class Fabric:
         )
         if receiver is None:
             raise ConfigError(f"no receiver attached for node {dst}")
-        pair = (msg.src, dst)
-        state = self._pairs.get(pair)
-        if state is None:
-            path = self.mesh.route(msg.src, dst)
-            state = self._pairs[pair] = _PairState(
-                path, self.links.states_for(path)
-            )
+        src = msg.src
+        floor_key = src * self._n_positions + dst
 
         if msg.msg_id < 0:
             # First injection stamps the fabric-local identity; a
@@ -285,7 +272,7 @@ class Fabric:
             self._next_msg_id += self._msg_id_step
 
         if self.fault_plan is not None:
-            return self._send_faulty(msg, receiver, state)
+            return self._send_faulty(msg, receiver, src, dst, floor_key)
 
         engine = self.engine
         now = engine._now
@@ -308,10 +295,12 @@ class Fabric:
         # injection order; the link model enforces that floor explicitly
         # (and charges it to the final link) so protocol ordering never
         # depends on floating details of the timing model.
-        arrive = self.links.traverse_states(
-            state.states, now, size, not_before=state.next_floor
+        steps = self.mesh.route_steps(src, dst)
+        floors = self._floors
+        arrive = self.links.traverse_steps(
+            src, steps, now, size, not_before=floors.get(floor_key, 0)
         )
-        state.next_floor = arrive + 1
+        floors[floor_key] = arrive + 1
 
         if self._trace is not None:
             self._trace.record(now, msg, arrive)
@@ -320,7 +309,7 @@ class Fabric:
         stats = self.stats
         stats._kind_counts[kind.idx] += 1
         stats.total_messages += 1
-        stats.total_hops += state.hops
+        stats.total_hops += steps[0] + steps[2]
         stats.total_bytes += size
         pool = self._delivery_pool
         if pool:
@@ -340,26 +329,37 @@ class Fabric:
         return arrive
 
     def _send_faulty(
-        self, msg: Message, receiver: Receiver, state: _PairState
+        self,
+        msg: Message,
+        receiver: Receiver,
+        src: int,
+        dst: int,
+        floor_key: int,
     ) -> int:
         """The fault-plan send path: consult the plan, then deliver 0, 1
         or 2 copies.  Per-delivery jitter lands *outside* the FIFO floor,
         so same-pair messages can reorder within the jitter bound — the
         sequence numbers of the reliable sublayer put them back in order.
+
+        The explicit link list is materialized per send (the plan's
+        outage schedules are keyed by link tuple); this path is off
+        whenever the mesh is lossless, so it never taxes the fast path.
         """
         now = self.engine._now
         stats = self.stats
-        stats.record(msg, state.hops)
-        fate, delays = self.fault_plan.judge(msg, now, state.path)
+        path = self.mesh.route(src, dst)
+        stats.record(msg, len(path))
+        fate, delays = self.fault_plan.judge(msg, now, path)
         if not delays:
             stats.drops += 1
             if self._trace is not None:
                 self._trace.record(now, msg, -1, fate=fate)
             return -1
-        arrive = self.links.traverse_states(
-            state.states, now, msg.size_bytes, not_before=state.next_floor
+        floors = self._floors
+        arrive = self.links.traverse(
+            path, now, msg.size_bytes, not_before=floors.get(floor_key, 0)
         )
-        state.next_floor = arrive + 1
+        floors[floor_key] = arrive + 1
         primary = arrive + delays[0]
         if len(delays) > 1:
             stats.dups += 1

@@ -98,6 +98,41 @@ def fig21_point(nodes: int, vertices: int = 800) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Placement-policy grid points (Section 2.4 celebrity-page benchmark).
+# ----------------------------------------------------------------------
+def placement_point(
+    policy: str,
+    topology: str,
+    nodes: int,
+    pages: int = 128,
+    requests: int = 120,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One placement-policy configuration under zipfian skew."""
+    from repro.apps.placement import PlacementConfig, run_placement
+
+    result = run_placement(
+        nodes,
+        PlacementConfig(
+            policy=policy, pages=pages, requests=requests, seed=seed
+        ),
+        topology=topology,
+    )
+    fabric = result.report.fabric
+    return {
+        "policy": policy,
+        "topology": topology,
+        "nodes": nodes,
+        "cycles": result.cycles,
+        "messages": fabric.total_messages,
+        "mean_hops": round(fabric.mean_hops, 3),
+        "replications": result.replications,
+        "migrations": result.migrations,
+        "checksum": result.checksum,
+    }
+
+
+# ----------------------------------------------------------------------
 # Beam-search grid points (Figure 3-1 family).
 # ----------------------------------------------------------------------
 #: Figure 3-1's named synchronization styles.

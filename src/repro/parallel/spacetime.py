@@ -76,7 +76,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.machine import PlusMachine
-from repro.network.fabric import Fabric, FabricStats, _PairState
+from repro.network.fabric import Fabric, FabricStats
 from repro.network.message import Message
 from repro.sim.engine import Engine
 from repro.stats.counters import MachineCounters
@@ -181,50 +181,51 @@ class SpaceFabric(Fabric):
 
     def _send_cross(self, msg: Message, dst: int) -> int:
         """Route/time/account a cross-region send, then stage it."""
-        pair = (msg.src, dst)
-        state = self._pairs.get(pair)
-        if state is None:
-            path = self.mesh.route(msg.src, dst)
-            state = self._pairs[pair] = _PairState(
-                path, self.links.states_for(path)
-            )
+        src = msg.src
+        floor_key = src * self._n_positions + dst
         if msg.msg_id < 0:
             msg.msg_id = self._next_msg_id
             self._next_msg_id += self._msg_id_step
         if self.fault_plan is not None:
-            return self._stage_faulty(msg, dst, state)
+            return self._stage_faulty(msg, src, dst, floor_key)
         now = self.engine._now
         size = msg.size_bytes
-        arrive = self.links.traverse_states(
-            state.states, now, size, not_before=state.next_floor
+        steps = self.mesh.route_steps(src, dst)
+        floors = self._floors
+        arrive = self.links.traverse_steps(
+            src, steps, now, size, not_before=floors.get(floor_key, 0)
         )
-        state.next_floor = arrive + 1
+        floors[floor_key] = arrive + 1
         if self._trace is not None:
             self._trace.record(now, msg, arrive)
         stats = self.stats
         stats._kind_counts[msg.kind.idx] += 1
         stats.total_messages += 1
-        stats.total_hops += state.hops
+        stats.total_hops += steps[0] + steps[2]
         stats.total_bytes += size
         self._stage(dst, arrive, msg)
         return arrive
 
-    def _stage_faulty(self, msg: Message, dst: int, state: _PairState) -> int:
+    def _stage_faulty(
+        self, msg: Message, src: int, dst: int, floor_key: int
+    ) -> int:
         """Mirror of ``Fabric._send_faulty`` that stages each delivery
         copy instead of scheduling it."""
         now = self.engine._now
         stats = self.stats
-        stats.record(msg, state.hops)
-        fate, delays = self.fault_plan.judge(msg, now, state.path)
+        path = self.mesh.route(src, dst)
+        stats.record(msg, len(path))
+        fate, delays = self.fault_plan.judge(msg, now, path)
         if not delays:
             stats.drops += 1
             if self._trace is not None:
                 self._trace.record(now, msg, -1, fate=fate)
             return -1
-        arrive = self.links.traverse_states(
-            state.states, now, msg.size_bytes, not_before=state.next_floor
+        floors = self._floors
+        arrive = self.links.traverse(
+            path, now, msg.size_bytes, not_before=floors.get(floor_key, 0)
         )
-        state.next_floor = arrive + 1
+        floors[floor_key] = arrive + 1
         primary = arrive + delays[0]
         if len(delays) > 1:
             stats.dups += 1
@@ -596,9 +597,10 @@ class RegionState:
         for node in self.nodes:
             node.finalize_counters(elapsed)
             counters[node.node_id] = node.counters
+            node_memory = node.memory
             memory[node.node_id] = {
-                page: list(frame.words)
-                for page, frame in node.memory._frames.items()
+                page: node_memory.snapshot_page(page)
+                for page in node_memory.frames()
             }
             invalid[node.node_id] = {
                 page: set(words)
@@ -897,11 +899,7 @@ class SpaceRun:
             for node_id, frames in harvest.memory.items():
                 node = machine.nodes[node_id]
                 for page, words in frames.items():
-                    frame = node.memory._frames.get(page)
-                    if frame is None:
-                        node.memory.load_page(page, words)
-                    else:
-                        frame.words[:] = words
+                    node.memory.load_page(page, words)
             for node_id, pages in harvest.invalid_words.items():
                 cm = machine.nodes[node_id].cm
                 cm._invalid_words.clear()

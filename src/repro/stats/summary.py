@@ -19,7 +19,7 @@ def memory_map(machine) -> str:
     for segment in machine.shm.segments:
         chains = []
         for vpage in segment.vpages:
-            chain = machine.os.copylist(vpage).nodes
+            chain = [c.node for c in machine.os.copies_of(vpage)]
             chains.append("->".join(str(n) for n in chain))
         rows.append(
             [

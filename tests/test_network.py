@@ -82,43 +82,48 @@ class TestMesh:
             mesh.nearest_to(0, [])
 
 
-#: Shared long-lived meshes so the property test exercises a cache that
-#: has accumulated entries across many (src, dst) examples.
-_CACHED_4X4 = Mesh(16)
-_CACHED_RAGGED = Mesh(5, width=3, height=2)
+#: Shared long-lived meshes (routing is arithmetic and stateless now,
+#: but the shared instances keep exercising repeated-use behavior).
+_SHARED_4X4 = Mesh(16)
+_SHARED_RAGGED = Mesh(5, width=3, height=2)
 
 
-class TestRouteCache:
-    def test_cached_route_matches_fresh_computation_all_pairs(self):
-        for mesh, make_fresh in (
-            (_CACHED_4X4, lambda: Mesh(16)),
-            (_CACHED_RAGGED, lambda: Mesh(5, width=3, height=2)),
-        ):
-            fresh = make_fresh()
+class TestArithmeticRouting:
+    """The cache-free arithmetic router must reproduce the original
+    coordinate-stepping loop (kept as ``Mesh._compute_route``) exactly."""
+
+    def test_route_matches_reference_computation_all_pairs(self):
+        for mesh in (_SHARED_4X4, _SHARED_RAGGED):
             for src in range(mesh.n_nodes):
                 for dst in range(mesh.n_nodes):
-                    first = mesh.route(src, dst)
-                    again = mesh.route(src, dst)
-                    assert again is first  # second call served from cache
-                    assert first == fresh._compute_route(src, dst)
-                    assert mesh.hops(src, dst) == len(first)
+                    route = mesh.route(src, dst)
+                    assert route == mesh._compute_route(src, dst)
+                    assert mesh.hops(src, dst) == len(route)
 
     @settings(max_examples=60)
     @given(src=st.integers(0, 15), dst=st.integers(0, 15))
-    def test_cached_route_matches_fresh_4x4(self, src, dst):
-        cached = _CACHED_4X4.route(src, dst)
-        assert cached == Mesh(16)._compute_route(src, dst)
-        assert len(cached) == _CACHED_4X4.hops(src, dst)
+    def test_route_matches_reference_4x4(self, src, dst):
+        route = _SHARED_4X4.route(src, dst)
+        assert route == Mesh(16)._compute_route(src, dst)
+        assert len(route) == _SHARED_4X4.hops(src, dst)
 
     @settings(max_examples=40)
     @given(src=st.integers(0, 4), dst=st.integers(0, 4))
-    def test_cached_route_matches_fresh_ragged_3x2(self, src, dst):
-        cached = _CACHED_RAGGED.route(src, dst)
+    def test_route_matches_reference_ragged_3x2(self, src, dst):
+        route = _SHARED_RAGGED.route(src, dst)
         fresh = Mesh(5, width=3, height=2)
-        assert cached == fresh._compute_route(src, dst)
-        assert len(cached) == _CACHED_RAGGED.hops(src, dst)
+        assert route == fresh._compute_route(src, dst)
+        assert len(route) == _SHARED_RAGGED.hops(src, dst)
 
-    def test_cache_does_not_leak_between_meshes(self):
+    def test_route_steps_agree_with_route(self):
+        mesh = Mesh(16)
+        for src in range(16):
+            for dst in range(16):
+                nx, sx, ny, sy = mesh.route_steps(src, dst)
+                assert nx + ny == len(mesh.route(src, dst))
+                assert sx in (-1, 1) and sy in (-1, 1)
+
+    def test_shapes_route_independently(self):
         a = Mesh(16)
         b = Mesh(16, width=16, height=1)
         assert a.route(0, 5) != b.route(0, 5)
