@@ -559,6 +559,7 @@ def build_space_stress(
     seed: int,
     inject_bug: bool = False,
     faults: bool = False,
+    chaos: bool = False,
     fault_overrides: Optional[Dict[str, object]] = None,
     regions: int = 2,
     window: int = 0,
@@ -577,7 +578,11 @@ def build_space_stress(
     from repro.parallel.spacetime import SpaceMachine
 
     config = StressConfig.from_seed(
-        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+        seed,
+        inject_bug=inject_bug,
+        faults=faults,
+        chaos=chaos,
+        overrides=fault_overrides,
     )
     params = _stress_params(config)
     tie_factory = None
@@ -654,36 +659,60 @@ def run_stress(
     space_jobs: int = 1,
     space_window: int = 0,
     space_verify: bool = False,
+    space_transport: Optional[str] = None,
+    space_adaptive: bool = True,
 ) -> StressResult:
     """Run one seeded stress experiment and judge it with the oracle.
 
     ``chaos=True`` is the full hostile preset: seeded message faults
-    *plus* a node crash/restart schedule (not available in space mode —
-    the region drivers checkpoint per-window state that a whole-node
-    crash would invalidate).
+    *plus* a node crash/restart schedule.  Crash schedules cannot run
+    space-parallel (the crash machinery reaches across regions with
+    zero latency), but the capability check is *precise*: a chaos run
+    whose crash knobs were overridden away (``crash_rate=0``) is a
+    wire-fault-only plan and partitions fine.
 
     ``space_regions > 0`` runs the seed's experiment on the
     space-partitioned machine instead (``space_jobs >= 2`` with one
-    worker process per region, else the in-process serial space driver);
-    ``space_verify`` runs *both* drivers and fails the seed unless their
-    outputs are bit-identical (trace checksum, final memory, clock).
+    persistent worker process per region, else the in-process serial
+    space driver); ``space_transport`` picks the cross-region transport
+    and ``space_adaptive`` the window policy (see
+    :func:`repro.parallel.spacetime.run_space`).  ``space_verify`` runs
+    the requested mode *and* the canonical serial reference (memory
+    transport, fixed windows) and fails the seed unless their outputs
+    are bit-identical (trace checksum, final memory, clock).
     """
     if space_regions:
-        if chaos:
+        probe = StressConfig.from_seed(
+            seed,
+            inject_bug=inject_bug,
+            faults=faults,
+            chaos=chaos,
+            overrides=fault_overrides,
+        )
+        if probe.has_crashes:
             raise ConfigError(
-                "--chaos (node crashes) is not supported with space "
-                "partitioning; drop --space-regions or use --faults"
+                "this plan schedules node crashes "
+                f"(crash_rate={probe.crash_rate:g}, "
+                f"{len(probe.crashes)} targeted), which cannot run "
+                "space-parallel: crash routing and epoch repair reach "
+                "across regions with zero latency.  Drop "
+                "--space-regions, or override the crash knobs away "
+                "(e.g. --crash-rate 0) to run the remaining wire "
+                "faults space-parallel"
             )
         return _run_stress_space(
             seed,
             inject_bug=inject_bug,
             max_events=max_events,
             faults=faults,
+            chaos=chaos,
             fault_overrides=fault_overrides,
             regions=space_regions,
             jobs=space_jobs,
             window=space_window,
             verify=space_verify,
+            transport=space_transport,
+            adaptive=space_adaptive,
         )
     config = StressConfig.from_seed(
         seed,
@@ -715,11 +744,14 @@ def _run_stress_space(
     inject_bug: bool,
     max_events: int,
     faults: bool,
+    chaos: bool = False,
     fault_overrides: Optional[Dict[str, object]],
     regions: int,
     jobs: int,
     window: int,
     verify: bool,
+    transport: Optional[str] = None,
+    adaptive: bool = True,
 ) -> StressResult:
     """One stress seed on the space-partitioned machine.
 
@@ -730,15 +762,21 @@ def _run_stress_space(
     runs are judged by the :class:`CoherenceOracle` over the merged
     cross-region capture, overlaid onto a fresh reference build.
 
-    With ``verify`` the seed runs under both drivers — serial in-process
-    and one worker process per region — and any checksum divergence is
-    itself the failure (this is the harness's bit-identity gate).
+    With ``verify`` the seed runs under the requested mode *and* the
+    canonical serial reference (memory transport, fixed windows); any
+    checksum divergence is itself the failure.  Because every transport
+    and window policy is compared against the same reference, all
+    verified cells are transitively bit-identical to each other.
     """
     from repro.check.oracle import Violation
     from repro.parallel.spacetime import SpaceSpec, run_checksums, run_space
 
     config = StressConfig.from_seed(
-        seed, inject_bug=inject_bug, faults=faults, overrides=fault_overrides
+        seed,
+        inject_bug=inject_bug,
+        faults=faults,
+        chaos=chaos,
+        overrides=fault_overrides,
     )
     result = StressResult(seed=seed, config=config)
     spec = SpaceSpec.make(
@@ -747,6 +785,7 @@ def _run_stress_space(
             "seed": seed,
             "inject_bug": inject_bug,
             "faults": faults,
+            "chaos": chaos,
             "fault_overrides": fault_overrides,
             "regions": regions,
             "window": window,
@@ -755,8 +794,13 @@ def _run_stress_space(
         label=f"space seed {seed}",
     )
     if verify:
-        serial = run_space(spec, jobs=1)
-        run = run_space(spec, jobs=max(2, jobs))
+        serial = run_space(spec, jobs=1, adaptive=False)
+        run = run_space(
+            spec,
+            jobs=max(2, jobs),
+            transport=transport,
+            adaptive=adaptive,
+        )
         want, got = run_checksums(serial), run_checksums(run)
         if want != got:
             diffs = ", ".join(
@@ -771,7 +815,7 @@ def _run_stress_space(
             _harvest_space(result, run)
             return result
     else:
-        run = run_space(spec, jobs=jobs)
+        run = run_space(spec, jobs=jobs, transport=transport, adaptive=adaptive)
     _harvest_space(result, run)
     if run.error is not None:
         result.live_error = f"{type(run.error).__name__}: {run.error}"
@@ -826,6 +870,8 @@ def run_seeds(
     space_jobs: int = 1,
     space_window: int = 0,
     space_verify: bool = False,
+    space_transport: Optional[str] = None,
+    space_adaptive: bool = True,
 ) -> List[StressResult]:
     """Run ``count`` consecutive seeds; stop at the first failure unless
     ``keep_going`` (a *failure* means a bug-injection run the checkers
@@ -857,6 +903,8 @@ def run_seeds(
             space_jobs=space_jobs,
             space_window=space_window,
             space_verify=space_verify,
+            space_transport=space_transport,
+            space_adaptive=space_adaptive,
         )
     tasks = [
         SweepTask.make(

@@ -334,7 +334,15 @@ def _cmd_run(args) -> int:
         }
     spec = SpaceSpec.make(builder, kwargs, label=args.workload)
 
-    run = run_space(spec, jobs=args.space_jobs)
+    transport = (
+        None if args.space_transport == "auto" else args.space_transport
+    )
+    run = run_space(
+        spec,
+        jobs=args.space_jobs,
+        transport=transport,
+        adaptive=not args.space_fixed_window,
+    )
     run.raise_if_error()
     checks = run_checksums(run)
     rows = [
@@ -361,6 +369,14 @@ def _cmd_run(args) -> int:
         f"  clock {run.clock:,}  events {run.events_fired:,}  "
         f"messages {run.messages:,}"
     )
+    tr = run.transport
+    print(
+        f"  transport {tr['mode']}"
+        f"{' adaptive' if tr['adaptive'] else ''}: "
+        f"{tr['barriers']:,} barriers "
+        f"({tr['barrier_wall_s']:.3f}s), {tr['bytes']:,} bytes, "
+        f"{tr['pickle_bypassed']:,}/{tr['messages']:,} pickle-free"
+    )
     print(f"  memory {checks['memory'][:16]}  trace {checks['trace'][:16]}")
 
     if args.workload == "sssp":
@@ -379,7 +395,8 @@ def _cmd_run(args) -> int:
         print("  distances verified against Dijkstra")
 
     if args.space_verify and args.space_jobs != 1:
-        serial = run_checksums(run_space(spec, jobs=1))
+        # Canonical reference: memory transport, fixed windows.
+        serial = run_checksums(run_space(spec, jobs=1, adaptive=False))
         diffs = [k for k in checks if checks[k] != serial[k]]
         if diffs:
             print(f"FAIL: parallel diverged from serial on {diffs}")
@@ -405,6 +422,7 @@ def _fault_args(args):
             ("fault_jitter", args.fault_jitter),
             ("outage_rate", args.outage_rate),
             ("outage_cycles", args.outage_cycles),
+            ("crash_rate", getattr(args, "crash_rate", None)),
         )
         if value is not None
     }
@@ -415,10 +433,16 @@ def _cmd_check(args) -> int:
     from repro.check import run_seeds, run_stress
 
     faults, overrides = _fault_args(args)
-    if args.chaos and args.space_jobs:
+    if args.space_jobs and args.chaos and overrides.get("crash_rate") != 0:
+        # Precise capability check: chaos always derives a node-crash
+        # schedule, and crash schedules cannot run space-parallel — but
+        # a chaos plan whose crash knobs are overridden to zero is
+        # wire-fault-only and partitions fine.
         print(
-            "check: --chaos (node crashes) cannot be combined with "
-            "--space-jobs; drop one of them",
+            "check: --chaos derives a node crash schedule, which cannot "
+            "run space-parallel (crash recovery reaches across regions "
+            "with zero latency).  Pass --crash-rate 0 to run the chaos "
+            "wire faults under --space-jobs, or drop --space-jobs",
             file=sys.stderr,
         )
         return 2
@@ -429,6 +453,12 @@ def _cmd_check(args) -> int:
             space_jobs=args.space_jobs,
             space_window=args.space_window,
             space_verify=args.space_verify,
+            space_transport=(
+                None
+                if args.space_transport == "auto"
+                else args.space_transport
+            ),
+            space_adaptive=not args.space_fixed_window,
         )
 
     if args.seed is not None:
@@ -896,6 +926,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         socket_path=args.socket,
         jobs=args.jobs,
+        space_jobs=args.space_jobs,
         cache_size=args.cache_size,
         cache_file=args.cache_file,
         max_pending=args.max_pending,
@@ -1046,6 +1077,22 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="also run the serial space driver and require the "
             "parallel run to match it checksum-for-checksum",
+        )
+        p.add_argument(
+            "--space-transport",
+            choices=("auto", "shm", "pickle"),
+            default="auto",
+            help="cross-region transport: shm = zero-pickle "
+            "shared-memory boundary rings (parallel default), pickle = "
+            "legacy queue transport; auto picks per mode.  All "
+            "transports are bit-identical",
+        )
+        p.add_argument(
+            "--space-fixed-window",
+            action="store_true",
+            help="disable adaptive window widening (every barrier "
+            "advances exactly one window); bit-identical to adaptive, "
+            "useful for timing comparisons",
         )
 
     for name, (_fn, help_) in COMMANDS.items():
@@ -1220,7 +1267,17 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also crash and restart nodes: each seed derives a "
                 "crash rate, down window and durability mode on top of "
                 "the wire faults; fails if no recovery ever happened "
-                "(incompatible with --space-jobs)",
+                "(crash schedules cannot run space-parallel; pass "
+                "--crash-rate 0 to keep the wire faults under "
+                "--space-jobs)",
+            )
+            p.add_argument(
+                "--crash-rate",
+                type=float,
+                default=None,
+                help="pin the per-cycle node crash rate; 0 strips the "
+                "crash schedule from --chaos, leaving a wire-fault-only "
+                "plan that can run space-parallel",
             )
             p.add_argument(
                 "--transcript",
@@ -1346,6 +1403,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help="warm worker processes (default 0 = one per core)",
             )
             p.add_argument(
+                "--space-jobs",
+                type=int,
+                default=0,
+                metavar="N",
+                help="keep a warm space-parallel region fleet of N "
+                "workers: 'space' requests reuse its processes "
+                "instead of running serially in a pool worker "
+                "(default 0 = no fleet)",
+            )
+            p.add_argument(
                 "--cache-size",
                 type=int,
                 default=128,
@@ -1385,7 +1452,8 @@ def build_parser() -> argparse.ArgumentParser:
                 "--op",
                 type=str,
                 required=True,
-                help="request op: simulate, check, sweep, bench, status",
+                help="request op: simulate, check, sweep, bench, "
+                "space, status",
             )
             p.add_argument(
                 "--host", type=str, default="127.0.0.1", help="daemon host"

@@ -378,15 +378,20 @@ class Fabric:
         return primary
 
     # ------------------------------------------------------------------
-    def inject(self, arrive: int, msg: Message) -> None:
-        """Schedule delivery of an externally-timed message at ``arrive``.
+    def inject(self, arrive: int, msg: Message, key: tuple) -> None:
+        """File an externally-timed message into the engine's front lane.
 
-        The space-parallel driver uses this to re-inject cross-region
+        The space-parallel driver uses this to deliver cross-region
         messages at window barriers: the *source* region's fabric
         already routed, timed, traced and counted the send — this side
-        only files the delivery event into the destination engine's
-        calendar queue.  ``arrive`` must not be in the past (guaranteed
-        by the conservative window bound; ``Engine.at`` enforces it)."""
+        only files the delivery event.  ``key`` is the canonical
+        ``(source region, staging seq)`` rank; the front lane fires
+        injected deliveries before every locally-scheduled event of
+        their cycle, in key order, which keeps same-cycle ordering — and
+        therefore the whole run — independent of which barrier happened
+        to carry the message (see ``Engine.inject``).  ``arrive`` must
+        not be in the past (guaranteed by the conservative window
+        bound; the engine enforces it)."""
         receiver = (
             self._receivers[msg.dst]
             if 0 <= msg.dst < len(self._receivers)
@@ -401,7 +406,7 @@ class Fabric:
             delivery.msg = msg
         else:
             delivery = _Delivery(receiver, msg, pool)
-        self.engine.at(arrive, delivery)
+        self.engine.inject(arrive, key, delivery)
 
     # ------------------------------------------------------------------
     def note_applied(self, msg: Message) -> None:

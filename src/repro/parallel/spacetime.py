@@ -64,7 +64,9 @@ import hashlib
 import heapq
 import importlib
 import pickle
+import time
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import errors as _errors
@@ -78,6 +80,8 @@ from repro.errors import (
 from repro.machine import PlusMachine
 from repro.network.fabric import Fabric, FabricStats
 from repro.network.message import Message
+from repro.parallel.codec import CODEC_VERSION, decode_records, encode_staged
+from repro.runtime.shm import BoundaryRing, _shared_memory
 from repro.sim.engine import Engine
 from repro.stats.counters import MachineCounters
 from repro.stats.report import RunReport
@@ -88,14 +92,19 @@ __all__ = [
     "SpaceMachine",
     "SpaceSpec",
     "SpaceRun",
+    "SpaceFleet",
     "RegionState",
     "effective_regions",
     "lookahead_bound",
     "default_window",
+    "adaptive_widen_cap",
     "run_space",
     "memory_checksum",
     "trace_checksum",
 ]
+
+#: Transport names accepted by :func:`run_space`.
+TRANSPORTS = ("memory", "pickle", "shm")
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +140,17 @@ def default_window(params: TimingParams) -> int:
     paper's timing): the issue's conservative window, comfortably under
     :func:`lookahead_bound`."""
     return params.net_hop_cycles
+
+
+def adaptive_widen_cap(params: TimingParams, window: int) -> int:
+    """Largest window multiple the adaptive driver may take at once.
+
+    The widened barrier is ``align(t0) + K*W`` with ``align(t0) <= t0``,
+    so every message sent during the widened window (send >= ``t0``,
+    arrive >= send + bound) still arrives at or after the barrier as
+    long as ``K*W <= bound``.  ``K`` therefore caps at
+    ``bound // W`` (= 3 for the paper's ``bound=12, W=4``)."""
+    return max(1, lookahead_bound(params) // window)
 
 
 # ----------------------------------------------------------------------
@@ -378,7 +398,24 @@ class SpaceMachine(PlusMachine):
         partitioned model deterministic: each region's sends consume its
         own plan in its own engine order, independent of how windows
         interleave the regions.
+
+        A plan with a node crash/restart schedule is rejected: the crash
+        scheduler (``PlusMachine._arm_crashes``) reaches across the whole
+        machine with zero latency (crash routing, peer-epoch bumps, OS
+        repair), which a partitioned machine cannot honor — and this
+        override never arms it, so accepting such a plan would silently
+        drop the crashes.  Wire-fault-only plans (drops, dups, jitter,
+        outages, blackholes) partition fine and are accepted.
         """
+        if plan.has_crashes:
+            raise ConfigError(
+                "node crash/restart faults cannot run on the "
+                "space-partitioned machine: the crash scheduler reaches "
+                "across regions with zero latency.  Run crash plans on "
+                "the plain machine (drop --space-regions), or zero the "
+                "crash knobs (e.g. crash_rate=0) to keep the wire "
+                "faults space-parallel"
+            )
         for r, fabric in enumerate(self.fabrics):
             fabric.install_faults(plan if r == 0 else _region_plan(plan, r))
         for node in self.nodes:
@@ -481,9 +518,19 @@ class StepOutcome:
     #: Engine.last_live after the step (global clock = max over regions).
     last_live: int
     #: Cross-region messages staged during the window, per dst region.
+    #: Empty in shm-transport mode, where staged records travel through
+    #: the boundary rings instead of the driver.
     staged: Dict[int, List[Staged]]
     #: ``(exc type name, rendered text, cycle)`` if the window raised.
+    #: The shm transport reports a ``("", "", cycle)`` placeholder during
+    #: the run (error text ships once, with the harvest).
     error: Optional[Tuple[str, str, int]] = None
+    #: Earliest arrival among messages staged this step, -1 if none.
+    #: In-flight messages the destination has not drained yet are
+    #: represented in the driver's barrier arithmetic by this value.
+    staged_min: int = -1
+    #: Messages staged this step (drives the adaptive-window reset).
+    staged_count: int = 0
 
 
 @dataclass
@@ -547,6 +594,19 @@ class RegionState:
             "next": self.engine._next_time(),
         }
 
+    def inject_entries(self, entries: List[Staged]) -> None:
+        """File staged cross-region messages into this region's engine.
+
+        Deliveries land in the engine's *front lane* under their
+        canonical ``(source region, staging seq)`` key, so the same
+        message holds the same same-cycle rank no matter which barrier
+        (or drain round) happened to carry it — the property that makes
+        window scheduling and transport choice invisible in the output.
+        """
+        fabric = self.fabric
+        for arrive, src_region, stage_seq, msg in entries:
+            fabric.inject(arrive, msg, (src_region, stage_seq))
+
     def step(
         self, barrier: int, inject: List[Staged], max_events: int
     ) -> StepOutcome:
@@ -558,9 +618,7 @@ class RegionState:
         the driver surfaces the lowest-region error afterwards — the
         same rule in both drivers, so failure output is deterministic.
         """
-        fabric = self.fabric
-        for arrive, _src_region, _stage_seq, msg in inject:
-            fabric.inject(arrive, msg)
+        self.inject_entries(inject)
         engine = self.engine
         fired0 = engine.events_fired
         error = None
@@ -570,10 +628,16 @@ class RegionState:
             error = (type(exc).__name__, str(exc), engine.now)
         region = self.region
         staged: Dict[int, List[Staged]] = {}
-        for dst, entries in fabric.collect_staged().items():
+        staged_min = -1
+        staged_count = 0
+        for dst, entries in self.fabric.collect_staged().items():
             staged[dst] = [
                 (arrive, region, seq, msg) for (arrive, seq, msg) in entries
             ]
+            for arrive, _seq, _msg in entries:
+                if staged_min < 0 or arrive < staged_min:
+                    staged_min = arrive
+            staged_count += len(entries)
         return StepOutcome(
             region=region,
             next_time=engine._next_time() if error is None else None,
@@ -581,6 +645,8 @@ class RegionState:
             last_live=engine.last_live,
             staged=staged,
             error=error,
+            staged_min=staged_min,
+            staged_count=staged_count,
         )
 
     def finish(self, elapsed: int) -> RegionHarvest:
@@ -648,19 +714,43 @@ class RegionState:
 # ----------------------------------------------------------------------
 # Runners: serial in-process vs one worker process per region.
 # ----------------------------------------------------------------------
+#: Canonical staged-entry order: (arrive, src region, staging seq).
+#: The first three fields are unique per entry, so the Message itself is
+#: never compared.
+_STAGED_KEY = itemgetter(0, 1, 2)
+
+
+def _fresh_transport_stats() -> Dict[str, int]:
+    return {
+        "bytes": 0,
+        "messages": 0,
+        "pickle_bypassed": 0,
+        "fallback": 0,
+        "spill_rounds": 0,
+    }
+
+
 class _SerialRunners:
     """All regions in this process.  ``step_order`` permutes the order
     region steps *execute* in (results are order-independent — that's
-    the point, and what the property tests assert); ``pickle_transport``
-    round-trips every inject list and outcome through pickle to mimic
-    the parallel mode's process boundary."""
+    the point, and what the property tests assert).  ``transport``
+    selects how staged messages move between the in-process regions:
+
+    * ``"memory"`` — handed over as live objects (the fast serial path);
+    * ``"pickle"`` — every inject list and outcome round-trips through
+      pickle, mimicking the legacy parallel mode's process boundary;
+    * ``"shm"`` — staged entries are codec-packed through real
+      :class:`~repro.runtime.shm.BoundaryRing` segments, exercising the
+      exact bytes the parallel shm transport moves, in one process.
+    """
 
     def __init__(
         self,
         spec: SpaceSpec,
         regions: int,
         step_order: Optional[Sequence[int]] = None,
-        pickle_transport: bool = False,
+        transport: str = "memory",
+        ring_words: int = 0,
     ) -> None:
         self.states = [RegionState(spec, r) for r in range(regions)]
         self._order = (
@@ -671,30 +761,729 @@ class _SerialRunners:
                 f"step_order {step_order!r} is not a permutation of "
                 f"range({regions})"
             )
-        self._pickle = pickle_transport
+        self._transport = transport
+        self._inject: Dict[int, List[Staged]] = {}
+        self.stats = _fresh_transport_stats()
+        self._rings: Dict[Tuple[int, int], BoundaryRing] = {}
+        if transport == "shm":
+            for s in range(regions):
+                for d in range(regions):
+                    if s != d:
+                        self._rings[(s, d)] = BoundaryRing.create(
+                            ring_words or _RING_WORDS, CODEC_VERSION
+                        )
 
-    def step_all(
-        self,
-        barrier: int,
-        inject_map: Dict[int, List[Staged]],
-        max_events: int,
-    ) -> List[StepOutcome]:
-        outcomes: List[Optional[StepOutcome]] = [None] * len(self.states)
+    def prepare_all(self) -> List[Dict[str, Any]]:
+        return [state.initial() for state in self.states]
+
+    def step_all(self, barrier: int, max_events: int) -> List[StepOutcome]:
+        regions = len(self.states)
+        outcomes: List[Optional[StepOutcome]] = [None] * regions
         for r in self._order:
-            inject = inject_map.get(r, [])
-            if self._pickle:
+            inject = self._inject.pop(r, [])
+            if self._transport == "shm":
+                for s in range(regions):
+                    if s == r:
+                        continue
+                    words = self._rings[(s, r)].drain()
+                    if words:
+                        inject.extend(decode_records(words))
+            inject.sort(key=_STAGED_KEY)
+            if self._transport == "pickle":
                 inject = pickle.loads(pickle.dumps(inject))
             outcome = self.states[r].step(barrier, inject, max_events)
-            if self._pickle:
+            if self._transport == "pickle":
                 outcome = pickle.loads(pickle.dumps(outcome))
+            self._route(r, outcome)
             outcomes[r] = outcome
         return outcomes  # type: ignore[return-value]
+
+    def _route(self, region: int, outcome: StepOutcome) -> None:
+        """Move the step's staged entries toward their destinations."""
+        stats = self.stats
+        for dst, entries in outcome.staged.items():
+            stats["messages"] += len(entries)
+            if self._transport == "shm":
+                words: List[int] = []
+                for arrive, src_region, seq, msg in entries:
+                    if encode_staged(arrive, src_region, seq, msg, words):
+                        stats["pickle_bypassed"] += 1
+                    else:
+                        stats["fallback"] += 1
+                stats["bytes"] += 8 * len(words)
+                ring = self._rings[(region, dst)]
+                if not ring.push(words):
+                    # The consumer lives in this process: drain its side
+                    # into the driver inject map to make room, and carry
+                    # anything that still does not fit directly.
+                    stats["spill_rounds"] += 1
+                    drained = ring.drain()
+                    bucket = self._inject.setdefault(dst, [])
+                    if drained:
+                        bucket.extend(decode_records(drained))
+                    if not ring.push(words):
+                        bucket.extend(decode_records(words))
+            else:
+                if self._transport == "pickle":
+                    stats["bytes"] += len(
+                        pickle.dumps(entries, pickle.HIGHEST_PROTOCOL)
+                    )
+                self._inject.setdefault(dst, []).extend(entries)
+
+    def error_detail(self, region: int) -> Optional[Tuple[str, str]]:
+        return None  # serial outcomes already carry the full error
 
     def finish_all(self, elapsed: int) -> List[RegionHarvest]:
         return [state.finish(elapsed) for state in self.states]
 
     def close(self) -> None:
-        pass
+        for ring in self._rings.values():
+            ring.close(unlink=True)
+        self._rings.clear()
+
+
+# ----------------------------------------------------------------------
+# The shm control plane: persistent region servers commanded through a
+# shared-memory control block, staged messages through boundary rings.
+# ----------------------------------------------------------------------
+#: Default per-direction ring capacity in int64 words (512 KiB).  The
+#: driver raises it when the machine's page size could produce a single
+#: record near this bound.
+_RING_WORDS = 1 << 16
+
+
+def _ring_words_for(params: TimingParams) -> int:
+    """Ring capacity for a machine: the default, or enough to hold many
+    of the largest possible record (a PAGE_COPY_DATA message carries a
+    whole page of words)."""
+    return max(_RING_WORDS, 64 * (params.page_words + 64))
+
+#: Control-block slots per region (int64 words).
+_CTL_SLOTS = 16
+_S_CMD_SEQ = 0     # driver: bumped last, after the args below
+_S_CMD = 1         # driver: one of the _CMD_* codes
+_S_ARG0 = 2        # driver: barrier (STEP) / elapsed (FINISH)
+_S_ARG1 = 3        # driver: event budget (STEP)
+_S_ACK = 4         # worker: echoes CMD_SEQ when the command is done
+_S_NEXT = 5        # worker: next pending event time, -1 for none
+_S_FIRED = 6       # worker: events fired this step (prepare: regions)
+_S_LAST_LIVE = 7   # worker: engine.last_live (prepare: window)
+_S_STAGED_MIN = 8  # worker: earliest arrival staged this step, -1
+_S_STAGED_COUNT = 9
+_S_ERR = 10        # worker: 1 when the step captured a PlusError
+_S_ERR_CYCLE = 11  # worker: the captured error's cycle
+_S_SPILL = 12      # worker: encoded words awaiting ring space
+_S_WORDS = 13      # worker: cumulative words pushed through rings
+_S_MSGS = 14       # worker: cumulative messages carried flat
+_S_FALLBACK = 15   # worker: cumulative messages carried as fallback
+
+_CMD_STEP = 1
+_CMD_DRAIN_IN = 2   # consumers: drain + inject every incoming ring
+_CMD_DRAIN_OUT = 3  # producers: flush spilled records into freed rings
+_CMD_FINISH = 4
+_CMD_ABORT = 5      # return without harvesting (driver is bailing out)
+
+
+class _ControlBlock:
+    """``regions`` * ``_CTL_SLOTS`` int64 slots of shared memory.
+
+    The barrier protocol is a per-region seqlock: the driver writes a
+    command's args, then its code, then bumps ``CMD_SEQ`` *last*; the
+    worker spins on ``CMD_SEQ``, acts, publishes its result slots, and
+    echoes the sequence number into ``ACK`` last.  Neither side issues
+    or acknowledges a new command before the previous exchange
+    completes, so every slot has exactly one writer at any moment.
+    """
+
+    def __init__(self, shm, regions: int, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._words = shm.buf.cast("q")
+        self.regions = regions
+
+    @classmethod
+    def create(cls, regions: int) -> "_ControlBlock":
+        if _shared_memory is None:  # pragma: no cover
+            raise ConfigError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use the pickle transport"
+            )
+        shm = _shared_memory.SharedMemory(
+            create=True, size=8 * _CTL_SLOTS * regions
+        )
+        block = cls(shm, regions, owner=True)
+        words = block._words
+        for i in range(_CTL_SLOTS * regions):
+            words[i] = 0
+        for r in range(regions):
+            # Sequence numbers are strictly increasing from 1 (the
+            # prepare handshake); a worker must never mistake the
+            # zeroed block for a command.
+            words[r * _CTL_SLOTS + _S_CMD_SEQ] = 1
+        return block
+
+    @classmethod
+    def attach(cls, name: str, regions: int) -> "_ControlBlock":
+        return cls(
+            _shared_memory.SharedMemory(name=name), regions, owner=False
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def get(self, region: int, slot: int) -> int:
+        return self._words[region * _CTL_SLOTS + slot]
+
+    def put(self, region: int, slot: int, value: int) -> None:
+        self._words[region * _CTL_SLOTS + slot] = value
+
+    def close(self, unlink: bool = False) -> None:
+        words = self._words
+        self._words = None
+        if words is not None:
+            words.release()
+        self._shm.close()
+        if unlink and self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+
+def _spin_wait(ready, poll=None):
+    """Spin until ``ready()`` returns non-None, then return that value.
+
+    Barrier waits are typically microseconds (every region runs the
+    same window), so spin a short burst first, then back off to 1 ms
+    sleeps; ``poll`` (worker-crash detection) runs once per sleep."""
+    for _ in range(256):
+        value = ready()
+        if value is not None:
+            return value
+    delay = 20e-6
+    while True:
+        value = ready()
+        if value is not None:
+            return value
+        if poll is not None:
+            poll()
+        time.sleep(delay)
+        delay = min(delay * 2, 1e-3)
+
+
+def _split_records(words: List[int]) -> List[List[int]]:
+    """Split a codec batch back into whole records (LEN prefixes)."""
+    records: List[List[int]] = []
+    pos = 0
+    total = len(words)
+    while pos < total:
+        length = words[pos]
+        records.append(words[pos : pos + length])
+        pos += length
+    return records
+
+
+def _push_spill(ring: BoundaryRing, spill: List[List[int]]) -> int:
+    """Push as many whole spilled records as currently fit; returns the
+    number of words pushed.  The consumer only ever *frees* space, so a
+    batch sized against ``free_words`` cannot fail."""
+    pushed = 0
+    while spill:
+        if len(spill[0]) > ring.capacity:
+            raise SimulationError(
+                f"a single staged record of {len(spill[0])} words "
+                f"exceeds the boundary ring capacity {ring.capacity}"
+            )
+        free = ring.free_words
+        batch: List[int] = []
+        while spill and len(spill[0]) + len(batch) <= free:
+            batch.extend(spill.pop(0))
+        if not batch:
+            break
+        ring.push(batch)
+        pushed += len(batch)
+    return pushed
+
+
+def _worker_serve(
+    *,
+    spec: SpaceSpec,
+    region: int,
+    regions: int,
+    control: str,
+    rings_in: Tuple[Tuple[int, str], ...],
+    rings_out: Tuple[Tuple[int, str], ...],
+):
+    """One region's long-lived server loop (runs as a single SweepTask).
+
+    Builds the region once, then serves STEP / DRAIN / FINISH commands
+    from the control block until the run ends — region state, engine and
+    fabric stay warm in this process across every window, and across
+    runs when the pool itself is a persistent :class:`SpaceFleet`.
+    Returns ``(harvest, error_detail)``: the error text (unbounded, so
+    it cannot live in a fixed shm slot) ships once, at the end, through
+    the task-result path instead of the barrier path.
+    """
+    ctl = _ControlBlock.attach(control, regions)
+    in_rings: List[BoundaryRing] = []
+    out_rings: Dict[int, BoundaryRing] = {}
+    try:
+        in_rings = [
+            BoundaryRing.attach(name, CODEC_VERSION) for _src, name in rings_in
+        ]
+        out_rings = {
+            dst: BoundaryRing.attach(name, CODEC_VERSION)
+            for dst, name in rings_out
+        }
+        state = RegionState(spec, region)
+        info = state.initial()
+        nxt = info["next"]
+        ctl.put(region, _S_NEXT, -1 if nxt is None else nxt)
+        ctl.put(region, _S_FIRED, info["regions"])
+        ctl.put(region, _S_LAST_LIVE, info["window"])
+        ctl.put(region, _S_ACK, 1)
+        last_seq = 1
+        spill: Dict[int, List[List[int]]] = {}
+        error_detail: Optional[Tuple[str, str, int]] = None
+        total_words = total_flat = total_fallback = 0
+
+        def drain_inject() -> None:
+            entries: List[Staged] = []
+            for ring in in_rings:
+                words = ring.drain()
+                if words:
+                    entries.extend(decode_records(words))
+            if entries:
+                entries.sort(key=_STAGED_KEY)
+                state.inject_entries(entries)
+
+        while True:
+            seq = _spin_wait(
+                lambda: (
+                    s
+                    if (s := ctl.get(region, _S_CMD_SEQ)) > last_seq
+                    else None
+                )
+            )
+            cmd = ctl.get(region, _S_CMD)
+            if cmd == _CMD_STEP:
+                barrier = ctl.get(region, _S_ARG0)
+                budget = ctl.get(region, _S_ARG1)
+                drain_inject()
+                outcome = state.step(barrier, [], budget)
+                if outcome.error is not None and error_detail is None:
+                    error_detail = outcome.error
+                for dst, entries in outcome.staged.items():
+                    words: List[int] = []
+                    for arrive, src_region, sseq, msg in entries:
+                        if encode_staged(arrive, src_region, sseq, msg, words):
+                            total_flat += 1
+                        else:
+                            total_fallback += 1
+                    if out_rings[dst].push(words):
+                        total_words += len(words)
+                    else:
+                        spill.setdefault(dst, []).extend(
+                            _split_records(words)
+                        )
+                nxt = outcome.next_time
+                ctl.put(region, _S_NEXT, -1 if nxt is None else nxt)
+                ctl.put(region, _S_FIRED, outcome.fired)
+                ctl.put(region, _S_LAST_LIVE, outcome.last_live)
+                ctl.put(region, _S_STAGED_MIN, outcome.staged_min)
+                ctl.put(region, _S_STAGED_COUNT, outcome.staged_count)
+                if outcome.error is not None:
+                    ctl.put(region, _S_ERR, 1)
+                    ctl.put(region, _S_ERR_CYCLE, outcome.error[2])
+                else:
+                    ctl.put(region, _S_ERR, 0)
+            elif cmd == _CMD_DRAIN_IN:
+                drain_inject()
+            elif cmd == _CMD_DRAIN_OUT:
+                for dst in list(spill):
+                    total_words += _push_spill(out_rings[dst], spill[dst])
+                    if not spill[dst]:
+                        del spill[dst]
+            elif cmd == _CMD_FINISH:
+                harvest = state.finish(ctl.get(region, _S_ARG0))
+                ctl.put(region, _S_ACK, seq)
+                return (harvest, error_detail)
+            elif cmd == _CMD_ABORT:
+                ctl.put(region, _S_ACK, seq)
+                return (None, error_detail)
+            else:  # pragma: no cover - protocol corruption
+                raise SimulationError(
+                    f"space region {region} received unknown command {cmd}"
+                )
+            ctl.put(
+                region,
+                _S_SPILL,
+                sum(len(rec) for recs in spill.values() for rec in recs),
+            )
+            ctl.put(region, _S_WORDS, total_words)
+            ctl.put(region, _S_MSGS, total_flat)
+            ctl.put(region, _S_FALLBACK, total_fallback)
+            ctl.put(region, _S_ACK, seq)
+            last_seq = seq
+    finally:
+        for ring in in_rings:
+            ring.close()
+        for ring in out_rings.values():
+            ring.close()
+        ctl.close()
+
+
+class SpaceFleet:
+    """A persistent pool of region-server workers, reusable across runs.
+
+    ``repro serve --space-jobs N`` keeps one of these warm so repeated
+    space-parallel requests skip process spawn and import warm-up;
+    :func:`run_space` borrows it (``fleet=...``) for one run and leaves
+    its workers idle-but-alive afterwards.  The underlying pool grows to
+    the largest region count it has ever served (a run needs one
+    *simultaneous* worker per region — fewer would deadlock the barrier).
+    """
+
+    def __init__(self, jobs: int = 0, mp_context=None) -> None:
+        self.jobs = jobs
+        self._ctx = mp_context
+        self._pool = None
+        self._size = 0
+
+    def ensure(self, regions: int):
+        """A live pool with at least ``regions`` workers."""
+        from repro.parallel.executor import WorkerPool
+
+        need = max(regions, self.jobs, 1)
+        if self._pool is None or self._size < need:
+            if self._pool is not None:
+                self._pool.shutdown(cancel_pending=True)
+            self._pool = WorkerPool(need, mp_context=self._ctx)
+            self._size = need
+        return self._pool
+
+    def reset(self) -> None:
+        """Discard the pool (next run rebuilds it): the escape hatch
+        when an aborted run may have left servers mid-protocol."""
+        if self._pool is not None:
+            self._pool.shutdown(cancel_pending=True)
+            self._pool = None
+            self._size = 0
+
+    def shutdown(self) -> None:
+        self.reset()
+
+    def __enter__(self) -> "SpaceFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _ShmRunners:
+    """One persistent server process per region, zero-pickle barriers.
+
+    Each region runs :func:`_worker_serve` as a single long task on a
+    (possibly shared) :class:`SpaceFleet` pool; per-window commands and
+    results travel through the :class:`_ControlBlock` and staged
+    messages through per-(src, dst) :class:`BoundaryRing` pairs — after
+    the initial spec shipment, nothing on the barrier path pickles.
+    """
+
+    def __init__(
+        self,
+        spec: SpaceSpec,
+        regions: int,
+        mp_context=None,
+        fleet: Optional[SpaceFleet] = None,
+        ring_words: int = 0,
+    ) -> None:
+        from repro.parallel.tasks import SweepTask
+
+        self.spec = spec
+        self.regions = regions
+        self.stats = _fresh_transport_stats()
+        self._own_fleet = fleet is None
+        self._fleet = fleet if fleet is not None else SpaceFleet(
+            mp_context=mp_context
+        )
+        self._finished = False
+        self._details: List[Optional[Tuple[str, str, int]]] = (
+            [None] * regions
+        )
+        self._ctl = _ControlBlock.create(regions)
+        self._rings: Dict[Tuple[int, int], BoundaryRing] = {}
+        try:
+            for s in range(regions):
+                for d in range(regions):
+                    if s != d:
+                        self._rings[(s, d)] = BoundaryRing.create(
+                            ring_words or _RING_WORDS, CODEC_VERSION
+                        )
+            pool = self._fleet.ensure(regions)
+            self._futures: List[Optional[Any]] = []
+            for r in range(regions):
+                task = SweepTask.make(
+                    r,
+                    "repro.parallel.spacetime:_worker_serve",
+                    {
+                        "spec": spec,
+                        "region": r,
+                        "regions": regions,
+                        "control": self._ctl.name,
+                        "rings_in": tuple(
+                            (s, self._rings[(s, r)].name)
+                            for s in range(regions)
+                            if s != r
+                        ),
+                        "rings_out": tuple(
+                            (d, self._rings[(r, d)].name)
+                            for d in range(regions)
+                            if d != r
+                        ),
+                    },
+                    label=f"{spec.label}:r{r}:serve",
+                )
+                self._futures.append(pool.submit(task))
+            self._seq = 1
+        except BaseException:
+            self._release_shm()
+            raise
+
+    # -- protocol ------------------------------------------------------
+    def _poll(self, finishing: bool = False) -> None:
+        """A server future resolving before FINISH means its worker died
+        or its region build raised — surface it instead of spinning.
+        During the FINISH exchange itself (``finishing=True``) clean
+        completions are the expected outcome; only failures raise."""
+        for future in self._futures:
+            if future is not None and future.done():
+                result = future.result()
+                if finishing and result.ok:
+                    continue
+                raise SimulationError(
+                    f"space region worker exited mid-run "
+                    f"({result.label}): "
+                    f"{result.error or 'unexpected completion'}"
+                )
+
+    def _issue(self, cmd: int, arg0: int = 0, arg1: int = 0) -> int:
+        seq = self._seq + 1
+        self._seq = seq
+        ctl = self._ctl
+        for r in range(self.regions):
+            ctl.put(r, _S_ARG0, arg0)
+            ctl.put(r, _S_ARG1, arg1)
+            ctl.put(r, _S_CMD, cmd)
+            ctl.put(r, _S_CMD_SEQ, seq)  # published last (seqlock)
+        return seq
+
+    def _wait_acks(self, seq: int, finishing: bool = False) -> None:
+        ctl = self._ctl
+        for r in range(self.regions):
+            _spin_wait(
+                lambda r=r: True if ctl.get(r, _S_ACK) == seq else None,
+                poll=lambda: self._poll(finishing),
+            )
+
+    def prepare_all(self) -> List[Dict[str, Any]]:
+        self._wait_acks(1)
+        prep = []
+        ctl = self._ctl
+        for r in range(self.regions):
+            nxt = ctl.get(r, _S_NEXT)
+            prep.append(
+                {
+                    "regions": ctl.get(r, _S_FIRED),
+                    "window": ctl.get(r, _S_LAST_LIVE),
+                    "next": None if nxt < 0 else nxt,
+                }
+            )
+        return prep
+
+    def step_all(self, barrier: int, max_events: int) -> List[StepOutcome]:
+        seq = self._issue(_CMD_STEP, barrier, max_events)
+        self._wait_acks(seq)
+        ctl = self._ctl
+        # A full ring leaves encoded words spilled at the producer.
+        # Alternate "consumers drain+inject" / "producers flush" rounds
+        # until everything landed: each flush moves >= one record (or a
+        # whole freed ring's worth), so the loop terminates.
+        while any(
+            ctl.get(r, _S_SPILL) for r in range(self.regions)
+        ):
+            self.stats["spill_rounds"] += 1
+            self._wait_acks(self._issue(_CMD_DRAIN_IN))
+            self._wait_acks(self._issue(_CMD_DRAIN_OUT))
+        outcomes = []
+        for r in range(self.regions):
+            nxt = ctl.get(r, _S_NEXT)
+            error = (
+                ("", "", ctl.get(r, _S_ERR_CYCLE))
+                if ctl.get(r, _S_ERR)
+                else None
+            )
+            outcomes.append(
+                StepOutcome(
+                    region=r,
+                    next_time=None if nxt < 0 else nxt,
+                    fired=ctl.get(r, _S_FIRED),
+                    last_live=ctl.get(r, _S_LAST_LIVE),
+                    staged={},
+                    error=error,
+                    staged_min=ctl.get(r, _S_STAGED_MIN),
+                    staged_count=ctl.get(r, _S_STAGED_COUNT),
+                )
+            )
+        return outcomes
+
+    def finish_all(self, elapsed: int) -> List[RegionHarvest]:
+        ctl = self._ctl
+        stats = self.stats
+        for r in range(self.regions):
+            stats["bytes"] += 8 * ctl.get(r, _S_WORDS)
+            stats["pickle_bypassed"] += ctl.get(r, _S_MSGS)
+            stats["fallback"] += ctl.get(r, _S_FALLBACK)
+        stats["messages"] = stats["pickle_bypassed"] + stats["fallback"]
+        seq = self._issue(_CMD_FINISH, elapsed)
+        self._wait_acks(seq, finishing=True)
+        harvests = []
+        for r, future in enumerate(self._futures):
+            result = future.result(timeout=60)
+            if not result.ok:
+                raise SimulationError(
+                    f"space region worker failed ({result.label}): "
+                    f"{result.error}"
+                )
+            harvest, detail = result.value
+            self._details[r] = detail
+            harvests.append(harvest)
+        self._futures = [None] * self.regions
+        self._finished = True
+        return harvests
+
+    def error_detail(self, region: int) -> Optional[Tuple[str, str]]:
+        detail = self._details[region]
+        return None if detail is None else (detail[0], detail[1])
+
+    def _release_shm(self) -> None:
+        self._ctl.close(unlink=True)
+        for ring in self._rings.values():
+            ring.close(unlink=True)
+        self._rings.clear()
+
+    def close(self) -> None:
+        try:
+            if self._own_fleet:
+                self._fleet.shutdown()
+            elif not self._finished:
+                # Shared fleet and the run is bailing out: tell the
+                # servers to return so their workers go back to idle; a
+                # server that will not come back poisons the pool, so
+                # rebuild it rather than leak a wedged protocol.
+                try:
+                    self._issue(_CMD_ABORT)
+                    for future in self._futures:
+                        if future is not None:
+                            future.result(timeout=10)
+                except BaseException:
+                    self._fleet.reset()
+        finally:
+            self._release_shm()
+
+
+class _PoolRunners:
+    """One single-worker :class:`WorkerPool` per region (the legacy
+    pickle transport's parallel mode).
+
+    A pool of one pins the region to its worker process (region state
+    lives in that process between windows), but every window still
+    ships its inject lists and outcomes through the pool's pickling
+    task queues — the cost :class:`_ShmRunners` exists to remove.  Kept
+    as the transport-identity reference for the shm path and as the
+    fallback where POSIX shared memory is unavailable.
+    """
+
+    def __init__(self, spec: SpaceSpec, regions: int, mp_context=None) -> None:
+        from repro.parallel.executor import WorkerPool
+        from repro.parallel.tasks import SweepTask
+
+        self._SweepTask = SweepTask
+        self.spec = spec
+        self.pools = [
+            WorkerPool(1, mp_context=mp_context) for _ in range(regions)
+        ]
+        self._inject: Dict[int, List[Staged]] = {}
+        self.stats = _fresh_transport_stats()
+
+    def _call(self, region: int, fn: str, kwargs: Dict[str, Any]):
+        task = self._SweepTask.make(
+            region,
+            f"repro.parallel.spacetime:{fn}",
+            kwargs,
+            label=f"{self.spec.label}:r{region}:{fn}",
+        )
+        return self.pools[region].submit(task)
+
+    @staticmethod
+    def _value(result):
+        if not result.ok:
+            raise SimulationError(
+                f"space region worker failed ({result.label}): "
+                f"{result.error}"
+            )
+        return result.value
+
+    def prepare_all(self) -> List[Dict[str, Any]]:
+        futures = [
+            self._call(r, "_worker_prepare", {"spec": self.spec, "region": r})
+            for r in range(len(self.pools))
+        ]
+        return [self._value(f.result()) for f in futures]
+
+    def step_all(self, barrier: int, max_events: int) -> List[StepOutcome]:
+        stats = self.stats
+        futures = []
+        for r in range(len(self.pools)):
+            inject = self._inject.pop(r, [])
+            inject.sort(key=_STAGED_KEY)
+            if inject:
+                stats["bytes"] += len(
+                    pickle.dumps(inject, pickle.HIGHEST_PROTOCOL)
+                )
+            futures.append(
+                self._call(
+                    r,
+                    "_worker_step",
+                    {
+                        "region": r,
+                        "barrier": barrier,
+                        "inject": inject,
+                        "max_events": max_events,
+                    },
+                )
+            )
+        outcomes = [self._value(f.result()) for f in futures]
+        for outcome in outcomes:
+            for dst, entries in outcome.staged.items():
+                stats["messages"] += len(entries)
+                self._inject.setdefault(dst, []).extend(entries)
+        return outcomes
+
+    def error_detail(self, region: int) -> Optional[Tuple[str, str]]:
+        return None  # pool outcomes already carry the full error
+
+    def finish_all(self, elapsed: int) -> List[RegionHarvest]:
+        futures = [
+            self._call(r, "_worker_finish", {"region": r, "elapsed": elapsed})
+            for r in range(len(self.pools))
+        ]
+        return [self._value(f.result()) for f in futures]
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.shutdown(cancel_pending=True)
 
 
 #: Worker-process registry: region -> live RegionState.  One pool worker
@@ -733,82 +1522,6 @@ def _worker_finish(*, region: int, elapsed: int) -> RegionHarvest:
     return state.finish(elapsed)
 
 
-class _PoolRunners:
-    """One single-worker :class:`WorkerPool` per region.
-
-    A pool of one pins the region to its worker process (region state
-    lives in that process between windows), keeps the fleet warm across
-    every window, and reuses all of the executor's crash detection.
-    """
-
-    def __init__(self, spec: SpaceSpec, regions: int, mp_context=None) -> None:
-        from repro.parallel.executor import WorkerPool
-        from repro.parallel.tasks import SweepTask
-
-        self._SweepTask = SweepTask
-        self.spec = spec
-        self.pools = [
-            WorkerPool(1, mp_context=mp_context) for _ in range(regions)
-        ]
-
-    def _call(self, region: int, fn: str, kwargs: Dict[str, Any]):
-        task = self._SweepTask.make(
-            region,
-            f"repro.parallel.spacetime:{fn}",
-            kwargs,
-            label=f"{self.spec.label}:r{region}:{fn}",
-        )
-        return self.pools[region].submit(task)
-
-    @staticmethod
-    def _value(result):
-        if not result.ok:
-            raise SimulationError(
-                f"space region worker failed ({result.label}): "
-                f"{result.error}"
-            )
-        return result.value
-
-    def prepare_all(self) -> List[Dict[str, Any]]:
-        futures = [
-            self._call(r, "_worker_prepare", {"spec": self.spec, "region": r})
-            for r in range(len(self.pools))
-        ]
-        return [self._value(f.result()) for f in futures]
-
-    def step_all(
-        self,
-        barrier: int,
-        inject_map: Dict[int, List[Staged]],
-        max_events: int,
-    ) -> List[StepOutcome]:
-        futures = [
-            self._call(
-                r,
-                "_worker_step",
-                {
-                    "region": r,
-                    "barrier": barrier,
-                    "inject": inject_map.get(r, []),
-                    "max_events": max_events,
-                },
-            )
-            for r in range(len(self.pools))
-        ]
-        return [self._value(f.result()) for f in futures]
-
-    def finish_all(self, elapsed: int) -> List[RegionHarvest]:
-        futures = [
-            self._call(r, "_worker_finish", {"region": r, "elapsed": elapsed})
-            for r in range(len(self.pools))
-        ]
-        return [self._value(f.result()) for f in futures]
-
-    def close(self) -> None:
-        for pool in self.pools:
-            pool.shutdown(cancel_pending=True)
-
-
 # ----------------------------------------------------------------------
 # The window driver.
 # ----------------------------------------------------------------------
@@ -828,6 +1541,11 @@ class SpaceRun:
     #: would raise), or None for a clean drain.
     error: Optional[PlusError] = None
     error_region: int = -1
+    #: Transport/driver metrics: mode, adaptive flag, barrier count and
+    #: wall-clock spent inside barriers, bytes and messages moved, how
+    #: many messages bypassed pickle, codec fallbacks, spill rounds.
+    #: Never part of :func:`run_checksums` — wall time is not output.
+    transport: Dict[str, Any] = field(default_factory=dict)
 
     # -- aggregates ----------------------------------------------------
     @property
@@ -970,18 +1688,39 @@ def run_space(
     *,
     step_order: Optional[Sequence[int]] = None,
     pickle_transport: bool = False,
+    transport: Optional[str] = None,
+    adaptive: bool = True,
     mp_context=None,
+    fleet: Optional[SpaceFleet] = None,
 ) -> SpaceRun:
     """Drive one space-partitioned run to completion.
 
     ``jobs <= 1`` executes every region in this process (the serial
-    reference); ``jobs >= 2`` pins each region to its own worker
-    process.  Both modes run the identical window protocol over
+    reference); ``jobs >= 2`` pins each region to its own persistent
+    worker process.  All modes run the identical window protocol over
     identical :class:`RegionState` objects, so their outputs are
     byte-identical — the space test suite's central claim.
 
-    ``step_order`` / ``pickle_transport`` are serial-mode test knobs
-    (see :class:`_SerialRunners`).
+    ``transport`` selects how staged cross-region messages move:
+    ``"shm"`` (codec-packed through shared-memory boundary rings — the
+    parallel default and zero-pickle path), ``"pickle"`` (the legacy
+    queue transport), or ``"memory"`` (live objects; in-process only).
+    ``pickle_transport=True`` is the legacy spelling of
+    ``transport="pickle"``.
+
+    ``adaptive=True`` lets the driver widen a window up to
+    :func:`adaptive_widen_cap` multiples after a barrier that staged no
+    cross-region messages, collapsing consecutive quiet barriers into
+    one.  The widening decision is a deterministic function of the
+    previous barrier's staged counts — identical in every mode — and
+    the cap keeps every widened window inside the lookahead bound, so
+    adaptive and fixed windows produce byte-identical output (the
+    engine's front lane gives an injected message the same same-cycle
+    rank regardless of which barrier carried it).
+
+    ``fleet`` lends a persistent :class:`SpaceFleet` whose warm worker
+    processes survive this run (``repro serve``); by default the run
+    spins up and retires its own workers.
     """
     probe = spec.build(0)
     regions = probe.regions
@@ -989,19 +1728,60 @@ def run_space(
     params = probe.params
     del probe
 
+    if transport is None:
+        if pickle_transport:
+            transport = "pickle"
+        elif jobs <= 1 or regions == 1:
+            transport = "memory"
+        else:
+            transport = "shm" if _shared_memory is not None else "pickle"
+    elif pickle_transport and transport != "pickle":
+        raise ConfigError(
+            f"pickle_transport=True conflicts with transport={transport!r}"
+        )
+    if transport not in TRANSPORTS:
+        raise ConfigError(
+            f"unknown space transport {transport!r} (choose from "
+            f"{'/'.join(TRANSPORTS)})"
+        )
+    ring_words = _ring_words_for(params)
+
     if jobs <= 1 or regions == 1:
         runners = _SerialRunners(
-            spec, regions, step_order=step_order, pickle_transport=pickle_transport
+            spec,
+            regions,
+            step_order=step_order,
+            transport=transport,
+            ring_words=ring_words,
         )
-        prep = [state.initial() for state in runners.states]
     else:
         if step_order is not None:
             raise ConfigError("step_order is a serial-mode test knob")
-        runners = _PoolRunners(spec, regions, mp_context=mp_context)
-        prep = runners.prepare_all()
+        if transport == "memory":
+            raise ConfigError(
+                "the memory transport hands over live objects and is "
+                "in-process only; use transport='shm' or 'pickle' with "
+                "jobs > 1"
+            )
+        if transport == "shm":
+            runners = _ShmRunners(
+                spec,
+                regions,
+                mp_context=mp_context,
+                fleet=fleet,
+                ring_words=ring_words,
+            )
+        else:
+            runners = _PoolRunners(spec, regions, mp_context=mp_context)
 
+    widen_cap = (
+        adaptive_widen_cap(params, window)
+        if adaptive and regions > 1
+        else 1
+    )
     run = SpaceRun(spec=spec, regions=regions, window=window)
     try:
+        prep = runners.prepare_all()
         for r, info in enumerate(prep):
             if info["regions"] != regions or info["window"] != window:
                 raise SimulationError(
@@ -1011,16 +1791,24 @@ def run_space(
                     "deterministic across processes"
                 )
         next_times: List[Optional[int]] = [p["next"] for p in prep]
-        inject_map: Dict[int, List[Staged]] = {}
+        #: Per-region earliest arrival staged at the last barrier, -1
+        #: if none.  Staged messages live in transit (driver map or
+        #: boundary ring) until the destination's next step injects
+        #: them, so these values stand in for them in the global-min
+        #: computation; after that step the destination's own
+        #: next_time covers them.
+        staged_mins: List[int] = []
         remaining = spec.max_events
         max_cycles = spec.max_cycles
         clock = 0
         error: Optional[Tuple[int, str, str, int]] = None
         hit_horizon = False
+        widen = 1
+        barriers = 0
+        barrier_wall = 0.0
         while True:
             candidates = [t for t in next_times if t is not None]
-            for entries in inject_map.values():
-                candidates.extend(entry[0] for entry in entries)
+            candidates.extend(m for m in staged_mins if m >= 0)
             if not candidates:
                 break
             t0 = min(candidates)
@@ -1029,24 +1817,29 @@ def run_space(
                 break
             # Windows are aligned at multiples of W; skip straight to
             # the window holding the globally-earliest pending event
-            # (empty windows would otherwise cost a barrier each).
-            barrier = (t0 // window) * window + window
+            # (empty windows would otherwise cost a barrier each), then
+            # take ``widen`` windows at once when the previous barrier
+            # proved the regions are not currently talking.
+            barrier = (t0 // window) * window + widen * window
             if max_cycles is not None:
                 barrier = min(barrier, max_cycles + 1)
-            outcomes = runners.step_all(barrier, inject_map, remaining)
-            inject_map = {}
+            wall0 = time.perf_counter()
+            outcomes = runners.step_all(barrier, remaining)
+            barrier_wall += time.perf_counter() - wall0
+            barriers += 1
+            staged_any = False
+            staged_mins = []
             for outcome in outcomes:
                 next_times[outcome.region] = outcome.next_time
                 if outcome.last_live > clock:
                     clock = outcome.last_live
                 remaining -= outcome.fired
-                for dst, entries in outcome.staged.items():
-                    inject_map.setdefault(dst, []).extend(entries)
-            for entries in inject_map.values():
-                # Canonical injection order: (arrive, src region,
-                # staging seq).  Deterministic in both drivers, hence
-                # identical engine seq assignment at the destination.
-                entries.sort(key=lambda e: (e[0], e[1], e[2]))
+                if outcome.staged_count:
+                    staged_any = True
+                staged_mins.append(outcome.staged_min)
+            # Deterministic across modes: staged counts are computed by
+            # the regions themselves, identically under every transport.
+            widen = 1 if staged_any else min(widen * 2, widen_cap)
             failed = [o for o in outcomes if o.error is not None]
             if failed:
                 worst = min(failed, key=lambda o: o.region)
@@ -1061,9 +1854,22 @@ def run_space(
         run.clock = clock
         run.harvests = runners.finish_all(clock)
         run.harvests.sort(key=lambda h: h.region)
+        run.transport = {
+            "mode": transport,
+            "adaptive": widen_cap > 1,
+            "barriers": barriers,
+            "barrier_wall_s": barrier_wall,
+            **runners.stats,
+        }
         if error is not None:
             run.error_region = error[0]
-            run.error = _rebuild_error(error[1], error[2])
+            type_name, text = error[1], error[2]
+            detail = runners.error_detail(error[0])
+            if detail is not None:
+                # shm outcomes carry a placeholder during the run; the
+                # full text shipped once, with the harvest.
+                type_name, text = detail
+            run.error = _rebuild_error(type_name, text)
             return run
         blocked = [line for h in run.harvests for line in h.blocked]
         if blocked:

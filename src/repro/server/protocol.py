@@ -258,6 +258,26 @@ register_op(
 
 register_op(
     OpSpec(
+        name="space",
+        fn="repro.server.ops:space_point",
+        params=(
+            Param("seed", int, default=0, aliases=("rng_seed",)),
+            Param("faults", bool, default=False),
+            Param("regions", int, default=2),
+            Param("window", int, default=0),
+            # "memory" is excluded on purpose: it only exists in-process
+            # and would make the payload depend on where the daemon ran
+            # the request (fleet vs pool worker), breaking cacheability.
+            Param(
+                "transport", str, choices=("shm", "pickle"), default="shm"
+            ),
+            Param("adaptive", bool, default=True),
+        ),
+    )
+)
+
+register_op(
+    OpSpec(
         name="bench",
         fn="repro.server.ops:bench_point",
         params=(

@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import gc
 import heapq
+from bisect import insort
 from itertools import count
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -171,6 +172,19 @@ class Engine:
         #: uses this to explore orderings the default never produces.
         #: Every event then takes the overflow heap (see module docs).
         self._tie_rng = tie_break_rng
+        #: Front lane: externally-injected events per absolute cycle, as
+        #: key-sorted ``(key, fn)`` lists.  At each cycle the front lane
+        #: fires *before* both local lanes, in key order — a fixed rank
+        #: that does not depend on when the entry was injected relative
+        #: to local scheduling.  The space-parallel driver relies on
+        #: this: cross-region deliveries keep one canonical same-cycle
+        #: position no matter which barrier carried them, which is what
+        #: makes window scheduling (fixed, adaptive, any ``W`` under the
+        #: lookahead bound) invisible in the output.  Empty on every
+        #: non-partitioned machine: the hot loop pays one falsy dict
+        #: check per cycle.
+        self._front: Dict[int, List[Tuple[Tuple[int, int], Callback]]] = {}
+        self._front_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -192,7 +206,7 @@ class Engine:
     @property
     def pending_events(self) -> int:
         """Number of events currently scheduled."""
-        return len(self._heap) + self._near
+        return len(self._heap) + self._near + self._front_count
 
     # ------------------------------------------------------------------
     def at(self, time: int, fn: Callback) -> None:
@@ -217,6 +231,30 @@ class Engine:
             # compared), so every run is still reproducible per seed.
             seq |= self._tie_rng.getrandbits(32) << 40
         heapq.heappush(self._heap, (time, seq, fn))
+
+    def inject(self, time: int, key: Tuple[int, int], fn: Callback) -> None:
+        """File an externally-ordered event into the front lane.
+
+        ``fn`` fires at cycle ``time`` *before* every locally-scheduled
+        event of that cycle; front entries for one cycle fire among
+        themselves in ``key`` order.  Keys must be unique per cycle
+        (``fn`` is never compared) and the caller's key space must be a
+        total order it can reproduce — the space driver uses
+        ``(source region, staging seq)``.  Unlike :meth:`at`, injection
+        never consumes a sequence number or a tie-break rng roll, so
+        local scheduling order is byte-identical whether or not (and
+        whenever) injections happen around it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot inject event at {time}, now is {self._now}"
+            )
+        entries = self._front.get(time)
+        if entries is None:
+            self._front[time] = [(key, fn)]
+        else:
+            insort(entries, (key, fn))
+        self._front_count += 1
 
     def after(self, delay: int, fn: Callback) -> None:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
@@ -297,13 +335,20 @@ class Engine:
                 ht = heap[0][0]
                 while t < ht and not buckets[t & self._MASK]:
                     t += 1
-                return t if buckets[t & self._MASK] else ht
-            while not buckets[t & self._MASK]:
-                t += 1
-            return t
-        if heap:
-            return heap[0][0]
-        return None
+                t = t if buckets[t & self._MASK] else ht
+            else:
+                while not buckets[t & self._MASK]:
+                    t += 1
+        elif heap:
+            t = heap[0][0]
+        else:
+            t = None
+        front = self._front
+        if front:
+            ft = min(front)
+            if t is None or ft < t:
+                return ft
+        return t
 
     def step(self) -> bool:
         """Run the single earliest event.  Returns False if none remain."""
@@ -311,7 +356,15 @@ class Engine:
         if t is None:
             return False
         heap = self._heap
-        if heap and heap[0][0] == t:
+        front_entries = self._front.get(t) if self._front else None
+        if front_entries:
+            # Front-lane entries precede both local lanes at their cycle
+            # (see :meth:`inject`).
+            fn = front_entries.pop(0)[1]
+            if not front_entries:
+                del self._front[t]
+            self._front_count -= 1
+        elif heap and heap[0][0] == t:
             # Heap-lane entries at a cycle always precede bucket entries
             # (strictly smaller sequence numbers; see module docs).
             _time, _seq, fn = heapq.heappop(heap)
@@ -376,6 +429,7 @@ class Engine:
         melt = not gc.get_freeze_count()
         if melt:
             gc.freeze()
+        front = self._front
         try:
             while True:
                 if self._near:
@@ -391,13 +445,44 @@ class Engine:
                             t += 1
                 elif heap:
                     t = heap[0][0]
+                elif front:
+                    t = min(front)
                 else:
                     break
+                if front:
+                    ft = min(front)
+                    if ft < t:
+                        t = ft
                 if until is not None and t > until:
                     break
                 self._now = t
                 cycle_base = fired
                 noop_base = self._noop_fires
+                if front:
+                    # Front lane first: injected cross-engine deliveries
+                    # hold the lowest same-cycle rank by construction
+                    # (see :meth:`inject`), already in key order.
+                    entries = front.pop(t, None)
+                    if entries is not None:
+                        try:
+                            while entries:
+                                if fired >= max_events:
+                                    raise SimulationError(
+                                        f"exceeded {max_events} events at "
+                                        f"cycle {self._now}; the simulated "
+                                        "program is probably livelocked"
+                                    )
+                                fn = entries.pop(0)[1]
+                                self._front_count -= 1
+                                fired += 1
+                                fn()
+                        except BaseException:
+                            # Unfired entries return to the lane so a
+                            # caller that catches and resumes sees
+                            # neither duplicates nor losses.
+                            if entries:
+                                front[t] = entries
+                            raise
                 while heap and heap[0][0] == t:
                     if fired >= max_events:
                         raise SimulationError(

@@ -63,6 +63,7 @@ class ServiceStats:
         "crash_failures",
         "rejected_overload",
         "rejected_quota",
+        "space_fleet_runs",
     )
 
     def __init__(self) -> None:
